@@ -1,0 +1,182 @@
+// Benchmarks regenerating the paper's evaluation, one per table/figure.
+// Run with:
+//
+//	go test -bench=. -benchmem
+//
+// Figure 7 (execution-time overhead) is literally the ratio between the
+// BenchmarkFigure7/<workload>/<mode> timings; the other benches exercise the
+// code paths behind their table or figure and report the headline metric
+// via b.ReportMetric.
+package predator_test
+
+import (
+	"testing"
+
+	"predator/internal/core"
+	"predator/internal/eval"
+	"predator/internal/harness"
+
+	_ "predator/internal/workloads/apps"
+	_ "predator/internal/workloads/parsec"
+	_ "predator/internal/workloads/phoenix"
+)
+
+// benchRuntime holds the test-scale thresholds used across all benches.
+var benchRuntime = core.Config{
+	TrackingThreshold:   50,
+	PredictionThreshold: 100,
+	ReportThreshold:     200,
+	Prediction:          true,
+}
+
+func benchCfg() eval.Config {
+	return eval.Config{Threads: 8, Scale: 1, Repeats: 1, Runtime: benchRuntime}
+}
+
+func runWorkload(b *testing.B, name string, mode harness.Mode, buggy bool) *harness.Result {
+	b.Helper()
+	w, ok := harness.Get(name)
+	if !ok {
+		b.Fatalf("unknown workload %q", name)
+	}
+	rc := benchRuntime
+	res, err := harness.Execute(w, harness.Options{
+		Mode: mode, Threads: 8, Buggy: buggy, Runtime: &rc,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return res
+}
+
+// BenchmarkTable1 regenerates Table 1's detection outcomes: every listed
+// workload run under full PREDATOR, reporting findings per run.
+func BenchmarkTable1(b *testing.B) {
+	for _, name := range []string{"histogram", "linear_regression", "reverse_index", "word_count", "streamcluster"} {
+		b.Run(name, func(b *testing.B) {
+			found := 0
+			for i := 0; i < b.N; i++ {
+				res := runWorkload(b, name, harness.ModePredict, true)
+				found = len(res.Report.FalseSharing())
+				if found == 0 {
+					b.Fatalf("%s: Table 1 problem not detected", name)
+				}
+			}
+			b.ReportMetric(float64(found), "findings")
+		})
+	}
+}
+
+// BenchmarkFigure2Offsets regenerates the placement sweep: the deterministic
+// cache-model replay of buggy linear_regression at each offset. The
+// cycles/op metric across sub-benchmarks is the Figure 2 curve.
+func BenchmarkFigure2Offsets(b *testing.B) {
+	for _, off := range []uint64{0, 8, 16, 24, 32, 40, 48, 56} {
+		b.Run(offsetName(off), func(b *testing.B) {
+			var cycles uint64
+			for i := 0; i < b.N; i++ {
+				var err error
+				cycles, _, err = eval.Simulate(benchCfg(), "linear_regression", true, off)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(cycles), "model-cycles")
+		})
+		if testing.Short() {
+			break
+		}
+	}
+}
+
+func offsetName(off uint64) string {
+	return "offset" + string(rune('0'+off/10)) + string(rune('0'+off%10))
+}
+
+// BenchmarkFigure5Report measures producing the example report.
+func BenchmarkFigure5Report(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		out, err := eval.Figure5(benchCfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(out) == 0 {
+			b.Fatal("empty report")
+		}
+	}
+}
+
+// BenchmarkFigure7 is the overhead figure itself: per workload, the three
+// instrumentation modes as sub-benchmarks. ns/op(PREDATOR) / ns/op(Original)
+// is the paper's normalized runtime.
+func BenchmarkFigure7(b *testing.B) {
+	workloads := []string{"histogram", "linear_regression", "matrix_multiply", "streamcluster", "mysql", "aget"}
+	if testing.Short() {
+		workloads = workloads[:2]
+	}
+	for _, name := range workloads {
+		for _, mode := range []harness.Mode{harness.ModeNative, harness.ModeDetect, harness.ModePredict} {
+			b.Run(name+"/"+mode.String(), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					runWorkload(b, name, mode, true)
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkFigure8Memory regenerates the memory measurement for a
+// representative workload, reporting absolute and relative overhead.
+func BenchmarkFigure8Memory(b *testing.B) {
+	var last eval.Fig8Row
+	for i := 0; i < b.N; i++ {
+		rows, err := eval.Figure8(benchCfg(), []string{"histogram"})
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = rows[0]
+	}
+	b.ReportMetric(float64(last.PredatorBytes)/(1<<20), "predator-MB")
+	b.ReportMetric(last.Relative, "relative-x")
+}
+
+// BenchmarkFigure10Sampling regenerates the sampling-rate sensitivity: the
+// same detection run at each rate; ns/op across sub-benchmarks is the
+// figure's normalized-runtime series.
+func BenchmarkFigure10Sampling(b *testing.B) {
+	for _, rate := range eval.Fig10SampleRates {
+		b.Run(rate.Name, func(b *testing.B) {
+			w, _ := harness.Get("histogram")
+			rc := benchRuntime
+			rc.SampleWindow = rate.Window
+			rc.SampleBurst = rate.Burst
+			scale := float64(rate.Burst) / float64(rate.Window)
+			rc.ReportThreshold = max(1, uint64(float64(rc.ReportThreshold)*scale))
+			rc.PredictionThreshold = max(1, uint64(float64(rc.PredictionThreshold)*scale))
+			detected := true
+			for i := 0; i < b.N; i++ {
+				res, err := harness.Execute(w, harness.Options{
+					Mode: harness.ModePredict, Threads: 8, Scale: 2, Buggy: true, Runtime: &rc,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				detected = res.FalseSharingFound()
+			}
+			if !detected {
+				b.Fatal("sampling lost the false sharing")
+			}
+		})
+	}
+}
+
+// BenchmarkAppsCaseStudies runs the six application analogs under PREDATOR.
+func BenchmarkAppsCaseStudies(b *testing.B) {
+	for _, name := range eval.AppWorkloads() {
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				runWorkload(b, name, harness.ModePredict, true)
+			}
+		})
+	}
+}

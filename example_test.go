@@ -1,0 +1,98 @@
+package predator_test
+
+import (
+	"fmt"
+
+	"predator"
+)
+
+// ExampleDetector_observed shows the basic detection flow: two threads'
+// interleaved writes to neighbouring words of one cache line are flagged as
+// false sharing. (Threads are simulated inline here so the interleaving —
+// and therefore the output — is deterministic; real code uses goroutines.)
+func ExampleDetector_observed() {
+	cfg := predator.DefaultRuntimeConfig()
+	cfg.TrackingThreshold = 10
+	cfg.PredictionThreshold = 20
+	cfg.ReportThreshold = 50
+	cfg.SampleWindow = 0
+	d, _ := predator.New(predator.Options{HeapSize: 8 << 20, Runtime: &cfg})
+
+	alice, bob := d.Thread("alice"), d.Thread("bob")
+	addr, _ := alice.AllocWithOffset(64, 0)
+	for i := 0; i < 500; i++ {
+		alice.Store64(addr, uint64(i)) // word 0
+		bob.Store64(addr+8, uint64(i)) // word 1: same line!
+	}
+
+	rep := d.Report()
+	for _, p := range rep.Problems() {
+		fmt.Println(p.Sharing, "with", len(p.Findings), "finding(s)")
+	}
+	// Output:
+	// false sharing with 1 finding(s)
+}
+
+// ExampleDetector_predicted shows prediction: the two hot words sit on
+// different cache lines (no observable sharing), but PREDATOR reports that
+// a shifted object placement or doubled cache lines would falsely share
+// them.
+func ExampleDetector_predicted() {
+	cfg := predator.DefaultRuntimeConfig()
+	cfg.TrackingThreshold = 10
+	cfg.PredictionThreshold = 20
+	cfg.ReportThreshold = 50
+	cfg.SampleWindow = 0
+	d, _ := predator.New(predator.Options{HeapSize: 8 << 20, Runtime: &cfg})
+
+	alice, bob := d.Thread("alice"), d.Thread("bob")
+	addr, _ := alice.AllocWithOffset(128, 0)
+	for i := 0; i < 2000; i++ {
+		alice.Store64(addr+56, uint64(i)) // tail of line 0
+		bob.Store64(addr+64, uint64(i))   // head of line 1
+	}
+
+	rep := d.Report()
+	fmt.Println("observed:", len(rep.Observed()))
+	fmt.Println("predicted findings:", len(rep.Predicted()) > 0)
+	// Output:
+	// observed: 0
+	// predicted findings: true
+}
+
+// ExampleDetector_Suggest shows fix prescriptions: the detector names the
+// hot struct fields (given the layout) and proposes a padded stride.
+func ExampleDetector_Suggest() {
+	cfg := predator.DefaultRuntimeConfig()
+	cfg.TrackingThreshold = 10
+	cfg.PredictionThreshold = 20
+	cfg.ReportThreshold = 50
+	cfg.SampleWindow = 0
+	d, _ := predator.New(predator.Options{HeapSize: 8 << 20, Runtime: &cfg})
+
+	main := d.Thread("main")
+	// An array of two 16-byte per-thread stat slots: {hits, misses}.
+	addr, _ := main.AllocWithOffset(32, 0)
+	t1, t2 := d.Thread("t1"), d.Thread("t2")
+	for i := 0; i < 500; i++ {
+		t1.Store64(addr, uint64(i))    // slot 0 hits
+		t2.Store64(addr+16, uint64(i)) // slot 1 hits: same line
+	}
+
+	st, _ := predator.NewLayout("stats",
+		predator.LayoutField{Name: "hits", Size: 8},
+		predator.LayoutField{Name: "misses", Size: 8},
+	)
+	advice := d.Suggest(d.Report(), predator.SuggestOptions{
+		Layouts: map[uint64]*predator.StructLayout{addr: st},
+	})
+	for _, a := range advice {
+		fmt.Println("kind:", a.Kind)
+		fmt.Println("stride:", a.Stride)
+		fmt.Println("padded size:", a.Padded.Size())
+	}
+	// Output:
+	// kind: pad per-thread slots
+	// stride: 128
+	// padded size: 128
+}

@@ -1,0 +1,74 @@
+// Fix prescriptions (the paper's §6 "Suggest Fixes" future work): describe
+// your struct's layout to the detector and it maps hot words back to field
+// names and prints the exact padded declaration that removes the sharing.
+//
+//	go run ./examples/fixadvice
+package main
+
+import (
+	"fmt"
+	"log"
+	"runtime"
+	"sync"
+)
+
+import "predator"
+
+func main() {
+	cfg := predator.DefaultRuntimeConfig()
+	cfg.TrackingThreshold = 10
+	cfg.PredictionThreshold = 20
+	cfg.ReportThreshold = 100
+	cfg.SampleWindow = 0
+	d, err := predator.New(predator.Options{HeapSize: 8 << 20, Runtime: &cfg})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// A worker-stats struct, one instance per thread, packed in an array —
+	// the single most common false sharing bug in the wild.
+	stats, err := predator.NewLayout("worker_stats",
+		predator.LayoutField{Name: "requests", Size: 8},
+		predator.LayoutField{Name: "errors", Size: 8},
+		predator.LayoutField{Name: "latency_sum", Size: 8},
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	const workers = 4
+	main := d.Thread("main")
+	arr, err := main.AllocWithOffset(stats.Size()*workers, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		th := d.Thread(fmt.Sprintf("worker-%d", w))
+		wg.Add(1)
+		go func(th *predator.Thread, slot uint64) {
+			defer wg.Done()
+			for i := 0; i < 20000; i++ {
+				th.Store64(slot, uint64(i))      // requests++
+				th.Store64(slot+16, uint64(i)*3) // latency_sum += ...
+				if i%16 == 15 {
+					runtime.Gosched() // keep goroutines interleaving on single-CPU hosts
+				}
+			}
+		}(th, arr+uint64(w)*stats.Size())
+	}
+	wg.Wait()
+
+	rep := d.Report()
+	advice := d.Suggest(rep, predator.SuggestOptions{
+		Layouts: map[uint64]*predator.StructLayout{arr: stats},
+	})
+	if len(advice) == 0 {
+		fmt.Println("no problems found")
+		return
+	}
+	for i, a := range advice {
+		fmt.Printf("=== prescription %d (%s) ===\n%s\n\n", i+1, a.Kind, a.Text)
+	}
+}

@@ -1,0 +1,71 @@
+// The paper's case study (§4.1.3): the Phoenix linear_regression benchmark
+// whose false sharing is invisible at the tested object placement and only
+// PREDATOR's prediction can find. This example reproduces the whole story:
+//
+//  1. run the buggy benchmark at the clean placement — plain detection
+//     (PREDATOR-NP) sees nothing;
+//
+//  2. full PREDATOR predicts the latent problem and prints the Figure 5
+//     style report;
+//
+//  3. the placement sweep (Figure 2) shows why: shift the object's start by
+//     24 bytes and the same code becomes dramatically slower.
+//
+//     go run ./examples/linearregression
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"predator/internal/core"
+	"predator/internal/eval"
+	"predator/internal/harness"
+
+	_ "predator/internal/workloads/phoenix"
+)
+
+func main() {
+	cfg := core.Config{
+		TrackingThreshold:   50,
+		PredictionThreshold: 100,
+		ReportThreshold:     200,
+		Prediction:          true,
+	}
+	w, _ := harness.Get("linear_regression")
+
+	// Step 1: PREDATOR-NP at the clean placement.
+	np := cfg
+	np.Prediction = false
+	res, err := harness.Execute(w, harness.Options{
+		Mode: harness.ModeDetect, Threads: 8, Buggy: true, Runtime: &np,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("1) PREDATOR-NP at the default placement: %d false sharing findings\n",
+		len(res.Report.FalseSharing()))
+	fmt.Println("   (the bug is latent — nothing physically shares a cache line)")
+
+	// Step 2: full PREDATOR predicts it.
+	res, err = harness.Execute(w, harness.Options{
+		Mode: harness.ModePredict, Threads: 8, Buggy: true, Runtime: &cfg,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fs := res.Report.FalseSharing()
+	fmt.Printf("\n2) Full PREDATOR: %d predicted false sharing findings. The first:\n\n",
+		len(fs))
+	if len(fs) > 0 {
+		fmt.Println(fs[0].Format(res.Report.Geometry))
+	}
+
+	// Step 3: the Figure 2 placement sweep explains the danger.
+	points, err := eval.Figure2(eval.Config{Threads: 8, Scale: 1, Repeats: 1, Runtime: cfg})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("3) Placement sweep (deterministic cache-model cycles):")
+	fmt.Print(eval.RenderFigure2(points))
+}

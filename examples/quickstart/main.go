@@ -1,0 +1,60 @@
+// Quickstart: detect false sharing between two goroutines with the public
+// predator API in ~40 lines.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"runtime"
+	"sync"
+)
+
+import "predator"
+
+func main() {
+	// A detector with thresholds scaled for this tiny example.
+	cfg := predator.DefaultRuntimeConfig()
+	cfg.TrackingThreshold = 10
+	cfg.PredictionThreshold = 20
+	cfg.ReportThreshold = 100
+	cfg.SampleWindow = 0 // record everything
+	d, err := predator.New(predator.Options{HeapSize: 8 << 20, Runtime: &cfg})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// One 64-byte object; two threads hammer neighbouring words of it.
+	alice := d.Thread("alice")
+	bob := d.Thread("bob")
+	addr, err := alice.AllocWithOffset(64, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	for _, w := range []struct {
+		t    *predator.Thread
+		word uint64
+	}{{alice, addr}, {bob, addr + 8}} {
+		wg.Add(1)
+		go func(t *predator.Thread, word uint64) {
+			defer wg.Done()
+			for i := 0; i < 50000; i++ {
+				t.Store64(word, uint64(i)) // false sharing: same line, distinct words
+				if i%64 == 63 {
+					runtime.Gosched() // keep goroutines interleaving on single-CPU hosts
+				}
+			}
+		}(w.t, w.word)
+	}
+	wg.Wait()
+
+	rep := d.Report()
+	fmt.Printf("findings: %d (false sharing: %d)\n\n",
+		len(rep.Findings), len(rep.FalseSharing()))
+	for _, f := range rep.FalseSharing() {
+		fmt.Println(f.Format(d.Geometry()))
+	}
+}

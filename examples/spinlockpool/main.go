@@ -1,0 +1,89 @@
+// The Boost spinlock-pool case study (§4.1.2): boost::detail::spinlock_pool
+// packs 41 four-byte spinlocks into one array, so threads spinning on
+// different locks invalidate each other's cache lines. This example builds
+// the pool directly on the public API (rather than the packaged workload),
+// shows PREDATOR pinpointing the pool object, then pads the locks apart and
+// shows the report come back clean — the fix that bought 40% in the paper.
+//
+//	go run ./examples/spinlockpool
+package main
+
+import (
+	"fmt"
+	"log"
+	"runtime"
+	"sync"
+)
+
+import "predator"
+
+const (
+	locks   = 41
+	threads = 8
+	ops     = 20000
+)
+
+// run builds a lock pool with the given per-lock stride and contends on it.
+func run(stride uint64) (*predator.Report, predator.Geometry, error) {
+	cfg := predator.DefaultRuntimeConfig()
+	cfg.TrackingThreshold = 20
+	cfg.PredictionThreshold = 50
+	cfg.ReportThreshold = 200
+	cfg.SampleWindow = 0
+	d, err := predator.New(predator.Options{HeapSize: 8 << 20, Runtime: &cfg})
+	if err != nil {
+		return nil, predator.Geometry{}, err
+	}
+	main := d.Thread("main")
+	pool, err := main.AllocWithOffset(stride*locks, 0)
+	if err != nil {
+		return nil, predator.Geometry{}, err
+	}
+	var shadow [locks]sync.Mutex // real mutual exclusion behind the simulated locks
+
+	var wg sync.WaitGroup
+	for id := 0; id < threads; id++ {
+		th := d.Thread(fmt.Sprintf("worker-%d", id))
+		wg.Add(1)
+		go func(th *predator.Thread, id int) {
+			defer wg.Done()
+			for op := 0; op < ops; op++ {
+				// Each thread guards its own objects: a stable set of
+				// pool entries, several per cache line when packed.
+				lock := (id*4 + op%4) % locks
+				addr := pool + uint64(lock)*stride
+				shadow[lock].Lock()
+				for th.Load32(addr) != 0 { // spin (never actually spins here)
+				}
+				th.Store32(addr, 1)
+				th.Store32(addr, 0)
+				shadow[lock].Unlock()
+				if op%32 == 31 {
+					runtime.Gosched() // keep goroutines interleaving on single-CPU hosts
+				}
+			}
+		}(th, id)
+	}
+	wg.Wait()
+	return d.Report(), d.Geometry(), nil
+}
+
+func main() {
+	fmt.Println("== packed pool (boost::detail::spinlock_pool layout) ==")
+	rep, geom, err := run(4) // 16 locks per 64-byte line
+	if err != nil {
+		log.Fatal(err)
+	}
+	fs := rep.FalseSharing()
+	fmt.Printf("false sharing problems: %d\n\n", len(fs))
+	if len(fs) > 0 {
+		fmt.Println(fs[0].Format(geom))
+	}
+
+	fmt.Println("== padded pool (one lock per 128 bytes) ==")
+	rep, _, err = run(128)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("false sharing problems: %d\n", len(rep.FalseSharing()))
+}

@@ -1,0 +1,3 @@
+module predator
+
+go 1.22

@@ -1,0 +1,181 @@
+// Package cacheline provides cache-line and word arithmetic shared by the
+// PREDATOR runtime: mapping addresses to line indices, slicing lines into
+// words, and modelling virtual cache lines (contiguous ranges that span one
+// or more physical lines) used for false sharing prediction.
+package cacheline
+
+import "fmt"
+
+const (
+	// DefaultSize is the physical cache line size assumed by default,
+	// matching the paper's evaluation platform (64-byte lines).
+	DefaultSize = 64
+
+	// DefaultShift is log2(DefaultSize); HandleAccess computes the line
+	// index of an address with a single right shift by this amount.
+	DefaultShift = 6
+
+	// WordSize is the granularity at which PREDATOR records per-word
+	// access ownership (8 bytes on a 64-bit platform).
+	WordSize = 8
+
+	// WordShift is log2(WordSize).
+	WordShift = 3
+)
+
+// Geometry captures the line geometry of a (possibly hypothetical) cache.
+// The zero value is not useful; construct one with NewGeometry.
+type Geometry struct {
+	size  uint64
+	shift uint
+}
+
+// NewGeometry returns a Geometry for the given line size, which must be a
+// power of two of at least WordSize.
+func NewGeometry(lineSize int) (Geometry, error) {
+	if lineSize < WordSize || lineSize&(lineSize-1) != 0 {
+		return Geometry{}, fmt.Errorf("cacheline: line size %d is not a power of two >= %d", lineSize, WordSize)
+	}
+	shift := uint(0)
+	for 1<<shift != lineSize {
+		shift++
+	}
+	return Geometry{size: uint64(lineSize), shift: shift}, nil
+}
+
+// MustGeometry is NewGeometry for known-good sizes; it panics on error.
+func MustGeometry(lineSize int) Geometry {
+	g, err := NewGeometry(lineSize)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// Size returns the line size in bytes.
+func (g Geometry) Size() uint64 { return g.size }
+
+// Shift returns log2 of the line size.
+func (g Geometry) Shift() uint { return g.shift }
+
+// Index returns the line index containing addr (addresses are absolute;
+// callers subtract the heap base first when indexing dense shadow arrays).
+func (g Geometry) Index(addr uint64) uint64 { return addr >> g.shift }
+
+// Base returns the first address of the line with the given index.
+func (g Geometry) Base(index uint64) uint64 { return index << g.shift }
+
+// Offset returns the byte offset of addr within its line.
+func (g Geometry) Offset(addr uint64) uint64 { return addr & (g.size - 1) }
+
+// Align rounds addr down to the start of its line.
+func (g Geometry) Align(addr uint64) uint64 { return addr &^ (g.size - 1) }
+
+// AlignUp rounds addr up to the next line boundary (addr itself if aligned).
+func (g Geometry) AlignUp(addr uint64) uint64 {
+	return (addr + g.size - 1) &^ (g.size - 1)
+}
+
+// WordsPerLine returns how many WordSize words fit in one line.
+func (g Geometry) WordsPerLine() int { return int(g.size / WordSize) }
+
+// WordIndex returns the index, within its line, of the word containing addr.
+func (g Geometry) WordIndex(addr uint64) int {
+	return int(g.Offset(addr) >> WordShift)
+}
+
+// SpansLines reports whether the access [addr, addr+size) crosses at least
+// one line boundary.
+func (g Geometry) SpansLines(addr, size uint64) bool {
+	if size == 0 {
+		return false
+	}
+	return g.Index(addr) != g.Index(addr+size-1)
+}
+
+// WordAlign rounds addr down to a word boundary.
+func WordAlign(addr uint64) uint64 { return addr &^ (WordSize - 1) }
+
+// WordsCovered returns the word-aligned start and the number of words the
+// access [addr, addr+size) touches. A zero-size access touches no words.
+func WordsCovered(addr, size uint64) (start uint64, n int) {
+	if size == 0 {
+		return WordAlign(addr), 0
+	}
+	start = WordAlign(addr)
+	end := WordAlign(addr + size - 1)
+	return start, int((end-start)/WordSize) + 1
+}
+
+// Virtual is a virtual cache line: a contiguous byte range that plays the
+// role of a cache line under a hypothetical geometry. Unlike physical lines
+// its Start need not be a multiple of its size (paper §3.3): a 64-byte
+// virtual line may cover [8, 72).
+type Virtual struct {
+	Start uint64 // inclusive
+	End   uint64 // exclusive
+}
+
+// NewVirtual returns the virtual line [start, start+size).
+func NewVirtual(start, size uint64) Virtual {
+	return Virtual{Start: start, End: start + size}
+}
+
+// Size returns the virtual line's length in bytes.
+func (v Virtual) Size() uint64 { return v.End - v.Start }
+
+// Contains reports whether addr falls inside the virtual line.
+func (v Virtual) Contains(addr uint64) bool {
+	return addr >= v.Start && addr < v.End
+}
+
+// Overlaps reports whether the byte range [addr, addr+size) intersects v.
+func (v Virtual) Overlaps(addr, size uint64) bool {
+	return addr < v.End && addr+size > v.Start
+}
+
+// String formats the virtual line as a half-open hex range.
+func (v Virtual) String() string {
+	return fmt.Sprintf("[0x%x,0x%x)", v.Start, v.End)
+}
+
+// DoubledLine returns the virtual line modelling a cache with twice the
+// given geometry's line size: physical lines 2i and 2i+1 fuse into one
+// virtual line whose first half has an even index (paper §3.3).
+func DoubledLine(g Geometry, lineIndex uint64) Virtual {
+	return FusedLine(g, lineIndex, 2)
+}
+
+// FusedLine generalizes DoubledLine to any power-of-two fusion factor:
+// physical lines [k*factor, (k+1)*factor) fuse into one virtual line of
+// factor times the physical size, modelling hardware whose lines are that
+// much larger (the paper predicts factor 2; larger factors extrapolate the
+// same construction). factor must be a positive power of two.
+func FusedLine(g Geometry, lineIndex uint64, factor int) Virtual {
+	if factor <= 0 || factor&(factor-1) != 0 {
+		panic(fmt.Sprintf("cacheline: fusion factor %d not a positive power of two", factor))
+	}
+	f := uint64(factor)
+	first := lineIndex &^ (f - 1)
+	return NewVirtual(g.Base(first), f*g.size)
+}
+
+// CenteredLine returns the virtual line of the given size centered on the
+// hot access pair (x, y) per the paper's Figure 4: with d = y-x, the line
+// leaves (size-d)/2 slack before x and after y, i.e. it starts at
+// x-(size-d)/2. x and y must satisfy x <= y and y-x < size.
+func CenteredLine(x, y, size uint64) (Virtual, error) {
+	if y < x {
+		x, y = y, x
+	}
+	d := y - x
+	if d >= size {
+		return Virtual{}, fmt.Errorf("cacheline: hot pair distance %d exceeds virtual line size %d", d, size)
+	}
+	slack := (size - d) / 2
+	start := uint64(0)
+	if x > slack {
+		start = x - slack
+	}
+	return NewVirtual(start, size), nil
+}

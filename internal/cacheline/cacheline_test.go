@@ -1,0 +1,297 @@
+package cacheline
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestNewGeometryValid(t *testing.T) {
+	for _, size := range []int{8, 16, 32, 64, 128, 256, 4096} {
+		g, err := NewGeometry(size)
+		if err != nil {
+			t.Fatalf("NewGeometry(%d): %v", size, err)
+		}
+		if g.Size() != uint64(size) {
+			t.Errorf("Size() = %d, want %d", g.Size(), size)
+		}
+		if 1<<g.Shift() != uint64(size) {
+			t.Errorf("Shift() = %d inconsistent with size %d", g.Shift(), size)
+		}
+	}
+}
+
+func TestNewGeometryInvalid(t *testing.T) {
+	for _, size := range []int{0, 1, 4, 7, 63, 65, 100, -64} {
+		if _, err := NewGeometry(size); err == nil {
+			t.Errorf("NewGeometry(%d) succeeded, want error", size)
+		}
+	}
+}
+
+func TestMustGeometryPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustGeometry(3) did not panic")
+		}
+	}()
+	MustGeometry(3)
+}
+
+func TestIndexBaseRoundTrip(t *testing.T) {
+	g := MustGeometry(64)
+	cases := []struct {
+		addr uint64
+		idx  uint64
+		off  uint64
+	}{
+		{0, 0, 0},
+		{1, 0, 1},
+		{63, 0, 63},
+		{64, 1, 0},
+		{0x400000038, 0x10000000, 0x38},
+		{0x40000007f, 0x10000001, 0x3f},
+	}
+	for _, c := range cases {
+		if got := g.Index(c.addr); got != c.idx {
+			t.Errorf("Index(%#x) = %#x, want %#x", c.addr, got, c.idx)
+		}
+		if got := g.Offset(c.addr); got != c.off {
+			t.Errorf("Offset(%#x) = %d, want %d", c.addr, got, c.off)
+		}
+		if got := g.Base(c.idx) + c.off; got != c.addr {
+			t.Errorf("Base+off = %#x, want %#x", got, c.addr)
+		}
+	}
+}
+
+func TestAlign(t *testing.T) {
+	g := MustGeometry(64)
+	if g.Align(127) != 64 {
+		t.Errorf("Align(127) = %d, want 64", g.Align(127))
+	}
+	if g.AlignUp(65) != 128 {
+		t.Errorf("AlignUp(65) = %d, want 128", g.AlignUp(65))
+	}
+	if g.AlignUp(128) != 128 {
+		t.Errorf("AlignUp(128) = %d, want 128", g.AlignUp(128))
+	}
+}
+
+func TestSpansLines(t *testing.T) {
+	g := MustGeometry(64)
+	cases := []struct {
+		addr, size uint64
+		want       bool
+	}{
+		{0, 64, false},
+		{0, 65, true},
+		{60, 8, true},
+		{60, 4, false},
+		{63, 1, false},
+		{63, 2, true},
+		{64, 0, false},
+	}
+	for _, c := range cases {
+		if got := g.SpansLines(c.addr, c.size); got != c.want {
+			t.Errorf("SpansLines(%d,%d) = %v, want %v", c.addr, c.size, got, c.want)
+		}
+	}
+}
+
+func TestWordsCovered(t *testing.T) {
+	cases := []struct {
+		addr, size uint64
+		wantStart  uint64
+		wantN      int
+	}{
+		{0, 8, 0, 1},
+		{0, 1, 0, 1},
+		{7, 2, 0, 2},
+		{8, 8, 8, 1},
+		{12, 8, 8, 2},
+		{0, 64, 0, 8},
+		{4, 0, 0, 0},
+	}
+	for _, c := range cases {
+		start, n := WordsCovered(c.addr, c.size)
+		if start != c.wantStart || n != c.wantN {
+			t.Errorf("WordsCovered(%d,%d) = (%d,%d), want (%d,%d)",
+				c.addr, c.size, start, n, c.wantStart, c.wantN)
+		}
+	}
+}
+
+func TestWordIndex(t *testing.T) {
+	g := MustGeometry(64)
+	if got := g.WordIndex(0x40); got != 0 {
+		t.Errorf("WordIndex(0x40) = %d, want 0", got)
+	}
+	if got := g.WordIndex(0x78); got != 7 {
+		t.Errorf("WordIndex(0x78) = %d, want 7", got)
+	}
+	if g.WordsPerLine() != 8 {
+		t.Errorf("WordsPerLine() = %d, want 8", g.WordsPerLine())
+	}
+}
+
+func TestVirtualContainsOverlaps(t *testing.T) {
+	v := NewVirtual(8, 64) // [8, 72)
+	if v.Size() != 64 {
+		t.Errorf("Size() = %d, want 64", v.Size())
+	}
+	if !v.Contains(8) || !v.Contains(71) || v.Contains(72) || v.Contains(7) {
+		t.Error("Contains boundary behaviour wrong")
+	}
+	if !v.Overlaps(0, 9) || v.Overlaps(0, 8) || !v.Overlaps(71, 100) || v.Overlaps(72, 10) {
+		t.Error("Overlaps boundary behaviour wrong")
+	}
+}
+
+func TestDoubledLine(t *testing.T) {
+	g := MustGeometry(64)
+	for _, idx := range []uint64{0, 1, 2, 3, 100, 101} {
+		v := DoubledLine(g, idx)
+		if v.Size() != 128 {
+			t.Fatalf("DoubledLine size = %d, want 128", v.Size())
+		}
+		if v.Start%128 != 0 {
+			t.Errorf("DoubledLine(%d) start %#x not 128-aligned", idx, v.Start)
+		}
+		if !v.Contains(g.Base(idx)) {
+			t.Errorf("DoubledLine(%d) does not contain its own line base", idx)
+		}
+	}
+	// Lines 2i and 2i+1 must map to the same virtual line.
+	if DoubledLine(g, 4) != DoubledLine(g, 5) {
+		t.Error("lines 4 and 5 produced different doubled virtual lines")
+	}
+	if DoubledLine(g, 5) == DoubledLine(g, 6) {
+		t.Error("lines 5 and 6 produced the same doubled virtual line")
+	}
+}
+
+func TestCenteredLine(t *testing.T) {
+	// Paper Figure 4: equal slack (sz-d)/2 before X and after Y.
+	v, err := CenteredLine(100, 120, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// d = 20, slack = 22, start = 78, end = 142.
+	if v.Start != 78 || v.End != 142 {
+		t.Errorf("CenteredLine = %v, want [78,142)", v)
+	}
+	if !v.Contains(100) || !v.Contains(120) {
+		t.Error("centered line does not contain the hot pair")
+	}
+}
+
+func TestCenteredLineSwapsOperands(t *testing.T) {
+	a, err := CenteredLine(120, 100, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := CenteredLine(100, 120, 64)
+	if a != b {
+		t.Errorf("CenteredLine not symmetric: %v vs %v", a, b)
+	}
+}
+
+func TestCenteredLineTooFar(t *testing.T) {
+	if _, err := CenteredLine(0, 64, 64); err == nil {
+		t.Error("CenteredLine with d == size should fail")
+	}
+}
+
+func TestCenteredLineClampsAtZero(t *testing.T) {
+	v, err := CenteredLine(4, 8, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Start != 0 {
+		t.Errorf("start = %d, want clamp to 0", v.Start)
+	}
+}
+
+// Property: for any address, Base(Index(a)) + Offset(a) == a.
+func TestPropIndexOffsetReconstruct(t *testing.T) {
+	g := MustGeometry(64)
+	f := func(addr uint64) bool {
+		return g.Base(g.Index(addr))+g.Offset(addr) == addr
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Align(a) <= a < Align(a)+size, and Align is idempotent.
+func TestPropAlign(t *testing.T) {
+	g := MustGeometry(128)
+	f := func(addr uint64) bool {
+		al := g.Align(addr)
+		return al <= addr && addr < al+g.Size() && g.Align(al) == al
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: a centered virtual line always contains both hot accesses and
+// has exactly the requested size, for any pair closer than the size.
+func TestPropCenteredLineContainsPair(t *testing.T) {
+	f := func(x uint64, delta uint16) bool {
+		d := uint64(delta) % 64
+		x %= 1 << 40
+		y := x + d
+		v, err := CenteredLine(x, y, 64)
+		if err != nil {
+			return false
+		}
+		return v.Contains(x) && v.Contains(y) && v.Size() == 64
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: doubled lines partition the address space into 2*size chunks:
+// every address's doubled line contains the address.
+func TestPropDoubledLineContainsAddr(t *testing.T) {
+	g := MustGeometry(64)
+	f := func(addr uint64) bool {
+		addr %= 1 << 48
+		v := DoubledLine(g, g.Index(addr))
+		return v.Contains(addr) && v.Start%(2*g.Size()) == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFusedLine(t *testing.T) {
+	g := MustGeometry(64)
+	// Factor 4: lines 0..3 fuse, 4..7 fuse.
+	for _, idx := range []uint64{0, 1, 2, 3} {
+		v := FusedLine(g, idx, 4)
+		if v.Start != 0 || v.Size() != 256 {
+			t.Errorf("FusedLine(%d,4) = %v", idx, v)
+		}
+	}
+	if v := FusedLine(g, 4, 4); v.Start != 256 {
+		t.Errorf("FusedLine(4,4) = %v", v)
+	}
+	// Factor 2 must agree with DoubledLine.
+	for _, idx := range []uint64{0, 1, 5, 100} {
+		if FusedLine(g, idx, 2) != DoubledLine(g, idx) {
+			t.Errorf("FusedLine(%d,2) != DoubledLine", idx)
+		}
+	}
+}
+
+func TestFusedLinePanicsOnBadFactor(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("FusedLine(.,3) did not panic")
+		}
+	}()
+	FusedLine(MustGeometry(64), 0, 3)
+}

@@ -1,0 +1,387 @@
+// Package cachesim is a deterministic multi-core cache simulator: per-core
+// private caches kept coherent with a MESI protocol, plus a simple cycle
+// cost model. The paper evaluates PREDATOR on real hardware, where false
+// sharing manifests as wall-clock slowdowns; this simulator is the
+// deterministic stand-in substrate (see DESIGN.md) used to project the
+// performance impact of detected/predicted false sharing — the Figure 2
+// alignment-sensitivity curve and the Table 1 improvement shapes — on any
+// host, independent of the machine the test suite happens to run on.
+package cachesim
+
+import (
+	"container/list"
+	"fmt"
+
+	"predator/internal/cacheline"
+)
+
+// State is a MESI coherence state.
+type State uint8
+
+// MESI states. Invalid lines are simply absent from the cache.
+const (
+	Invalid State = iota
+	Shared
+	Exclusive
+	Modified
+)
+
+// String names the state.
+func (s State) String() string {
+	switch s {
+	case Invalid:
+		return "I"
+	case Shared:
+		return "S"
+	case Exclusive:
+		return "E"
+	case Modified:
+		return "M"
+	default:
+		return fmt.Sprintf("State(%d)", uint8(s))
+	}
+}
+
+// CostModel assigns cycle costs to memory events. Defaults approximate a
+// small multicore: L1 hit 1 cycle, memory miss 100, coherence invalidation
+// adds a 40-cycle penalty to the *writer* (the RFO round trip), and a
+// remote-dirty miss costs an extra writeback delay.
+type CostModel struct {
+	HitCycles        uint64
+	MissCycles       uint64
+	InvalidateCycles uint64
+	WritebackCycles  uint64
+	// LLCHitCycles, when positive, enables a shared last-level cache:
+	// L1 misses that hit the LLC cost this instead of MissCycles (the
+	// evaluation platform had a shared L2; the default model omits it
+	// for simplicity, so existing calibrations are unchanged).
+	LLCHitCycles uint64
+}
+
+// DefaultCostModel returns the default cycle costs.
+func DefaultCostModel() CostModel {
+	return CostModel{HitCycles: 1, MissCycles: 100, InvalidateCycles: 40, WritebackCycles: 60}
+}
+
+// Config configures a simulator.
+type Config struct {
+	Cores    int // number of cores (private caches); default 8
+	LineSize int // cache line size in bytes; default 64
+	// LinesPerCache bounds each private cache's capacity in lines (LRU
+	// eviction). 0 means unbounded (coherence-only simulation).
+	LinesPerCache int
+	// LLCLines bounds the shared last-level cache's capacity (LRU).
+	// Only meaningful when Cost.LLCHitCycles > 0; 0 means unbounded.
+	LLCLines int
+	Cost     CostModel // zero value selects DefaultCostModel
+}
+
+// Stats aggregates simulator counters.
+type Stats struct {
+	Accesses      uint64
+	Hits          uint64
+	Misses        uint64 // cold + coherence + capacity
+	Invalidations uint64 // lines invalidated in remote caches
+	Writebacks    uint64 // dirty lines written back (eviction or remote read)
+	Evictions     uint64 // capacity evictions
+	LLCHits       uint64 // L1 misses served by the shared LLC
+	LLCMisses     uint64 // L1 misses that went to memory
+}
+
+// cacheEntry is one resident line in a private cache.
+type cacheEntry struct {
+	line  uint64
+	state State
+	lru   *list.Element
+}
+
+// cache is one core's private cache.
+type cache struct {
+	lines  map[uint64]*cacheEntry
+	lru    *list.List // front = most recent; values are line numbers
+	cap    int
+	cycles uint64
+}
+
+func newCache(capacity int) *cache {
+	return &cache{lines: make(map[uint64]*cacheEntry), lru: list.New(), cap: capacity}
+}
+
+func (c *cache) touch(e *cacheEntry) {
+	c.lru.MoveToFront(e.lru)
+}
+
+func (c *cache) insert(line uint64, st State) *cacheEntry {
+	e := &cacheEntry{line: line, state: st}
+	e.lru = c.lru.PushFront(line)
+	c.lines[line] = e
+	return e
+}
+
+func (c *cache) remove(e *cacheEntry) {
+	c.lru.Remove(e.lru)
+	delete(c.lines, e.line)
+}
+
+// Sim is a deterministic MESI simulator. It is NOT safe for concurrent use:
+// feed it a single interleaved access stream (that is the point — the
+// interleaving is the experiment's controlled variable).
+type Sim struct {
+	cfg     Config
+	geom    cacheline.Geometry
+	cores   []*cache
+	llc     *cache // shared last-level cache; nil when disabled
+	stats   Stats
+	perLine map[uint64]uint64 // line -> invalidations caused on it
+}
+
+// New creates a simulator.
+func New(cfg Config) (*Sim, error) {
+	if cfg.Cores == 0 {
+		cfg.Cores = 8
+	}
+	if cfg.Cores < 1 {
+		return nil, fmt.Errorf("cachesim: need at least one core, got %d", cfg.Cores)
+	}
+	if cfg.LineSize == 0 {
+		cfg.LineSize = cacheline.DefaultSize
+	}
+	geom, err := cacheline.NewGeometry(cfg.LineSize)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Cost == (CostModel{}) {
+		cfg.Cost = DefaultCostModel()
+	}
+	s := &Sim{
+		cfg:     cfg,
+		geom:    geom,
+		perLine: make(map[uint64]uint64),
+	}
+	for i := 0; i < cfg.Cores; i++ {
+		s.cores = append(s.cores, newCache(cfg.LinesPerCache))
+	}
+	if cfg.Cost.LLCHitCycles > 0 {
+		s.llc = newCache(cfg.LLCLines)
+	}
+	return s, nil
+}
+
+// MustNew is New that panics on configuration errors.
+func MustNew(cfg Config) *Sim {
+	s, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Cores returns the number of simulated cores.
+func (s *Sim) Cores() int { return len(s.cores) }
+
+// Geometry returns the simulated line geometry.
+func (s *Sim) Geometry() cacheline.Geometry { return s.geom }
+
+// Access simulates one access by the given core. Accesses spanning line
+// boundaries are split. Core indices wrap modulo the core count so callers
+// can pass thread IDs directly.
+func (s *Sim) Access(core int, addr, size uint64, isWrite bool) {
+	if size == 0 {
+		return
+	}
+	core = ((core % len(s.cores)) + len(s.cores)) % len(s.cores)
+	first := s.geom.Index(addr)
+	last := s.geom.Index(addr + size - 1)
+	for line := first; line <= last; line++ {
+		s.accessLine(core, line, isWrite)
+	}
+}
+
+// accessLine simulates one access to one line.
+func (s *Sim) accessLine(core int, line uint64, isWrite bool) {
+	s.stats.Accesses++
+	c := s.cores[core]
+	e := c.lines[line]
+
+	if e != nil && (isWrite && e.state != Shared || !isWrite) {
+		// Hit: M/E for writes (E silently upgrades to M), any for reads.
+		s.stats.Hits++
+		c.cycles += s.cfg.Cost.HitCycles
+		if isWrite {
+			e.state = Modified
+		}
+		c.touch(e)
+		return
+	}
+
+	if e != nil && isWrite && e.state == Shared {
+		// Upgrade miss: invalidate the other sharers.
+		s.invalidateOthers(core, line)
+		e.state = Modified
+		c.touch(e)
+		s.stats.Hits++ // data already present; only an upgrade transaction
+		c.cycles += s.cfg.Cost.HitCycles + s.cfg.Cost.InvalidateCycles
+		return
+	}
+
+	// Miss: fill from the shared LLC when present, else from memory.
+	s.stats.Misses++
+	c.cycles += s.fillCost(line)
+	if isWrite {
+		// Read-for-ownership: invalidate every other copy.
+		if s.invalidateOthers(core, line) {
+			c.cycles += s.cfg.Cost.InvalidateCycles
+		}
+		s.install(core, line, Modified)
+		return
+	}
+	// Read miss: downgrade a remote Modified copy, share with others.
+	sharers := false
+	for i, other := range s.cores {
+		if i == core {
+			continue
+		}
+		if oe := other.lines[line]; oe != nil {
+			sharers = true
+			if oe.state == Modified {
+				s.stats.Writebacks++
+				c.cycles += s.cfg.Cost.WritebackCycles
+			}
+			oe.state = Shared
+		}
+	}
+	if sharers {
+		s.install(core, line, Shared)
+	} else {
+		s.install(core, line, Exclusive)
+	}
+}
+
+// fillCost charges an L1 miss: an LLC hit when the shared cache holds the
+// line, a memory fill otherwise (inserting into the LLC on the way).
+func (s *Sim) fillCost(line uint64) uint64 {
+	if s.llc == nil {
+		return s.cfg.Cost.MissCycles
+	}
+	if e := s.llc.lines[line]; e != nil {
+		s.stats.LLCHits++
+		s.llc.touch(e)
+		return s.cfg.Cost.LLCHitCycles
+	}
+	s.stats.LLCMisses++
+	if s.llc.cap > 0 && len(s.llc.lines) >= s.llc.cap {
+		victim := s.llc.lru.Back()
+		s.llc.remove(s.llc.lines[victim.Value.(uint64)])
+	}
+	s.llc.insert(line, Shared)
+	return s.cfg.Cost.MissCycles
+}
+
+// invalidateOthers removes all remote copies of a line, counting
+// invalidations and writebacks. It reports whether any copy existed.
+func (s *Sim) invalidateOthers(core int, line uint64) bool {
+	any := false
+	for i, other := range s.cores {
+		if i == core {
+			continue
+		}
+		if oe := other.lines[line]; oe != nil {
+			any = true
+			if oe.state == Modified {
+				s.stats.Writebacks++
+			}
+			other.remove(oe)
+			s.stats.Invalidations++
+			s.perLine[line]++
+		}
+	}
+	return any
+}
+
+// install inserts a line into a core's cache, evicting LRU on overflow.
+func (s *Sim) install(core int, line uint64, st State) {
+	c := s.cores[core]
+	if c.cap > 0 && len(c.lines) >= c.cap {
+		victim := c.lru.Back()
+		ve := c.lines[victim.Value.(uint64)]
+		if ve.state == Modified {
+			s.stats.Writebacks++
+			c.cycles += s.cfg.Cost.WritebackCycles
+		}
+		c.remove(ve)
+		s.stats.Evictions++
+	}
+	c.insert(line, st)
+}
+
+// Stats returns the aggregate counters.
+func (s *Sim) Stats() Stats { return s.stats }
+
+// LineInvalidations returns how many invalidations were caused on the line
+// containing addr.
+func (s *Sim) LineInvalidations(addr uint64) uint64 {
+	return s.perLine[s.geom.Index(addr)]
+}
+
+// HottestLines returns up to n (line base address, invalidations) pairs with
+// the most invalidations, descending.
+func (s *Sim) HottestLines(n int) []LineCount {
+	out := make([]LineCount, 0, len(s.perLine))
+	for line, inv := range s.perLine {
+		out = append(out, LineCount{Addr: s.geom.Base(line), Invalidations: inv})
+	}
+	// Insertion-sort-ish selection is fine at simulation scale.
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && (out[j].Invalidations > out[j-1].Invalidations ||
+			out[j].Invalidations == out[j-1].Invalidations && out[j].Addr < out[j-1].Addr); j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	if n < len(out) {
+		out = out[:n]
+	}
+	return out
+}
+
+// LineCount pairs a line with its invalidation count.
+type LineCount struct {
+	Addr          uint64
+	Invalidations uint64
+}
+
+// CoreCycles returns one core's accumulated cycles.
+func (s *Sim) CoreCycles(core int) uint64 { return s.cores[core].cycles }
+
+// ElapsedCycles models the parallel program's runtime: the maximum cycle
+// count over all cores (cores run concurrently; the slowest one finishes
+// last).
+func (s *Sim) ElapsedCycles() uint64 {
+	var maxC uint64
+	for _, c := range s.cores {
+		if c.cycles > maxC {
+			maxC = c.cycles
+		}
+	}
+	return maxC
+}
+
+// TotalCycles returns the sum of all cores' cycles (aggregate work).
+func (s *Sim) TotalCycles() uint64 {
+	var sum uint64
+	for _, c := range s.cores {
+		sum += c.cycles
+	}
+	return sum
+}
+
+// Reset clears all caches and counters, keeping the configuration.
+func (s *Sim) Reset() {
+	for i := range s.cores {
+		s.cores[i] = newCache(s.cfg.LinesPerCache)
+	}
+	if s.llc != nil {
+		s.llc = newCache(s.cfg.LLCLines)
+	}
+	s.stats = Stats{}
+	s.perLine = make(map[uint64]uint64)
+}

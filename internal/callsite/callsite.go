@@ -1,0 +1,136 @@
+// Package callsite captures and formats allocation callsites. It is the Go
+// analog of PREDATOR's use of glibc's backtrace() inside its interposed
+// malloc: every simulated-heap allocation records the stack of program
+// locations that requested it, so heap findings can be reported at source
+// level (paper §2.3.2, "Callsite Tracking for Heap Objects").
+package callsite
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"sync"
+)
+
+// MaxDepth bounds how many frames a captured stack retains.
+const MaxDepth = 16
+
+// Stack is a captured callsite stack: program counters from the allocation
+// site outward, excluding the capture machinery itself.
+type Stack struct {
+	pcs [MaxDepth]uintptr
+	n   int
+}
+
+// Capture records the caller's stack, skipping the given number of frames
+// on top of Capture itself (skip=0 means the caller of Capture is the
+// innermost recorded frame).
+func Capture(skip int) Stack {
+	var s Stack
+	s.n = runtime.Callers(skip+2, s.pcs[:])
+	return s
+}
+
+// Depth returns the number of captured frames.
+func (s Stack) Depth() int { return s.n }
+
+// IsZero reports whether the stack is empty (e.g. for global variables,
+// which have no allocation callsite).
+func (s Stack) IsZero() bool { return s.n == 0 }
+
+// Key returns a comparable digest of the stack, suitable for grouping
+// allocations from the same source location. Stacks with identical frames
+// always produce equal keys.
+func (s Stack) Key() uint64 {
+	// FNV-1a over the raw PCs.
+	const offset64, prime64 = 14695981039346656037, 1099511628211
+	h := uint64(offset64)
+	for i := 0; i < s.n; i++ {
+		pc := uint64(s.pcs[i])
+		for j := 0; j < 8; j++ {
+			h ^= pc & 0xff
+			h *= prime64
+			pc >>= 8
+		}
+	}
+	return h
+}
+
+// Frame is one resolved stack frame.
+type Frame struct {
+	Function string
+	File     string
+	Line     int
+}
+
+// String formats the frame like the paper's reports: "file:line (function)".
+func (f Frame) String() string {
+	return fmt.Sprintf("%s:%d (%s)", f.File, f.Line, f.Function)
+}
+
+var frameCache sync.Map // uintptr -> Frame
+
+// Frames resolves the stack's program counters to source locations. Results
+// are cached process-wide because reports resolve the same hot callsites
+// repeatedly.
+func (s Stack) Frames() []Frame {
+	if s.n == 0 {
+		return nil
+	}
+	out := make([]Frame, 0, s.n)
+	frames := runtime.CallersFrames(s.pcs[:s.n])
+	for {
+		fr, more := frames.Next()
+		out = append(out, Frame{Function: fr.Function, File: fr.File, Line: fr.Line})
+		if !more {
+			break
+		}
+	}
+	return out
+}
+
+// Leaf resolves just the innermost frame, the usual one-line attribution.
+func (s Stack) Leaf() Frame {
+	if s.n == 0 {
+		return Frame{Function: "<global>", File: "<none>", Line: 0}
+	}
+	if v, ok := frameCache.Load(s.pcs[0]); ok {
+		return v.(Frame)
+	}
+	frames := runtime.CallersFrames(s.pcs[:1])
+	fr, _ := frames.Next()
+	f := Frame{Function: fr.Function, File: fr.File, Line: fr.Line}
+	frameCache.Store(s.pcs[0], f)
+	return f
+}
+
+// Format renders the whole stack, one frame per line with the given indent,
+// trimming frames below main/testing harness noise is left to callers.
+func (s Stack) Format(indent string) string {
+	frames := s.Frames()
+	if len(frames) == 0 {
+		return indent + "<no callsite: global or untracked object>"
+	}
+	var b strings.Builder
+	for i, f := range frames {
+		if i > 0 {
+			b.WriteByte('\n')
+		}
+		b.WriteString(indent)
+		b.WriteString(f.String())
+	}
+	return b.String()
+}
+
+// String renders the stack on one line, innermost frame first.
+func (s Stack) String() string {
+	frames := s.Frames()
+	if len(frames) == 0 {
+		return "<global>"
+	}
+	parts := make([]string, len(frames))
+	for i, f := range frames {
+		parts[i] = fmt.Sprintf("%s:%d", f.File, f.Line)
+	}
+	return strings.Join(parts, " <- ")
+}

@@ -1,0 +1,125 @@
+package callsite
+
+import (
+	"strings"
+	"testing"
+)
+
+func captureHere() Stack { return Capture(0) }
+
+func TestCaptureRecordsCaller(t *testing.T) {
+	s := captureHere()
+	if s.IsZero() {
+		t.Fatal("captured stack is empty")
+	}
+	leaf := s.Leaf()
+	if !strings.Contains(leaf.Function, "captureHere") {
+		t.Errorf("leaf function = %q, want captureHere", leaf.Function)
+	}
+	if !strings.HasSuffix(leaf.File, "callsite_test.go") {
+		t.Errorf("leaf file = %q, want callsite_test.go", leaf.File)
+	}
+	if leaf.Line <= 0 {
+		t.Errorf("leaf line = %d, want positive", leaf.Line)
+	}
+}
+
+func TestCaptureSkip(t *testing.T) {
+	wrapper := func() Stack { return Capture(1) } // skip the wrapper itself
+	s := wrapper()
+	leaf := s.Leaf()
+	if !strings.Contains(leaf.Function, "TestCaptureSkip") {
+		t.Errorf("leaf = %q, want TestCaptureSkip frame", leaf.Function)
+	}
+}
+
+func TestKeyStableAndDistinct(t *testing.T) {
+	a1 := captureHere()
+	a2 := captureHere()
+	// Different call lines within the same function give different stacks;
+	// but the same Stack value must hash identically.
+	if a1.Key() != a1.Key() {
+		t.Error("Key not deterministic")
+	}
+	if a1.Key() == a2.Key() {
+		t.Error("distinct callsites produced equal keys")
+	}
+	same := func() (Stack, Stack) {
+		s1 := captureHere()
+		s2 := s1
+		return s1, s2
+	}
+	s1, s2 := same()
+	if s1.Key() != s2.Key() {
+		t.Error("copied stack produced different key")
+	}
+}
+
+func TestZeroStack(t *testing.T) {
+	var s Stack
+	if !s.IsZero() {
+		t.Error("zero Stack not IsZero")
+	}
+	if s.Frames() != nil {
+		t.Error("zero stack has frames")
+	}
+	if s.Leaf().Function != "<global>" {
+		t.Errorf("zero Leaf = %v, want <global>", s.Leaf())
+	}
+	if got := s.Format("  "); !strings.Contains(got, "no callsite") {
+		t.Errorf("Format = %q, want placeholder", got)
+	}
+	if s.String() != "<global>" {
+		t.Errorf("String = %q", s.String())
+	}
+}
+
+func TestFramesWalkOutward(t *testing.T) {
+	s := captureHere()
+	frames := s.Frames()
+	if len(frames) < 2 {
+		t.Fatalf("got %d frames, want >= 2", len(frames))
+	}
+	if !strings.Contains(frames[0].Function, "captureHere") {
+		t.Errorf("frame 0 = %q", frames[0].Function)
+	}
+	if !strings.Contains(frames[1].Function, "TestFramesWalkOutward") {
+		t.Errorf("frame 1 = %q", frames[1].Function)
+	}
+}
+
+func TestFormatMultiline(t *testing.T) {
+	s := captureHere()
+	out := s.Format("\t")
+	lines := strings.Split(out, "\n")
+	if len(lines) != s.Depth() {
+		t.Errorf("Format produced %d lines, want %d", len(lines), s.Depth())
+	}
+	for _, l := range lines {
+		if !strings.HasPrefix(l, "\t") {
+			t.Errorf("line %q missing indent", l)
+		}
+	}
+}
+
+func TestStringJoinsFrames(t *testing.T) {
+	s := captureHere()
+	if !strings.Contains(s.String(), " <- ") && s.Depth() > 1 {
+		t.Errorf("String() = %q, want frame chain", s.String())
+	}
+}
+
+func BenchmarkCapture(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = Capture(0)
+	}
+}
+
+func BenchmarkLeafCached(b *testing.B) {
+	s := Capture(0)
+	s.Leaf() // warm the cache
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = s.Leaf()
+	}
+}

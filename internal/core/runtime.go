@@ -1,0 +1,396 @@
+// Package core is PREDATOR's runtime system (paper §2.3, §2.4, §3): it
+// receives every instrumented memory access and composes the substrates —
+// shadow memory, two-entry history tables, detailed word tracking with
+// sampling, and virtual-line prediction — into the paper's detection and
+// prediction pipeline:
+//
+//  1. Count writes per cache line in shadow memory (cheap pre-phase).
+//  2. At TrackingThreshold, install detailed tracking for the line — and,
+//     when prediction is on, for its adjacent lines (§3.2 step 2).
+//  3. At PredictionThreshold, search the line and its neighbours for hot
+//     access pairs and register centered/doubled virtual lines (§3.3).
+//  4. Verify predictions by counting real invalidations on the virtual
+//     lines (§3.4).
+//  5. Report() distills everything into ranked findings and quarantines
+//     falsely-shared objects against reuse.
+package core
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"predator/internal/cacheline"
+	"predator/internal/detect"
+	"predator/internal/mem"
+	"predator/internal/predict"
+	"predator/internal/report"
+	"predator/internal/shadow"
+)
+
+// Default thresholds. The paper names the TrackingThreshold and a 1%
+// sampling rate (10,000 recorded out of every 1,000,000 accesses); the
+// remaining defaults follow its "large number of invalidations" guidance.
+const (
+	DefaultTrackingThreshold   = 100
+	DefaultPredictionThreshold = 200
+	DefaultReportThreshold     = 1000
+	DefaultSampleWindow        = 1_000_000
+	DefaultSampleBurst         = 10_000
+)
+
+// Config tunes the runtime. Use DefaultConfig as the baseline.
+type Config struct {
+	// TrackingThreshold is the per-line write count that triggers
+	// detailed tracking (paper §2.4.1).
+	TrackingThreshold uint64
+	// PredictionThreshold is the per-line recorded write count that
+	// triggers the hot-pair search (paper §3.2 step 3).
+	PredictionThreshold uint64
+	// ReportThreshold is the minimum number of (verified) invalidations
+	// for a line or virtual line to be reported.
+	ReportThreshold uint64
+	// SampleWindow/SampleBurst configure per-line sampling (§2.4.3):
+	// only the first SampleBurst accesses of every SampleWindow are
+	// recorded. SampleWindow = 0 disables sampling (record everything).
+	SampleWindow uint64
+	SampleBurst  uint64
+	// Prediction enables virtual-line false sharing prediction (§3).
+	// Corresponds to PREDATOR vs PREDATOR-NP in the paper's evaluation.
+	Prediction bool
+	// LineSizeFactors selects which larger-line geometries prediction
+	// models; each must be a power of two > 1. Empty means {2}, the
+	// paper's doubled-line case.
+	LineSizeFactors []int
+}
+
+// Validate rejects configurations that cannot work: a sampling burst larger
+// than its window, or a zero tracking threshold (the pre-phase would never
+// count anything before installing tracks, defeating its purpose).
+func (c Config) Validate() error {
+	if c.TrackingThreshold == 0 {
+		return fmt.Errorf("core: TrackingThreshold must be positive")
+	}
+	if c.SampleWindow > 0 && c.SampleBurst > c.SampleWindow {
+		return fmt.Errorf("core: SampleBurst %d exceeds SampleWindow %d", c.SampleBurst, c.SampleWindow)
+	}
+	if c.SampleWindow > 0 && c.SampleBurst == 0 {
+		return fmt.Errorf("core: sampling enabled with zero SampleBurst records nothing")
+	}
+	for _, f := range c.LineSizeFactors {
+		if f < 2 || f&(f-1) != 0 {
+			return fmt.Errorf("core: line size factor %d must be a power of two > 1", f)
+		}
+	}
+	return nil
+}
+
+// fuseFactors returns the effective prediction fusion factors.
+func (c Config) fuseFactors() []int {
+	if len(c.LineSizeFactors) == 0 {
+		return []int{2}
+	}
+	return c.LineSizeFactors
+}
+
+// DefaultConfig returns the paper's default configuration with prediction
+// enabled.
+func DefaultConfig() Config {
+	return Config{
+		TrackingThreshold:   DefaultTrackingThreshold,
+		PredictionThreshold: DefaultPredictionThreshold,
+		ReportThreshold:     DefaultReportThreshold,
+		SampleWindow:        DefaultSampleWindow,
+		SampleBurst:         DefaultSampleBurst,
+		Prediction:          true,
+	}
+}
+
+// Runtime is the PREDATOR runtime attached to one simulated heap.
+type Runtime struct {
+	cfg  Config
+	heap *mem.Heap
+	geom cacheline.Geometry
+
+	mapping shadow.Mapping
+	sh      *shadow.Memory[detect.Track]
+	sampler detect.Sampler
+
+	vreg          *predict.Registry
+	vactive       atomic.Bool     // fast-path gate: any virtual lines registered?
+	predictedBits []atomic.Uint32 // one bit per line: hot-pair search already ran
+
+	totalAccesses atomic.Uint64
+	totalWrites   atomic.Uint64
+}
+
+// NewRuntime attaches a runtime to a heap. It installs the heap's free hook
+// so metadata of unflagged freed objects is recycled (paper §2.3.2).
+func NewRuntime(h *mem.Heap, cfg Config) (*Runtime, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	geom := h.Geometry()
+	mapping, err := shadow.NewMapping(h.Base(), h.Size(), geom)
+	if err != nil {
+		return nil, err
+	}
+	sampler := detect.Sampler{Window: cfg.SampleWindow, Burst: cfg.SampleBurst}
+	rt := &Runtime{
+		cfg:           cfg,
+		heap:          h,
+		geom:          geom,
+		mapping:       mapping,
+		sh:            shadow.NewMemory[detect.Track](mapping),
+		sampler:       sampler,
+		vreg:          predict.NewRegistry(geom, sampler),
+		predictedBits: make([]atomic.Uint32, (mapping.Lines()+31)/32),
+	}
+	h.SetFreeHook(rt.onFree)
+	return rt, nil
+}
+
+// Heap returns the runtime's heap.
+func (rt *Runtime) Heap() *mem.Heap { return rt.heap }
+
+// Config returns the runtime's configuration.
+func (rt *Runtime) Config() Config { return rt.cfg }
+
+// HandleAccess is the instrumentation entry point (paper Figure 1): one
+// memory access of the given size by thread tid. Accesses spanning line
+// boundaries are split across the lines they touch. Accesses outside the
+// simulated heap are ignored.
+func (rt *Runtime) HandleAccess(tid int, addr, size uint64, isWrite bool) {
+	if size == 0 {
+		return
+	}
+	rt.totalAccesses.Add(1)
+	if isWrite {
+		rt.totalWrites.Add(1)
+	}
+	first, ok := rt.mapping.Index(addr)
+	if !ok {
+		return
+	}
+	last, ok := rt.mapping.Index(addr + size - 1)
+	if !ok {
+		last = first
+	}
+	for line := first; line <= last; line++ {
+		rt.handleLine(tid, line, addr, size, isWrite)
+	}
+	if rt.cfg.Prediction && rt.vactive.Load() {
+		rt.vreg.Route(tid, addr, size, isWrite)
+	}
+}
+
+// handleLine applies one access to one covered line.
+func (rt *Runtime) handleLine(tid int, line uint64, addr, size uint64, isWrite bool) {
+	track := rt.sh.Track(line)
+	if track == nil {
+		// Pre-tracking phase: count writes only (§2.4.1).
+		if rt.sh.Writes(line) < rt.cfg.TrackingThreshold {
+			if !isWrite {
+				return
+			}
+			if rt.sh.IncWrites(line) < rt.cfg.TrackingThreshold {
+				return
+			}
+		}
+		track = rt.installTrack(line)
+	}
+	track.HandleAccess(tid, addr, size, isWrite)
+	if rt.cfg.Prediction && isWrite &&
+		track.Writes() >= rt.cfg.PredictionThreshold &&
+		rt.markPredicted(line) {
+		rt.runPrediction(line, track)
+	}
+}
+
+// installTrack creates detailed tracking for a line, and — when prediction
+// is enabled — for its neighbours, so word-level information accumulates on
+// the adjacent lines too (§3.2 step 2).
+func (rt *Runtime) installTrack(line uint64) *detect.Track {
+	t := rt.sh.InstallTrack(line, detect.NewTrack(rt.mapping.LineBase(line), rt.geom, rt.sampler))
+	if rt.cfg.Prediction {
+		if line > 0 && rt.sh.Track(line-1) == nil {
+			rt.sh.InstallTrack(line-1, detect.NewTrack(rt.mapping.LineBase(line-1), rt.geom, rt.sampler))
+		}
+		if line+1 < rt.mapping.Lines() && rt.sh.Track(line+1) == nil {
+			rt.sh.InstallTrack(line+1, detect.NewTrack(rt.mapping.LineBase(line+1), rt.geom, rt.sampler))
+		}
+	}
+	return t
+}
+
+// markPredicted sets the line's prediction-done bit; it returns true only
+// for the caller that flipped the bit.
+func (rt *Runtime) markPredicted(line uint64) bool {
+	word := &rt.predictedBits[line/32]
+	bit := uint32(1) << (line % 32)
+	for {
+		old := word.Load()
+		if old&bit != 0 {
+			return false
+		}
+		if word.CompareAndSwap(old, old|bit) {
+			return true
+		}
+	}
+}
+
+// runPrediction searches the line and its neighbours for hot access pairs
+// and registers virtual lines for verification.
+func (rt *Runtime) runPrediction(line uint64, track *detect.Track) {
+	registered := false
+	for _, adj := range []uint64{line - 1, line + 1} {
+		if adj >= rt.mapping.Lines() { // also catches line-1 underflow at line 0
+			continue
+		}
+		adjTrack := rt.sh.Track(adj)
+		for _, pair := range predict.FindPairsFused(track, adjTrack, rt.geom, rt.cfg.fuseFactors()) {
+			if rt.vreg.Add(pair) != nil {
+				registered = true
+			}
+		}
+	}
+	if registered {
+		rt.vactive.Store(true)
+	}
+}
+
+// onFree recycles shadow metadata for the freed object's lines: a line is
+// reset only if no other live object overlaps it, so neighbours' history is
+// preserved. Flagged objects never reach this hook (they are quarantined).
+func (rt *Runtime) onFree(start, size uint64) {
+	if size == 0 {
+		return
+	}
+	first, ok := rt.mapping.Index(start)
+	if !ok {
+		return
+	}
+	last, ok := rt.mapping.Index(start + size - 1)
+	if !ok {
+		last = first
+	}
+	for line := first; line <= last; line++ {
+		lineBase := rt.mapping.LineBase(line)
+		others := rt.heap.ObjectsOverlapping(lineBase, lineBase+rt.geom.Size())
+		if len(others) > 0 {
+			continue
+		}
+		rt.sh.ResetWrites(line)
+		if t := rt.sh.Track(line); t != nil {
+			t.Reset()
+		}
+	}
+}
+
+// wordsForSpan gathers word details from all tracked lines overlapping a
+// span, clipped to the span.
+func (rt *Runtime) wordsForSpan(span cacheline.Virtual) []report.WordDetail {
+	var out []report.WordDetail
+	first, ok := rt.mapping.Index(span.Start)
+	if !ok {
+		return nil
+	}
+	last, ok := rt.mapping.Index(span.End - 1)
+	if !ok {
+		last = first
+	}
+	for line := first; line <= last; line++ {
+		t := rt.sh.Track(line)
+		if t == nil {
+			continue
+		}
+		for _, w := range t.Words() {
+			addr := t.WordAddr(w.Index)
+			if !span.Overlaps(addr, cacheline.WordSize) {
+				continue
+			}
+			out = append(out, report.WordDetail{
+				Addr:   addr,
+				Reads:  w.Reads,
+				Writes: w.Writes,
+				Owner:  w.EffectiveOwner(),
+			})
+		}
+	}
+	return out
+}
+
+// Report distills the runtime's state into a ranked report. Objects named
+// in false sharing findings are flagged in the heap so their memory is
+// never reused.
+func (rt *Runtime) Report() *report.Report {
+	rep := &report.Report{Geometry: rt.geom}
+
+	// Observed findings: tracked physical lines above the threshold.
+	rt.sh.ForEachTracked(func(line uint64, t *detect.Track) {
+		if t.Invalidations() < rt.cfg.ReportThreshold {
+			return
+		}
+		span := cacheline.NewVirtual(rt.mapping.LineBase(line), rt.geom.Size())
+		words := rt.wordsForSpan(span)
+		rep.Findings = append(rep.Findings, report.Finding{
+			Source:        report.SourceObserved,
+			Sharing:       report.Classify(words),
+			Span:          span,
+			Objects:       rt.heap.ObjectsOverlapping(span.Start, span.End),
+			Accesses:      t.Accesses(),
+			Reads:         t.Reads(),
+			Writes:        t.Writes(),
+			Invalidations: t.Invalidations(),
+			Words:         words,
+		})
+	})
+
+	// Predicted findings: verified virtual lines above the threshold.
+	for _, v := range rt.vreg.Tracks() {
+		if v.Invalidations() < rt.cfg.ReportThreshold {
+			continue
+		}
+		span := v.Span()
+		words := rt.wordsForSpan(span)
+		rep.Findings = append(rep.Findings, report.Finding{
+			Source:        report.SourceForKind(v.Pair.Kind),
+			Sharing:       report.Classify(words),
+			Span:          span,
+			Objects:       rt.heap.ObjectsOverlapping(span.Start, span.End),
+			Accesses:      v.Accesses(),
+			Invalidations: v.Invalidations(),
+			Estimate:      v.Pair.Estimate,
+			Words:         words,
+		})
+	}
+
+	rep.Rank()
+
+	// Quarantine falsely-shared objects against reuse.
+	for _, f := range rep.FalseSharing() {
+		for _, o := range f.Objects {
+			if !o.Global {
+				rt.heap.FlagObject(o.Start)
+			}
+		}
+	}
+	return rep
+}
+
+// Stats summarizes runtime activity.
+type Stats struct {
+	Accesses     uint64 // accesses delivered to the runtime
+	Writes       uint64 // write accesses delivered
+	TrackedLines int    // lines with detailed tracking installed
+	VirtualLines int    // virtual lines registered for verification
+}
+
+// Stats returns a snapshot of runtime counters.
+func (rt *Runtime) Stats() Stats {
+	return Stats{
+		Accesses:     rt.totalAccesses.Load(),
+		Writes:       rt.totalWrites.Load(),
+		TrackedLines: len(rt.sh.TrackedLines()),
+		VirtualLines: len(rt.vreg.Tracks()),
+	}
+}

@@ -1,0 +1,277 @@
+// Package detect implements PREDATOR's detailed per-cache-line tracking
+// (paper §2.3): once a line's write count crosses the TrackingThreshold, a
+// Track records (subject to sampling, §2.4.3) every access's effect on the
+// line's two-entry history table — counting cache invalidations — and
+// per-word access information (reads, writes, owning thread, and foreign
+// traffic that marks heavily multi-thread words as shared), which is what lets
+// the reporting phase distinguish false from true sharing and print
+// word-granularity diagnostics (paper Figure 5).
+package detect
+
+import (
+	"sync/atomic"
+
+	"predator/internal/cacheline"
+	"predator/internal/histtable"
+)
+
+// Owner sentinels for a word's owning thread.
+const (
+	// OwnerNone marks a word no thread has accessed yet.
+	OwnerNone = -1
+	// OwnerShared marks a word accessed by multiple threads; per-thread
+	// attribution stops once a word is shared.
+	OwnerShared = -2
+)
+
+// Word tracks access information for one word of a tracked cache line.
+// All fields are updated atomically. The first accessing thread becomes the
+// word's owner; accesses by any other thread are counted as foreign. A word
+// is *effectively shared* — true-sharing evidence — only when its foreign
+// traffic is non-trivial (see WordSnapshot.EffectiveOwner). This refines the
+// paper's permanent shared-mark: a single main-thread read of a worker's
+// result word must not reclassify megabytes of false sharing as true
+// sharing.
+type Word struct {
+	reads   atomic.Uint64
+	writes  atomic.Uint64
+	owner   atomic.Int32 // OwnerNone or the first accessing thread
+	foreign atomic.Uint64
+}
+
+// record notes one access to the word by a thread.
+func (w *Word) record(tid int, isWrite bool) {
+	if isWrite {
+		w.writes.Add(1)
+	} else {
+		w.reads.Add(1)
+	}
+	for {
+		cur := w.owner.Load()
+		switch {
+		case cur == int32(tid):
+			return
+		case cur == OwnerNone:
+			if w.owner.CompareAndSwap(OwnerNone, int32(tid)) {
+				return
+			}
+		default:
+			// A different thread already owns the word.
+			w.foreign.Add(1)
+			return
+		}
+	}
+}
+
+// Shared-word rule: a word counts as multi-thread (true sharing evidence)
+// when at least sharedMinForeign foreign accesses were seen and foreign
+// traffic is at least 1/sharedRatio of the word's total.
+const (
+	sharedMinForeign = 2
+	sharedRatio      = 16
+)
+
+// WordSnapshot is an immutable copy of one word's access information.
+type WordSnapshot struct {
+	Index   int    // word index within the line
+	Reads   uint64 // total reads observed
+	Writes  uint64 // total writes observed
+	Owner   int    // OwnerNone or the first accessing thread
+	Foreign uint64 // accesses by threads other than Owner
+}
+
+// Accesses returns the word's total observed accesses.
+func (w WordSnapshot) Accesses() uint64 { return w.Reads + w.Writes }
+
+// EffectiveOwner classifies the word: OwnerNone if untouched, OwnerShared
+// if foreign traffic is non-trivial, otherwise the owning thread.
+func (w WordSnapshot) EffectiveOwner() int {
+	if w.Owner == OwnerNone {
+		return OwnerNone
+	}
+	if w.Foreign >= sharedMinForeign && w.Foreign*sharedRatio >= w.Accesses() {
+		return OwnerShared
+	}
+	return w.Owner
+}
+
+// Sampler implements the paper's per-line sampling: only the first Burst
+// accesses of every Window accesses are recorded in detail (§2.4.3 uses
+// 10,000 out of every 1,000,000 — a 1% rate).
+type Sampler struct {
+	Window uint64 // sampling interval length; 0 disables sampling
+	Burst  uint64 // recorded prefix of each interval
+}
+
+// ShouldRecord reports whether the n-th access (1-based) falls in the
+// recorded prefix of its interval.
+func (s Sampler) ShouldRecord(n uint64) bool {
+	if s.Window == 0 {
+		return true
+	}
+	return (n-1)%s.Window < s.Burst
+}
+
+// Rate returns the fraction of accesses recorded.
+func (s Sampler) Rate() float64 {
+	if s.Window == 0 {
+		return 1
+	}
+	return float64(s.Burst) / float64(s.Window)
+}
+
+// Track is the detailed tracking state of one cache line.
+type Track struct {
+	lineBase uint64 // first address of the tracked line
+	geom     cacheline.Geometry
+	sampler  Sampler
+
+	hist          histtable.Table
+	accesses      atomic.Uint64 // all accesses (sampled or not)
+	recorded      atomic.Uint64 // accesses recorded in detail
+	reads         atomic.Uint64
+	writes        atomic.Uint64
+	invalidations atomic.Uint64
+	words         []Word
+}
+
+// NewTrack creates tracking state for the line whose first address is
+// lineBase under the given geometry.
+func NewTrack(lineBase uint64, geom cacheline.Geometry, sampler Sampler) *Track {
+	t := &Track{
+		lineBase: lineBase,
+		geom:     geom,
+		sampler:  sampler,
+		words:    make([]Word, geom.WordsPerLine()),
+	}
+	initWords(t.words)
+	return t
+}
+
+// LineBase returns the tracked line's first address.
+func (t *Track) LineBase() uint64 { return t.lineBase }
+
+// HandleAccess records one access to [addr, addr+size) by thread tid. Only
+// the bytes falling inside this line are attributed here; the core runtime
+// splits spanning accesses across lines. It reports whether the access
+// caused a cache invalidation on this line.
+func (t *Track) HandleAccess(tid int, addr, size uint64, isWrite bool) (invalidated bool) {
+	n := t.accesses.Add(1)
+	if !t.sampler.ShouldRecord(n) {
+		return false
+	}
+	t.recorded.Add(1)
+	if isWrite {
+		t.writes.Add(1)
+	} else {
+		t.reads.Add(1)
+	}
+	invalidated = t.hist.Access(tid, isWrite)
+	if invalidated {
+		t.invalidations.Add(1)
+	}
+
+	// Clip the access to this line and update covered words.
+	start, end := addr, addr+size
+	if start < t.lineBase {
+		start = t.lineBase
+	}
+	if lineEnd := t.lineBase + t.geom.Size(); end > lineEnd {
+		end = lineEnd
+	}
+	if start >= end {
+		return invalidated
+	}
+	wStart, nWords := cacheline.WordsCovered(start, end-start)
+	first := int((wStart - t.lineBase) >> cacheline.WordShift)
+	for i := 0; i < nWords; i++ {
+		t.words[first+i].record(tid, isWrite)
+	}
+	return invalidated
+}
+
+// Invalidations returns the line's observed cache invalidation count.
+func (t *Track) Invalidations() uint64 { return t.invalidations.Load() }
+
+// Accesses returns the total number of accesses seen (sampled or not).
+func (t *Track) Accesses() uint64 { return t.accesses.Load() }
+
+// Recorded returns the number of accesses recorded in detail.
+func (t *Track) Recorded() uint64 { return t.recorded.Load() }
+
+// Reads returns recorded reads; Writes returns recorded writes.
+func (t *Track) Reads() uint64  { return t.reads.Load() }
+func (t *Track) Writes() uint64 { return t.writes.Load() }
+
+// WordAddr returns the address of the i-th word of the line.
+func (t *Track) WordAddr(i int) uint64 {
+	return t.lineBase + uint64(i)*cacheline.WordSize
+}
+
+// Words returns a snapshot of per-word access information, ascending by
+// word index, including untouched words (Owner == OwnerNone, zero counts).
+func (t *Track) Words() []WordSnapshot {
+	out := make([]WordSnapshot, len(t.words))
+	for i := range t.words {
+		w := &t.words[i]
+		out[i] = WordSnapshot{
+			Index:   i,
+			Reads:   w.reads.Load(),
+			Writes:  w.writes.Load(),
+			Owner:   int(w.owner.Load()),
+			Foreign: w.foreign.Load(),
+		}
+	}
+	return out
+}
+
+// AverageWordAccesses returns the mean number of recorded accesses per word
+// of the line — the paper's threshold for calling a word's access "hot"
+// (§3.3).
+func (t *Track) AverageWordAccesses() float64 {
+	if len(t.words) == 0 {
+		return 0
+	}
+	var total uint64
+	for i := range t.words {
+		total += t.words[i].reads.Load() + t.words[i].writes.Load()
+	}
+	return float64(total) / float64(len(t.words))
+}
+
+// HotWords returns snapshots of words whose access count strictly exceeds
+// the line's per-word average.
+func (t *Track) HotWords() []WordSnapshot {
+	avg := t.AverageWordAccesses()
+	var out []WordSnapshot
+	for _, w := range t.Words() {
+		if float64(w.Accesses()) > avg {
+			out = append(out, w)
+		}
+	}
+	return out
+}
+
+// Reset clears all tracking state (object freed and recycled).
+func (t *Track) Reset() {
+	t.hist.Reset()
+	t.accesses.Store(0)
+	t.recorded.Store(0)
+	t.reads.Store(0)
+	t.writes.Store(0)
+	t.invalidations.Store(0)
+	for i := range t.words {
+		t.words[i].reads.Store(0)
+		t.words[i].writes.Store(0)
+		t.words[i].foreign.Store(0)
+		t.words[i].owner.Store(OwnerNone)
+	}
+}
+
+// initWords sets every word's owner to OwnerNone: the zero value 0 is a
+// legitimate thread ID and must not read as an owner.
+func initWords(words []Word) {
+	for i := range words {
+		words[i].owner.Store(OwnerNone)
+	}
+}

@@ -1,0 +1,71 @@
+package eval
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// tableWriter renders aligned ASCII tables.
+type tableWriter struct {
+	w       io.Writer
+	headers []string
+	rows    [][]string
+}
+
+func newTableWriter(w io.Writer, headers ...string) *tableWriter {
+	return &tableWriter{w: w, headers: headers}
+}
+
+func (t *tableWriter) row(cells ...string) {
+	for len(cells) < len(t.headers) {
+		cells = append(cells, "")
+	}
+	t.rows = append(t.rows, cells)
+}
+
+func (t *tableWriter) flush() {
+	widths := make([]int, len(t.headers))
+	for i, h := range t.headers {
+		widths[i] = len(h)
+	}
+	for _, r := range t.rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(t.headers))
+		for i := range t.headers {
+			c := ""
+			if i < len(cells) {
+				c = cells[i]
+			}
+			parts[i] = fmt.Sprintf("%-*s", widths[i], c)
+		}
+		fmt.Fprintln(t.w, strings.TrimRight(strings.Join(parts, "  "), " "))
+	}
+	line(t.headers)
+	sep := make([]string, len(t.headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, r := range t.rows {
+		line(r)
+	}
+}
+
+// bar renders a proportional ASCII bar for figure-style output.
+func bar(value, max float64, width int) string {
+	if max <= 0 || value < 0 {
+		return ""
+	}
+	n := int(value / max * float64(width))
+	if n > width {
+		n = width
+	}
+	return strings.Repeat("#", n)
+}

@@ -1,0 +1,65 @@
+package eval
+
+import (
+	"fmt"
+	"strings"
+
+	"predator/internal/harness"
+)
+
+// The scaling study extends the paper's case-study narrative (§4.1.2: the
+// MySQL false sharing "caused a significant scalability problem") with a
+// quantitative sweep: project, on the deterministic cache model, how the
+// buggy and fixed variants of a workload scale with thread count. False
+// sharing's signature is that the buggy/fixed gap *widens* as threads are
+// added — more writers per line means more invalidation traffic per access.
+
+// ScalingRow is one thread-count sample.
+type ScalingRow struct {
+	Threads     int
+	BuggyCycles uint64
+	FixedCycles uint64
+	GapPct      float64 // (buggy-fixed)/fixed * 100
+}
+
+// Scaling sweeps thread counts for one workload, projecting model cycles
+// for the buggy and fixed variants at each count.
+func Scaling(cfg Config, workload string, threadCounts []int) ([]ScalingRow, error) {
+	if len(threadCounts) == 0 {
+		threadCounts = []int{2, 4, 8, 16}
+	}
+	var rows []ScalingRow
+	for _, n := range threadCounts {
+		c := cfg
+		c.Threads = n
+		buggy, _, err := simulate(c, workload, true, harness.UseDefaultOffset)
+		if err != nil {
+			return nil, err
+		}
+		fixed, _, err := simulate(c, workload, false, harness.UseDefaultOffset)
+		if err != nil {
+			return nil, err
+		}
+		row := ScalingRow{Threads: n, BuggyCycles: buggy, FixedCycles: fixed}
+		if fixed > 0 && buggy > fixed {
+			row.GapPct = 100 * float64(buggy-fixed) / float64(fixed)
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// RenderScaling formats the sweep.
+func RenderScaling(workload string, rows []ScalingRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "False sharing scalability impact (%s, model cycles)\n", workload)
+	tw := newTableWriter(&b, "Threads", "Buggy cycles", "Fixed cycles", "Gap")
+	for _, r := range rows {
+		tw.row(fmt.Sprintf("%d", r.Threads),
+			fmt.Sprintf("%d", r.BuggyCycles),
+			fmt.Sprintf("%d", r.FixedCycles),
+			fmt.Sprintf("%.1f%%", r.GapPct))
+	}
+	tw.flush()
+	return b.String()
+}

@@ -1,0 +1,160 @@
+package eval
+
+import (
+	"fmt"
+	"strings"
+
+	"predator/internal/harness"
+	"predator/internal/report"
+)
+
+// Table1Row is one row of the paper's Table 1.
+type Table1Row struct {
+	Benchmark         string
+	SourceCode        string  // the paper's source location for the bug
+	New               bool    // newly discovered by PREDATOR
+	WithoutPrediction bool    // found by PREDATOR-NP
+	WithPrediction    bool    // found by full PREDATOR
+	ImprovementPct    float64 // projected improvement from fixing (cachesim)
+}
+
+// table1Spec describes the expected rows and how to recognize each row's
+// finding inside a report (streamcluster contributes two distinct rows).
+type table1Spec struct {
+	workload    string
+	source      string
+	isNew       bool
+	improveAt   uint64 // offset to force when projecting improvement
+	matchObject func(size uint64) bool
+}
+
+func table1Specs(threads int) []table1Spec {
+	anyObject := func(uint64) bool { return true }
+	return []table1Spec{
+		{
+			workload: "histogram", isNew: true,
+			source:      "histogram-pthread.c:213",
+			improveAt:   harness.UseDefaultOffset,
+			matchObject: anyObject,
+		},
+		{
+			workload: "linear_regression",
+			source:   "linear_regression-pthread.c:133",
+			// The fix's benefit is measured where the bug manifests
+			// (the paper's Figure 2 worst case, offset 24).
+			improveAt:   24,
+			matchObject: anyObject,
+		},
+		{
+			workload:    "reverse_index",
+			source:      "reverseindex-pthread.c:511",
+			improveAt:   harness.UseDefaultOffset,
+			matchObject: anyObject,
+		},
+		{
+			workload:    "word_count",
+			source:      "word_count-pthread.c:136",
+			improveAt:   harness.UseDefaultOffset,
+			matchObject: anyObject,
+		},
+		{
+			workload:  "streamcluster",
+			source:    "streamcluster.cpp:985",
+			improveAt: harness.UseDefaultOffset,
+			// The packed work_mem block: 104-byte stride per thread.
+			matchObject: func(size uint64) bool { return size == uint64(104*threads) },
+		},
+		{
+			workload: "streamcluster", isNew: true,
+			source:    "streamcluster.cpp:1907",
+			improveAt: harness.UseDefaultOffset,
+			// The bool switch_membership array: 96 points per thread.
+			matchObject: func(size uint64) bool { return size == uint64(96*threads) },
+		},
+	}
+}
+
+// findingMatches reports whether any false-sharing finding in rep is
+// attributed to an object the spec recognizes.
+func findingMatches(rep *report.Report, match func(uint64) bool) bool {
+	if rep == nil {
+		return false
+	}
+	for _, f := range rep.FalseSharing() {
+		if obj, ok := f.PrimaryObject(); ok && match(obj.Size) {
+			return true
+		}
+	}
+	return false
+}
+
+// Table1 regenerates the paper's Table 1: for every known false sharing
+// problem, whether PREDATOR-NP and PREDATOR find it, and the improvement
+// fixing it buys (projected with the cache simulator).
+func Table1(cfg Config) ([]Table1Row, error) {
+	specs := table1Specs(cfg.Threads)
+
+	// One detection run per workload per mode covers all its rows.
+	type runs struct{ np, full *report.Report }
+	byWorkload := map[string]*runs{}
+	improvements := map[string]float64{}
+	for _, spec := range specs {
+		if _, done := byWorkload[spec.workload]; done {
+			continue
+		}
+		np, err := detect(cfg, spec.workload, harness.ModeDetect, true, spec.improveAt)
+		if err != nil {
+			return nil, err
+		}
+		full, err := detect(cfg, spec.workload, harness.ModePredict, true, harness.UseDefaultOffset)
+		if err != nil {
+			return nil, err
+		}
+		byWorkload[spec.workload] = &runs{np: np.Report, full: full.Report}
+
+		buggyCycles, _, err := simulate(cfg, spec.workload, true, spec.improveAt)
+		if err != nil {
+			return nil, err
+		}
+		fixedCycles, _, err := simulate(cfg, spec.workload, false, harness.UseDefaultOffset)
+		if err != nil {
+			return nil, err
+		}
+		if fixedCycles > 0 && buggyCycles > fixedCycles {
+			improvements[spec.workload] = 100 * float64(buggyCycles-fixedCycles) / float64(fixedCycles)
+		}
+	}
+
+	var rows []Table1Row
+	for _, spec := range specs {
+		r := byWorkload[spec.workload]
+		rows = append(rows, Table1Row{
+			Benchmark:         spec.workload,
+			SourceCode:        spec.source,
+			New:               spec.isNew,
+			WithoutPrediction: findingMatches(r.np, spec.matchObject),
+			WithPrediction:    findingMatches(r.full, spec.matchObject),
+			ImprovementPct:    improvements[spec.workload],
+		})
+	}
+	return rows, nil
+}
+
+// RenderTable1 formats rows like the paper's Table 1.
+func RenderTable1(rows []Table1Row) string {
+	var b strings.Builder
+	tw := newTableWriter(&b, "Benchmark", "Source Code", "New", "Without Prediction", "With Prediction", "Improvement")
+	check := func(v bool) string {
+		if v {
+			return "yes"
+		}
+		return ""
+	}
+	for _, r := range rows {
+		tw.row(r.Benchmark, r.SourceCode, check(r.New),
+			check(r.WithoutPrediction), check(r.WithPrediction),
+			fmt.Sprintf("%.2f%%", r.ImprovementPct))
+	}
+	tw.flush()
+	return b.String()
+}

@@ -1,0 +1,242 @@
+// Package fixer implements the paper's proposed "Suggest Fixes" extension
+// (§6): it turns PREDATOR findings into concrete prescriptions. From a
+// problem's word-level access information it derives which threads own which
+// byte ranges, recommends a padded per-thread stride or a realignment, and —
+// when the caller supplies the object's struct layout — renders the exact
+// padded declaration.
+package fixer
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"predator/internal/cacheline"
+	"predator/internal/detect"
+	"predator/internal/layout"
+	"predator/internal/report"
+)
+
+// Kind classifies a prescription.
+type Kind int
+
+// Prescription kinds.
+const (
+	// KindPadSlots: per-thread regions are packed; pad each to Stride.
+	KindPadSlots Kind = iota
+	// KindAlignAndPad: currently clean but placement-sensitive (found by
+	// alignment prediction); align the object and pad regions.
+	KindAlignAndPad
+	// KindPadForLargerLines: clean at 64-byte lines but falsely shared at
+	// 128; pad regions to Stride (a 128-byte multiple).
+	KindPadForLargerLines
+	// KindSeparateObjects: multiple small objects share the line; give
+	// contended objects their own lines (or per-thread allocation).
+	KindSeparateObjects
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindPadSlots:
+		return "pad per-thread slots"
+	case KindAlignAndPad:
+		return "align object and pad slots"
+	case KindPadForLargerLines:
+		return "pad for larger cache lines"
+	case KindSeparateObjects:
+		return "separate contended objects"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Advice is one prescription for one problem.
+type Advice struct {
+	Kind    Kind
+	Stride  uint64 // recommended per-thread stride in bytes (0 if n/a)
+	Text    string // the human-readable prescription
+	Padded  *layout.Struct
+	Problem report.Problem
+}
+
+// Options configures suggestion generation.
+type Options struct {
+	Geometry cacheline.Geometry
+	// Layouts maps an object's start address to its known struct layout
+	// (per array element), enabling field-level prescriptions.
+	Layouts map[uint64]*layout.Struct
+}
+
+// threadExtent is one thread's hot byte range within a problem.
+type threadExtent struct {
+	thread   int
+	lo, hi   uint64 // inclusive word addresses
+	accesses uint64
+}
+
+// extents derives per-thread hot ranges from a problem's findings.
+func extents(p *report.Problem) []threadExtent {
+	byThread := map[int]*threadExtent{}
+	for _, f := range p.Findings {
+		for _, w := range f.Words {
+			if w.Owner < 0 || w.Reads+w.Writes == 0 {
+				continue
+			}
+			e := byThread[w.Owner]
+			if e == nil {
+				e = &threadExtent{thread: w.Owner, lo: w.Addr, hi: w.Addr}
+				byThread[w.Owner] = e
+			}
+			if w.Addr < e.lo {
+				e.lo = w.Addr
+			}
+			if w.Addr > e.hi {
+				e.hi = w.Addr
+			}
+			e.accesses += w.Reads + w.Writes
+		}
+	}
+	out := make([]threadExtent, 0, len(byThread))
+	for _, e := range byThread {
+		out = append(out, *e)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].lo < out[j].lo })
+	return out
+}
+
+// padUnit is the stride quantum prescriptions round up to: twice the
+// physical line size, immune to both the observed sharing and the
+// doubled-line prediction.
+const padUnit = 2 * cacheline.DefaultSize
+
+// recommendStride returns the smallest safe per-thread stride: the largest
+// per-thread extent rounded up to a padUnit multiple.
+func recommendStride(exts []threadExtent) uint64 {
+	var maxExtent uint64
+	for _, e := range exts {
+		if ext := e.hi - e.lo + cacheline.WordSize; ext > maxExtent {
+			maxExtent = ext
+		}
+	}
+	stride := uint64(padUnit)
+	for stride < maxExtent {
+		stride += padUnit
+	}
+	return stride
+}
+
+// Suggest produces one prescription per false sharing problem in the
+// report, in the report's ranking order.
+func Suggest(rep *report.Report, opts Options) []Advice {
+	var out []Advice
+	for _, p := range rep.Problems() {
+		out = append(out, suggestOne(p, opts))
+	}
+	return out
+}
+
+// suggestOne builds the prescription for a single problem.
+func suggestOne(p report.Problem, opts Options) Advice {
+	exts := extents(&p)
+	adv := Advice{Problem: p, Stride: recommendStride(exts)}
+
+	onlyDoubled := len(p.Sources) > 0
+	for _, s := range p.Sources {
+		if s != report.SourcePredictedLineSize {
+			onlyDoubled = false
+		}
+	}
+
+	var target string
+	switch {
+	case p.HasObject && p.Object.Global:
+		target = fmt.Sprintf("global %q", p.Object.Label)
+	case p.HasObject:
+		target = fmt.Sprintf("heap object at 0x%x (%d bytes)", p.Object.Start, p.Object.Size)
+	default:
+		target = fmt.Sprintf("range [0x%x,0x%x)", p.Worst.Span.Start, p.Worst.Span.End)
+	}
+
+	var b strings.Builder
+	switch {
+	case len(p.Findings) > 0 && len(p.Worst.Objects) > 1 && smallObjects(p):
+		adv.Kind = KindSeparateObjects
+		fmt.Fprintf(&b, "%d small objects share cache lines in %s; allocate the contended objects from per-thread pools or align each to its own cache line.",
+			len(p.Worst.Objects), target)
+	case onlyDoubled:
+		adv.Kind = KindPadForLargerLines
+		fmt.Fprintf(&b, "%s is clean on 64-byte cache lines but will falsely share on 128-byte-line hardware; pad each thread's region to %d bytes.",
+			target, adv.Stride)
+	case p.PredictedOnly():
+		adv.Kind = KindAlignAndPad
+		fmt.Fprintf(&b, "%s shows no false sharing at its current placement, but a different starting address would create it; align the object to the cache line size and pad each thread's region to %d bytes.",
+			target, adv.Stride)
+	default:
+		adv.Kind = KindPadSlots
+		fmt.Fprintf(&b, "threads update adjacent regions of %s on shared cache lines; pad each thread's region to %d bytes.",
+			target, adv.Stride)
+	}
+
+	if len(exts) > 1 {
+		fmt.Fprintf(&b, " Contending threads and their hot ranges:")
+		for _, e := range exts {
+			fmt.Fprintf(&b, " T%d:[0x%x,0x%x]", e.thread, e.lo, e.hi)
+		}
+		b.WriteString(".")
+	}
+
+	// Field-level detail when the element layout is known.
+	if p.HasObject {
+		if st := opts.Layouts[p.Object.Start]; st != nil {
+			names := hotFieldNames(&p, st)
+			if len(names) > 0 {
+				fmt.Fprintf(&b, " Hot fields: %s.", strings.Join(names, ", "))
+			}
+			if padded, err := st.PadTo(adv.Stride); err == nil {
+				adv.Padded = padded
+				fmt.Fprintf(&b, " Suggested declaration:\n%s", padded)
+			}
+		}
+	}
+	adv.Text = b.String()
+	return adv
+}
+
+// smallObjects reports whether the worst finding's objects are all smaller
+// than a cache line (the "many tiny objects on one line" pattern).
+func smallObjects(p report.Problem) bool {
+	for _, o := range p.Worst.Objects {
+		if o.Size >= cacheline.DefaultSize {
+			return false
+		}
+	}
+	return len(p.Worst.Objects) > 0
+}
+
+// hotFieldNames maps the problem's hot words back to element field names,
+// assuming the object is an array of st-sized elements.
+func hotFieldNames(p *report.Problem, st *layout.Struct) []string {
+	if st.Size() == 0 {
+		return nil
+	}
+	seen := map[string]bool{}
+	var names []string
+	for _, f := range p.Findings {
+		for _, w := range f.Words {
+			if w.Owner == detect.OwnerNone || w.Reads+w.Writes == 0 {
+				continue
+			}
+			if w.Addr < p.Object.Start || w.Addr >= p.Object.End() {
+				continue
+			}
+			off := (w.Addr - p.Object.Start) % st.Size()
+			if fl, ok := st.FieldAt(off); ok && !seen[fl.Name] {
+				seen[fl.Name] = true
+				names = append(names, fl.Name)
+			}
+		}
+	}
+	sort.Strings(names)
+	return names
+}

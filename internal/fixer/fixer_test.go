@@ -1,0 +1,196 @@
+package fixer
+
+import (
+	"strings"
+	"testing"
+
+	"predator/internal/core"
+	"predator/internal/harness"
+	"predator/internal/layout"
+	"predator/internal/mem"
+	"predator/internal/report"
+
+	_ "predator/internal/workloads/phoenix"
+)
+
+// detectOn runs a ping-pong pattern and returns the report + heap.
+func detectOn(t *testing.T, fn func(rt *core.Runtime, h *mem.Heap) uint64) (*report.Report, uint64) {
+	t.Helper()
+	h, err := mem.NewHeap(mem.Config{Size: 4 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt, err := core.NewRuntime(h, core.Config{
+		TrackingThreshold:   10,
+		PredictionThreshold: 20,
+		ReportThreshold:     50,
+		Prediction:          true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := fn(rt, h)
+	return rt.Report(), addr
+}
+
+func TestSuggestPadSlots(t *testing.T) {
+	rep, addr := detectOn(t, func(rt *core.Runtime, h *mem.Heap) uint64 {
+		addr, _ := h.AllocWithOffset(0, 64, 0, 0)
+		for i := 0; i < 500; i++ {
+			rt.HandleAccess(1, addr, 8, true)
+			rt.HandleAccess(2, addr+8, 8, true)
+		}
+		return addr
+	})
+	advice := Suggest(rep, Options{Geometry: rep.Geometry})
+	if len(advice) == 0 {
+		t.Fatal("no advice for observed false sharing")
+	}
+	a := advice[0]
+	if a.Kind != KindPadSlots {
+		t.Errorf("kind = %v, want pad slots", a.Kind)
+	}
+	if a.Stride%128 != 0 || a.Stride == 0 {
+		t.Errorf("stride = %d, want positive 128-multiple", a.Stride)
+	}
+	for _, want := range []string{"pad each thread's region", "T1:", "T2:"} {
+		if !strings.Contains(a.Text, want) {
+			t.Errorf("advice missing %q:\n%s", want, a.Text)
+		}
+	}
+	_ = addr
+}
+
+func TestSuggestAlignAndPadForLatentProblem(t *testing.T) {
+	rep, _ := detectOn(t, func(rt *core.Runtime, h *mem.Heap) uint64 {
+		addr, _ := h.AllocWithOffset(0, 192, 0, 0)
+		for i := 0; i < 2000; i++ {
+			rt.HandleAccess(1, addr+56, 8, true) // line 0 tail
+			rt.HandleAccess(2, addr+64, 8, true) // line 1 head (odd line: no doubled fuse... depends)
+			rt.HandleAccess(2, addr+72, 8, true)
+		}
+		return addr
+	})
+	advice := Suggest(rep, Options{Geometry: rep.Geometry})
+	if len(advice) == 0 {
+		t.Fatal("no advice for predicted problem")
+	}
+	a := advice[0]
+	if a.Kind != KindAlignAndPad && a.Kind != KindPadForLargerLines {
+		t.Errorf("kind = %v, want a prediction-flavoured prescription", a.Kind)
+	}
+	if !strings.Contains(a.Text, "pad") {
+		t.Errorf("advice text = %q", a.Text)
+	}
+}
+
+func TestSuggestWithLayoutNamesFields(t *testing.T) {
+	st := layout.MustNew("lreg_args",
+		layout.Field{Name: "tid", Size: 8},
+		layout.Field{Name: "points", Size: 8},
+		layout.Field{Name: "num_elems", Size: 4},
+		layout.Field{Name: "SX", Size: 8},
+		layout.Field{Name: "SY", Size: 8},
+		layout.Field{Name: "SXX", Size: 8},
+		layout.Field{Name: "SYY", Size: 8},
+		layout.Field{Name: "SXY", Size: 8},
+	)
+	rep, addr := detectOn(t, func(rt *core.Runtime, h *mem.Heap) uint64 {
+		// Two adjacent 64-byte elements at offset 24: physical sharing.
+		addr, _ := h.AllocWithOffset(0, 128, 24, 0)
+		for i := 0; i < 500; i++ {
+			rt.HandleAccess(1, addr+40, 8, true)    // elem 0 SXX
+			rt.HandleAccess(2, addr+64+24, 8, true) // elem 1 SX
+		}
+		return addr
+	})
+	advice := Suggest(rep, Options{
+		Geometry: rep.Geometry,
+		Layouts:  map[uint64]*layout.Struct{addr: st},
+	})
+	if len(advice) == 0 {
+		t.Fatal("no advice")
+	}
+	a := advice[0]
+	if a.Padded == nil {
+		t.Fatal("no padded layout produced")
+	}
+	if a.Padded.Size() != a.Stride {
+		t.Errorf("padded size %d != stride %d", a.Padded.Size(), a.Stride)
+	}
+	if !strings.Contains(a.Text, "Hot fields:") {
+		t.Errorf("advice missing field names:\n%s", a.Text)
+	}
+	if !strings.Contains(a.Text, "SXX") || !strings.Contains(a.Text, "SX") {
+		t.Errorf("hot fields not named:\n%s", a.Text)
+	}
+	if !strings.Contains(a.Text, "_pad") {
+		t.Errorf("padded declaration not rendered:\n%s", a.Text)
+	}
+}
+
+func TestSuggestEndToEndOnWorkload(t *testing.T) {
+	w, ok := harness.Get("histogram")
+	if !ok {
+		t.Fatal("histogram not registered")
+	}
+	cfg := core.Config{TrackingThreshold: 50, PredictionThreshold: 100, ReportThreshold: 200, Prediction: true}
+	res, err := harness.Execute(w, harness.Options{
+		Mode: harness.ModePredict, Threads: 8, Buggy: true, Runtime: &cfg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	advice := Suggest(res.Report, Options{Geometry: res.Report.Geometry})
+	if len(advice) == 0 {
+		t.Fatal("no advice for histogram's known bug")
+	}
+	// The slots are 24 bytes; 128 is the safe stride.
+	if advice[0].Stride != 128 {
+		t.Errorf("stride = %d, want 128", advice[0].Stride)
+	}
+}
+
+func TestSuggestEmptyReport(t *testing.T) {
+	rep := &report.Report{}
+	if got := Suggest(rep, Options{}); len(got) != 0 {
+		t.Errorf("advice for empty report: %v", got)
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	for _, k := range []Kind{KindPadSlots, KindAlignAndPad, KindPadForLargerLines, KindSeparateObjects, Kind(99)} {
+		if k.String() == "" {
+			t.Error("empty kind name")
+		}
+	}
+}
+
+func TestSuggestSeparateSmallObjects(t *testing.T) {
+	// Two 16-byte objects allocated back-to-back by one thread land on
+	// one cache line; two OTHER threads then contend on them — the
+	// "many tiny objects per line" pattern whose fix is separation, not
+	// padding a single object's slots.
+	rep, _ := detectOn(t, func(rt *core.Runtime, h *mem.Heap) uint64 {
+		a, _ := h.Alloc(0, 16, 0)
+		b, _ := h.Alloc(0, 16, 0)
+		if a>>6 != b>>6 {
+			t.Fatalf("objects not on one line: %#x %#x", a, b)
+		}
+		for i := 0; i < 500; i++ {
+			rt.HandleAccess(1, a, 8, true)
+			rt.HandleAccess(2, b, 8, true)
+		}
+		return a
+	})
+	advice := Suggest(rep, Options{Geometry: rep.Geometry})
+	if len(advice) == 0 {
+		t.Fatal("no advice")
+	}
+	if advice[0].Kind != KindSeparateObjects {
+		t.Errorf("kind = %v, want separate objects", advice[0].Kind)
+	}
+	if !strings.Contains(advice[0].Text, "per-thread pools") {
+		t.Errorf("advice = %q", advice[0].Text)
+	}
+}

@@ -1,0 +1,18 @@
+package harness
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestDebugFake(t *testing.T) {
+	res, err := Execute(fakeWorkload{name: "dbg"}, testOpts(ModePredict, true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fmt.Printf("stats: %+v dur=%v\n", res.RuntimeStats, res.Duration)
+	for _, f := range res.Report.Findings {
+		fmt.Printf("  %v %v inv=%d span=%v\n", f.Source, f.Sharing, f.Invalidations, f.Span)
+	}
+	fmt.Println("findings:", len(res.Report.Findings))
+}

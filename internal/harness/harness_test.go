@@ -1,0 +1,290 @@
+package harness
+
+import (
+	"errors"
+	"testing"
+
+	"predator/internal/core"
+	"predator/internal/instr"
+	"predator/internal/mem"
+)
+
+// fakeWorkload is a minimal workload: threads ping-pong writes on one line
+// when Buggy, on separate lines when fixed.
+type fakeWorkload struct{ name string }
+
+func (f fakeWorkload) Name() string          { return f.name }
+func (f fakeWorkload) Suite() string         { return "test" }
+func (f fakeWorkload) Description() string   { return "synthetic ping-pong" }
+func (f fakeWorkload) HasFalseSharing() bool { return true }
+
+func (f fakeWorkload) Run(c *Ctx) (uint64, error) {
+	// The fixed variant pads to 128 bytes: 64-byte slots would still be
+	// falsely shared under PREDATOR's doubled-line-size prediction.
+	stride := uint64(128)
+	if c.Buggy {
+		stride = 8
+	}
+	t0 := c.NewThread("alloc")
+	addr, err := t0.Alloc(stride*uint64(c.Threads) + 64)
+	if err != nil {
+		return 0, err
+	}
+	iters := 10000 * c.Scale
+	c.Parallel(c.Threads, "worker", func(t *instr.Thread, id int) {
+		word := addr + uint64(id)*stride
+		for i := 0; i < iters; i++ {
+			t.Store64(word, uint64(i))
+			c.MaybeYield(i)
+		}
+	})
+	var sum uint64
+	for id := 0; id < c.Threads; id++ {
+		sum += t0.Load64(addr + uint64(id)*stride)
+	}
+	return sum, nil
+}
+
+type failingWorkload struct{}
+
+func (failingWorkload) Name() string             { return "failing" }
+func (failingWorkload) Suite() string            { return "test" }
+func (failingWorkload) Description() string      { return "always errors" }
+func (failingWorkload) HasFalseSharing() bool    { return false }
+func (failingWorkload) Run(*Ctx) (uint64, error) { return 0, errors.New("boom") }
+
+func testOpts(mode Mode, buggy bool) Options {
+	return Options{
+		Mode:     mode,
+		Threads:  4,
+		HeapSize: 8 << 20,
+		Buggy:    buggy,
+		Runtime:  &testRuntimeConfig,
+	}
+}
+
+var testRuntimeConfig = func() (c core.Config) {
+	c.TrackingThreshold = 10
+	c.PredictionThreshold = 20
+	c.ReportThreshold = 50
+	c.Prediction = true
+	return
+}()
+
+func TestExecuteBuggyDetects(t *testing.T) {
+	res, err := Execute(fakeWorkload{name: "fw1"}, testOpts(ModePredict, true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.FalseSharingFound() {
+		t.Error("buggy variant not detected")
+	}
+	if res.Duration <= 0 {
+		t.Error("duration not measured")
+	}
+	if res.RuntimeStats.Accesses == 0 {
+		t.Error("no accesses recorded")
+	}
+}
+
+func TestExecuteFixedClean(t *testing.T) {
+	res, err := Execute(fakeWorkload{name: "fw2"}, testOpts(ModePredict, false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FalseSharingFound() {
+		t.Errorf("fixed variant flagged: %s", res.Report.String())
+	}
+}
+
+func TestChecksumStableAcrossVariants(t *testing.T) {
+	buggy, err := Execute(fakeWorkload{name: "fw3"}, testOpts(ModePredict, true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fixed, err := Execute(fakeWorkload{name: "fw4"}, testOpts(ModePredict, false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if buggy.Checksum != fixed.Checksum {
+		t.Errorf("checksums differ: %d vs %d", buggy.Checksum, fixed.Checksum)
+	}
+}
+
+func TestNativeModeProducesNoReport(t *testing.T) {
+	res, err := Execute(fakeWorkload{name: "fw5"}, testOpts(ModeNative, true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Report != nil {
+		t.Error("native mode produced a report")
+	}
+	if res.FalseSharingFound() {
+		t.Error("native mode found false sharing")
+	}
+}
+
+func TestDetectModeDisablesPrediction(t *testing.T) {
+	res, err := Execute(fakeWorkload{name: "fw6"}, testOpts(ModeDetect, true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RuntimeStats.VirtualLines != 0 {
+		t.Error("PREDATOR-NP registered virtual lines")
+	}
+}
+
+func TestExecutePropagatesWorkloadError(t *testing.T) {
+	if _, err := Execute(failingWorkload{}, testOpts(ModeNative, false)); err == nil {
+		t.Error("workload error swallowed")
+	}
+}
+
+func TestMeasureMemory(t *testing.T) {
+	opts := testOpts(ModePredict, true)
+	opts.MeasureMemory = true
+	res, err := Execute(fakeWorkload{name: "fw7"}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MemAfter == 0 {
+		t.Error("memory not measured")
+	}
+	if res.MemUsed() < 8<<20 {
+		t.Errorf("MemUsed = %d, want at least the simulated heap", res.MemUsed())
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	w := fakeWorkload{name: "registry_probe"}
+	Register(w)
+	got, ok := Get("registry_probe")
+	if !ok || got.Name() != "registry_probe" {
+		t.Fatal("Get failed")
+	}
+	if _, ok := Get("no_such_workload"); ok {
+		t.Error("phantom workload")
+	}
+	found := false
+	for _, x := range All() {
+		if x.Name() == "registry_probe" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("All() missed registered workload")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate Register did not panic")
+		}
+	}()
+	Register(w)
+}
+
+func TestModeString(t *testing.T) {
+	if ModeNative.String() != "Original" || ModeDetect.String() != "PREDATOR-NP" ||
+		ModePredict.String() != "PREDATOR" || Mode(9).String() == "" {
+		t.Error("mode names wrong")
+	}
+}
+
+func TestOffsetSentinels(t *testing.T) {
+	o := Options{}.normalized()
+	if o.Offset != UseDefaultOffset {
+		t.Error("zero Offset should normalize to UseDefaultOffset")
+	}
+	o = Options{Offset: ForceOffsetZero}.normalized()
+	if o.Offset != ForceOffsetZero {
+		t.Error("ForceOffsetZero lost in normalization")
+	}
+}
+
+func TestCtxRandDeterministic(t *testing.T) {
+	c1 := &Ctx{Seed: 7}
+	c2 := &Ctx{Seed: 7}
+	if c1.Rand().Uint64() != c2.Rand().Uint64() {
+		t.Error("Rand not deterministic for equal seeds")
+	}
+}
+
+func TestExecuteSimRequiresSink(t *testing.T) {
+	if _, err := ExecuteSim(fakeWorkload{name: "s1"}, testOpts(ModeNative, true), nil); err == nil {
+		t.Error("nil sink accepted")
+	}
+}
+
+type countingSink struct{ n int }
+
+func (c *countingSink) HandleAccess(int, uint64, uint64, bool) { c.n++ }
+
+func TestExecuteSimDeliversAllAccesses(t *testing.T) {
+	sink := &countingSink{}
+	res, err := ExecuteSim(fakeWorkload{name: "s2"}, testOpts(ModeNative, true), sink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sink.n == 0 {
+		t.Error("sink saw nothing")
+	}
+	if res.Report != nil {
+		t.Error("sim execution produced a report")
+	}
+}
+
+func TestExecuteSimOnHeapUsesProvidedHeap(t *testing.T) {
+	h, err := mem.NewHeap(mem.Config{Size: 8 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := 0
+	h.SetAllocHook(func(mem.Object) { seen++ })
+	sink := &countingSink{}
+	if _, err := ExecuteSimOnHeap(fakeWorkload{name: "s3"}, testOpts(ModeNative, true), h, sink); err != nil {
+		t.Fatal(err)
+	}
+	if seen == 0 {
+		t.Error("workload did not allocate from the provided heap")
+	}
+	if _, err := ExecuteSimOnHeap(fakeWorkload{name: "s4"}, testOpts(ModeNative, true), nil, sink); err == nil {
+		t.Error("nil heap accepted")
+	}
+}
+
+func TestDeterministicOptionsPlumbed(t *testing.T) {
+	opts := testOpts(ModePredict, true)
+	opts.Deterministic = true
+	opts.DeterministicGrain = 8
+	a, err := Execute(fakeWorkload{name: "d1"}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Execute(fakeWorkload{name: "d2"}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fa, fb := a.Report.FalseSharing(), b.Report.FalseSharing()
+	if len(fa) == 0 || len(fa) != len(fb) {
+		t.Fatalf("findings: %d vs %d", len(fa), len(fb))
+	}
+	for i := range fa {
+		if fa[i].Invalidations != fb[i].Invalidations {
+			t.Errorf("deterministic mismatch at %d: %d vs %d",
+				i, fa[i].Invalidations, fb[i].Invalidations)
+		}
+	}
+}
+
+func TestPolicyPlumbedThroughOptions(t *testing.T) {
+	opts := testOpts(ModePredict, true)
+	opts.Policy = instr.Policy{WritesOnly: true}
+	res, err := Execute(fakeWorkload{name: "p1"}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// fakeWorkload's final reduction loads must be suppressed.
+	if res.RuntimeStats.Accesses != res.RuntimeStats.Writes {
+		t.Errorf("reads leaked through writes-only policy: %d vs %d",
+			res.RuntimeStats.Accesses, res.RuntimeStats.Writes)
+	}
+}

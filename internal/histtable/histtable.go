@@ -1,0 +1,134 @@
+// Package histtable implements PREDATOR's two-entry cache history table
+// (paper §2.3.1). Every tracked cache line (physical or virtual) owns one
+// Table. Each entry records a thread ID and an access type; the update rules
+// below decide, for every incoming access, whether it constitutes a cache
+// invalidation — a write to a line that another thread has accessed since
+// the line's last invalidation:
+//
+//   - Read, table full: ignored.
+//   - Read, table not full: recorded only if no existing entry already has
+//     this thread (an empty table records the first read).
+//   - Write, table full: invalidation (a full table always holds two
+//     distinct threads); the table is replaced by this write's entry.
+//   - Write, one entry from the same thread: entry updated, no invalidation.
+//   - Write, one entry from a different thread: invalidation; the table is
+//     replaced by this write's entry.
+//
+// A consequence the paper calls out: the table is never empty after the
+// first access — every invalidation replaces the table with the current
+// write rather than clearing it.
+//
+// The table packs both entries into one uint64 updated with compare-and-swap,
+// so concurrent accessors from workload goroutines never block.
+package histtable
+
+import "sync/atomic"
+
+// maxThreadID bounds thread IDs to what fits in an entry's ID field.
+const maxThreadID = 1<<30 - 1
+
+// Entry is one decoded history-table slot.
+type Entry struct {
+	Thread  int  // thread ID of the recorded access
+	IsWrite bool // access type
+	Valid   bool // slot occupied
+}
+
+// Packed entry layout (32 bits): [31] valid, [30] isWrite, [29:0] thread.
+const (
+	validBit = 1 << 31
+	writeBit = 1 << 30
+	tidMask  = 1<<30 - 1
+)
+
+func pack(tid int, isWrite bool) uint32 {
+	e := uint32(tid&tidMask) | validBit
+	if isWrite {
+		e |= writeBit
+	}
+	return e
+}
+
+func unpack(e uint32) Entry {
+	return Entry{
+		Thread:  int(e & tidMask),
+		IsWrite: e&writeBit != 0,
+		Valid:   e&validBit != 0,
+	}
+}
+
+// Table is a two-entry cache history table. The zero value is an empty,
+// ready-to-use table.
+type Table struct {
+	state atomic.Uint64 // entry0 in low 32 bits, entry1 in high 32 bits
+}
+
+// Access applies one access to the table per the rules above and reports
+// whether the access caused a cache invalidation. Thread IDs larger than
+// 2^30-1 are truncated (the runtime assigns small dense IDs).
+func (t *Table) Access(tid int, isWrite bool) (invalidated bool) {
+	newEntry := uint64(pack(tid, isWrite))
+	for {
+		old := t.state.Load()
+		e0 := uint32(old)
+		e1 := uint32(old >> 32)
+		full := e0&validBit != 0 && e1&validBit != 0
+
+		var next uint64
+		switch {
+		case isWrite && full:
+			// Full table means two distinct threads: this write
+			// invalidates at least one other copy.
+			invalidated = true
+			next = newEntry
+		case isWrite && e0&validBit != 0:
+			if int(e0&tidMask) == tid&tidMask {
+				invalidated = false
+			} else {
+				invalidated = true
+			}
+			next = newEntry
+		case isWrite:
+			// Empty table: first access.
+			invalidated = false
+			next = newEntry
+		case full:
+			// Read on a full table: nothing to record.
+			return false
+		case e0&validBit != 0:
+			if int(e0&tidMask) == tid&tidMask {
+				// Same thread already present: nothing to record.
+				return false
+			}
+			invalidated = false
+			next = old | newEntry<<32
+		default:
+			// Empty table: record the first read.
+			invalidated = false
+			next = newEntry
+		}
+		if t.state.CompareAndSwap(old, next) {
+			return invalidated
+		}
+	}
+}
+
+// Snapshot decodes the table's current entries. Entries[0] is the slot
+// writes collapse into.
+func (t *Table) Snapshot() [2]Entry {
+	s := t.state.Load()
+	return [2]Entry{unpack(uint32(s)), unpack(uint32(s >> 32))}
+}
+
+// Full reports whether both slots are occupied.
+func (t *Table) Full() bool {
+	s := t.state.Load()
+	return uint32(s)&validBit != 0 && uint32(s>>32)&validBit != 0
+}
+
+// Empty reports whether the table has seen no access since Reset.
+func (t *Table) Empty() bool { return t.state.Load() == 0 }
+
+// Reset clears the table (used when an unflagged object is freed and its
+// lines' metadata must be recycled).
+func (t *Table) Reset() { t.state.Store(0) }

@@ -1,0 +1,312 @@
+package histtable
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+// apply runs a sequence of (tid, isWrite) accesses and returns the number of
+// invalidations.
+func apply(t *Table, accesses ...[2]int) int {
+	inv := 0
+	for _, a := range accesses {
+		if t.Access(a[0], a[1] == 1) {
+			inv++
+		}
+	}
+	return inv
+}
+
+func TestFirstWriteNoInvalidation(t *testing.T) {
+	var tbl Table
+	if tbl.Access(1, true) {
+		t.Error("first write invalidated")
+	}
+	if tbl.Empty() {
+		t.Error("table empty after write")
+	}
+}
+
+func TestFirstReadRecorded(t *testing.T) {
+	var tbl Table
+	if tbl.Access(1, false) {
+		t.Error("first read invalidated")
+	}
+	snap := tbl.Snapshot()
+	if !snap[0].Valid || snap[0].Thread != 1 || snap[0].IsWrite {
+		t.Errorf("snapshot = %+v", snap)
+	}
+}
+
+func TestSameThreadWritesNeverInvalidate(t *testing.T) {
+	var tbl Table
+	for i := 0; i < 100; i++ {
+		if tbl.Access(3, true) {
+			t.Fatal("same-thread write stream invalidated")
+		}
+	}
+}
+
+func TestReadThenRemoteWriteInvalidates(t *testing.T) {
+	var tbl Table
+	tbl.Access(1, false) // T1 reads
+	if !tbl.Access(2, true) {
+		t.Error("write after remote read did not invalidate")
+	}
+}
+
+func TestWriteThenRemoteWriteInvalidates(t *testing.T) {
+	var tbl Table
+	tbl.Access(1, true)
+	if !tbl.Access(2, true) {
+		t.Error("write after remote write did not invalidate")
+	}
+}
+
+func TestReadOnFullTableIgnored(t *testing.T) {
+	var tbl Table
+	tbl.Access(1, false)
+	tbl.Access(2, false) // table now full with T1,T2 reads
+	if !tbl.Full() {
+		t.Fatal("table not full after two distinct reads")
+	}
+	before := tbl.Snapshot()
+	if tbl.Access(3, false) {
+		t.Error("read invalidated")
+	}
+	if tbl.Snapshot() != before {
+		t.Error("read on full table modified it")
+	}
+}
+
+func TestWriteOnFullTableInvalidatesAndReplaces(t *testing.T) {
+	var tbl Table
+	tbl.Access(1, false)
+	tbl.Access(2, false)
+	if !tbl.Access(1, true) {
+		// Even the thread already present invalidates: the other
+		// thread's copy dies.
+		t.Error("write on full table did not invalidate")
+	}
+	snap := tbl.Snapshot()
+	if !snap[0].Valid || snap[0].Thread != 1 || !snap[0].IsWrite {
+		t.Errorf("entry0 = %+v, want T1 write", snap[0])
+	}
+	if snap[1].Valid {
+		t.Errorf("entry1 = %+v, want invalid", snap[1])
+	}
+}
+
+func TestSameThreadReadNotDuplicated(t *testing.T) {
+	var tbl Table
+	tbl.Access(5, false)
+	tbl.Access(5, false)
+	if tbl.Full() {
+		t.Error("duplicate same-thread reads filled the table")
+	}
+}
+
+func TestNeverEmptyAfterFirstAccess(t *testing.T) {
+	// Paper: "There is no empty status since every cache invalidation
+	// should replace this table with the current write access."
+	var tbl Table
+	tbl.Access(1, true)
+	seq := [][2]int{{2, 1}, {3, 0}, {4, 1}, {4, 1}, {5, 0}, {6, 1}}
+	for _, a := range seq {
+		tbl.Access(a[0], a[1] == 1)
+		if tbl.Empty() {
+			t.Fatal("table became empty mid-stream")
+		}
+	}
+}
+
+func TestPingPongInvalidationCount(t *testing.T) {
+	// Alternating writers: every write after the first invalidates.
+	var tbl Table
+	inv := 0
+	for i := 0; i < 100; i++ {
+		if tbl.Access(i%2, true) {
+			inv++
+		}
+	}
+	if inv != 99 {
+		t.Errorf("invalidations = %d, want 99", inv)
+	}
+}
+
+func TestReaderWriterInterleaving(t *testing.T) {
+	// T2 reads, T1 writes, repeatedly: each write invalidates T2's copy.
+	var tbl Table
+	inv := apply(&tbl, [2]int{2, 0}, [2]int{1, 1}, [2]int{2, 0}, [2]int{1, 1}, [2]int{2, 0}, [2]int{1, 1})
+	if inv != 3 {
+		t.Errorf("invalidations = %d, want 3", inv)
+	}
+}
+
+func TestSingleThreadMixedNeverInvalidates(t *testing.T) {
+	var tbl Table
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 1000; i++ {
+		if tbl.Access(7, rng.Intn(2) == 0) {
+			t.Fatal("single-thread stream invalidated")
+		}
+	}
+}
+
+func TestReset(t *testing.T) {
+	var tbl Table
+	tbl.Access(1, true)
+	tbl.Reset()
+	if !tbl.Empty() {
+		t.Error("Reset did not empty table")
+	}
+}
+
+func TestLargeThreadIDTruncated(t *testing.T) {
+	var tbl Table
+	tbl.Access(maxThreadID+5, true) // truncates to 4
+	if tbl.Access(4, true) {
+		t.Error("same truncated tid treated as different")
+	}
+}
+
+// Property: invalidations never exceed the number of writes.
+func TestPropInvalidationsBoundedByWrites(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var tbl Table
+		writes, inv := 0, 0
+		for i := 0; i < int(n); i++ {
+			w := rng.Intn(2) == 0
+			if w {
+				writes++
+			}
+			if tbl.Access(rng.Intn(4), w) {
+				inv++
+			}
+		}
+		return inv <= writes
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: a stream from a single thread never invalidates, regardless of
+// access types.
+func TestPropSingleThreadClean(t *testing.T) {
+	f := func(seed int64, tid uint16, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var tbl Table
+		for i := 0; i < int(n); i++ {
+			if tbl.Access(int(tid), rng.Intn(2) == 0) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: after any write, the table holds exactly that write in slot 0
+// unless the write was absorbed into a same-thread update (in which case
+// slot 0 still holds the thread as a write).
+func TestPropWriteAlwaysLands(t *testing.T) {
+	f := func(seed int64, n uint8, tid uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var tbl Table
+		for i := 0; i < int(n); i++ {
+			tbl.Access(rng.Intn(4), rng.Intn(2) == 0)
+		}
+		tbl.Access(int(tid), true)
+		e := tbl.Snapshot()[0]
+		return e.Valid && e.IsWrite && e.Thread == int(tid)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: table is full only if the two entries hold different threads.
+func TestPropFullImpliesDistinctThreads(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var tbl Table
+		for i := 0; i < int(n); i++ {
+			tbl.Access(rng.Intn(3), rng.Intn(2) == 0)
+			if tbl.Full() {
+				s := tbl.Snapshot()
+				if s[0].Thread == s[1].Thread {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestConcurrentAccessSafety(t *testing.T) {
+	// Under concurrency we cannot assert exact counts, but the total
+	// invalidations must be positive for a write ping-pong and bounded by
+	// total writes, and the race detector must stay quiet.
+	var tbl Table
+	const workers, per = 4, 5000
+	var mu sync.Mutex
+	totalInv := 0
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(tid int) {
+			defer wg.Done()
+			inv := 0
+			for i := 0; i < per; i++ {
+				if tbl.Access(tid, true) {
+					inv++
+				}
+			}
+			mu.Lock()
+			totalInv += inv
+			mu.Unlock()
+		}(w)
+	}
+	wg.Wait()
+	if totalInv == 0 {
+		t.Error("concurrent write ping-pong produced no invalidations")
+	}
+	if totalInv > workers*per {
+		t.Errorf("invalidations %d exceed writes %d", totalInv, workers*per)
+	}
+}
+
+func BenchmarkAccessSameThread(b *testing.B) {
+	var tbl Table
+	for i := 0; i < b.N; i++ {
+		tbl.Access(1, true)
+	}
+}
+
+func BenchmarkAccessPingPong(b *testing.B) {
+	var tbl Table
+	for i := 0; i < b.N; i++ {
+		tbl.Access(i&1, true)
+	}
+}
+
+func BenchmarkAccessParallel(b *testing.B) {
+	var tbl Table
+	var next int64
+	b.RunParallel(func(pb *testing.PB) {
+		tid := int(next)
+		next++
+		for pb.Next() {
+			tbl.Access(tid, true)
+		}
+	})
+}

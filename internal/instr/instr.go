@@ -1,0 +1,288 @@
+// Package instr is PREDATOR's instrumentation front-end — the Go analog of
+// the paper's LLVM pass (§2.2). The LLVM pass rewrites every load and store
+// into a call that tells the runtime the access's address, size, and type;
+// here, workloads access the simulated heap exclusively through the typed
+// accessors on Thread, each of which performs the access on backing memory
+// and then delivers the identical (thread, address, size, read/write) event
+// to the runtime.
+//
+// The selective-instrumentation knobs of §2.4.2 are modelled as front-end
+// policy: writes-only instrumentation (detecting write-write false sharing
+// only, as SHERIFF does), per-site deduplication (the pass instruments each
+// access expression once per basic block — emulated by dropping immediately
+// repeated (address, type) events per thread), and function black/whitelists
+// keyed by a thread's current scope.
+package instr
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"sync/atomic"
+
+	"predator/internal/mem"
+	"predator/internal/sched"
+)
+
+// Sink receives instrumentation events. *core.Runtime implements Sink; a
+// trace writer or a tee can stand in for it.
+type Sink interface {
+	HandleAccess(tid int, addr, size uint64, isWrite bool)
+}
+
+// Policy selects which accesses are reported to the runtime (§2.4.2). The
+// zero value reports everything.
+type Policy struct {
+	// WritesOnly drops read events, trading read-write detection for
+	// lower overhead (write-write false sharing is still found).
+	WritesOnly bool
+	// DedupWindow > 0 models the pass instrumenting each (address, type)
+	// once per basic block: the thread's event stream is cut into blocks
+	// of DedupWindow accessor calls, and within one block duplicate
+	// (line, type) events are dropped. Each new block re-emits, exactly
+	// like re-executing an instrumented loop body.
+	DedupWindow int
+	// Whitelist, when non-empty, reports only accesses from threads
+	// whose current scope is listed.
+	Whitelist map[string]bool
+	// Blacklist drops accesses from threads whose scope is listed.
+	Blacklist map[string]bool
+}
+
+// allows reports whether the policy passes an event from the given scope.
+func (p *Policy) allows(scope string, isWrite bool) bool {
+	if p.WritesOnly && !isWrite {
+		return false
+	}
+	if len(p.Whitelist) > 0 && !p.Whitelist[scope] {
+		return false
+	}
+	if p.Blacklist[scope] {
+		return false
+	}
+	return true
+}
+
+// Instrumenter owns the heap/runtime binding and mints Thread handles.
+type Instrumenter struct {
+	heap   *mem.Heap
+	data   []byte
+	base   uint64
+	sink   Sink
+	policy Policy
+
+	enabled    atomic.Bool
+	nextTID    atomic.Int64
+	delivered  atomic.Uint64
+	suppressed atomic.Uint64
+}
+
+// New binds an instrumenter to a heap and a sink. A nil sink produces an
+// uninstrumented ("Original") executor: accessors touch memory but report
+// nothing — the baseline for overhead measurements.
+func New(h *mem.Heap, sink Sink, policy Policy) *Instrumenter {
+	data, base := h.Backing()
+	in := &Instrumenter{heap: h, data: data, base: base, sink: sink, policy: policy}
+	in.enabled.Store(sink != nil)
+	return in
+}
+
+// Heap returns the bound heap.
+func (in *Instrumenter) Heap() *mem.Heap { return in.heap }
+
+// SetEnabled toggles event delivery at runtime.
+func (in *Instrumenter) SetEnabled(v bool) { in.enabled.Store(v && in.sink != nil) }
+
+// Delivered returns the number of events delivered to the sink.
+func (in *Instrumenter) Delivered() uint64 { return in.delivered.Load() }
+
+// Suppressed returns the number of events dropped by policy or dedup.
+func (in *Instrumenter) Suppressed() uint64 { return in.suppressed.Load() }
+
+// dedupSlots is the fixed capacity of a thread's dedup ring.
+const dedupSlots = 16
+
+// Thread is one logical thread's handle: a dense thread ID plus unshared
+// accessor state. A Thread must be used from a single goroutine.
+type Thread struct {
+	in    *Instrumenter
+	id    int
+	name  string
+	scope string
+	slot  *sched.Slot // deterministic-schedule handle; nil when free-running
+
+	ring    [dedupSlots]uint64 // packed (line<<1 | isWrite) history
+	ringLen int
+	ringPos int
+	evCount int // accessor calls since the current dedup block began
+}
+
+// NewThread mints a handle with the next dense thread ID.
+func (in *Instrumenter) NewThread(name string) *Thread {
+	id := int(in.nextTID.Add(1) - 1)
+	return &Thread{in: in, id: id, name: name}
+}
+
+// ID returns the thread's dense ID.
+func (t *Thread) ID() int { return t.id }
+
+// Name returns the thread's label.
+func (t *Thread) Name() string { return t.name }
+
+// SetScope labels the code region the thread is executing (function or
+// module name) for white/blacklist filtering.
+func (t *Thread) SetScope(scope string) { t.scope = scope }
+
+// SetSlot attaches a deterministic scheduler slot: every accessor call then
+// counts one scheduling tick, so thread interleaving — and with it every
+// invalidation count — is exactly reproducible (see internal/sched).
+func (t *Thread) SetSlot(slot *sched.Slot) { t.slot = slot }
+
+// Alloc allocates from the heap on behalf of this thread, attributing the
+// callsite to Alloc's caller.
+func (t *Thread) Alloc(size uint64) (uint64, error) {
+	return t.in.heap.Alloc(t.id, size, 1)
+}
+
+// AllocWithOffset allocates with a chosen in-line offset (Figure 2 hook).
+func (t *Thread) AllocWithOffset(size, offset uint64) (uint64, error) {
+	return t.in.heap.AllocWithOffset(t.id, size, offset, 1)
+}
+
+// Free releases an allocation.
+func (t *Thread) Free(addr uint64) error { return t.in.heap.Free(addr) }
+
+// notify delivers one event, applying the enable gate and policy.
+func (t *Thread) notify(addr, size uint64, isWrite bool) {
+	if t.slot != nil {
+		t.slot.Tick()
+	}
+	in := t.in
+	if !in.enabled.Load() {
+		return
+	}
+	if !in.policy.allows(t.scope, isWrite) {
+		in.suppressed.Add(1)
+		return
+	}
+	if w := in.policy.DedupWindow; w > 0 {
+		// Block boundary: a fresh "basic block" re-emits everything.
+		if t.evCount >= w {
+			t.evCount = 0
+			t.ringLen = 0
+			t.ringPos = 0
+		}
+		t.evCount++
+		key := (addr >> 6 << 1)
+		if isWrite {
+			key |= 1
+		}
+		n := min(w, min(t.ringLen, dedupSlots))
+		for i := 1; i <= n; i++ {
+			if t.ring[(t.ringPos-i+dedupSlots)%dedupSlots] == key {
+				in.suppressed.Add(1)
+				return
+			}
+		}
+		t.ring[t.ringPos] = key
+		t.ringPos = (t.ringPos + 1) % dedupSlots
+		if t.ringLen < dedupSlots {
+			t.ringLen++
+		}
+	}
+	in.delivered.Add(1)
+	in.sink.HandleAccess(t.id, addr, size, isWrite)
+}
+
+// check panics on out-of-heap accesses: workloads are trusted code, and an
+// out-of-range access is a workload bug that must fail loudly.
+func (t *Thread) check(addr, size uint64) uint64 {
+	off := addr - t.in.base
+	if addr < t.in.base || off+size > uint64(len(t.in.data)) || off+size < off {
+		panic(fmt.Sprintf("instr: access [%#x,%#x) outside simulated heap", addr, addr+size))
+	}
+	return off
+}
+
+// Load64 reads a 64-bit value.
+func (t *Thread) Load64(addr uint64) uint64 {
+	off := t.check(addr, 8)
+	v := binary.LittleEndian.Uint64(t.in.data[off:])
+	t.notify(addr, 8, false)
+	return v
+}
+
+// Store64 writes a 64-bit value.
+func (t *Thread) Store64(addr uint64, v uint64) {
+	off := t.check(addr, 8)
+	binary.LittleEndian.PutUint64(t.in.data[off:], v)
+	t.notify(addr, 8, true)
+}
+
+// Load32 reads a 32-bit value.
+func (t *Thread) Load32(addr uint64) uint32 {
+	off := t.check(addr, 4)
+	v := binary.LittleEndian.Uint32(t.in.data[off:])
+	t.notify(addr, 4, false)
+	return v
+}
+
+// Store32 writes a 32-bit value.
+func (t *Thread) Store32(addr uint64, v uint32) {
+	off := t.check(addr, 4)
+	binary.LittleEndian.PutUint32(t.in.data[off:], v)
+	t.notify(addr, 4, true)
+}
+
+// Load8 reads one byte.
+func (t *Thread) Load8(addr uint64) byte {
+	off := t.check(addr, 1)
+	v := t.in.data[off]
+	t.notify(addr, 1, false)
+	return v
+}
+
+// Store8 writes one byte.
+func (t *Thread) Store8(addr uint64, v byte) {
+	off := t.check(addr, 1)
+	t.in.data[off] = v
+	t.notify(addr, 1, true)
+}
+
+// LoadFloat64 reads a float64.
+func (t *Thread) LoadFloat64(addr uint64) float64 {
+	return math.Float64frombits(t.Load64(addr))
+}
+
+// StoreFloat64 writes a float64.
+func (t *Thread) StoreFloat64(addr uint64, v float64) {
+	t.Store64(addr, math.Float64bits(v))
+}
+
+// LoadInt64 reads an int64.
+func (t *Thread) LoadInt64(addr uint64) int64 { return int64(t.Load64(addr)) }
+
+// StoreInt64 writes an int64.
+func (t *Thread) StoreInt64(addr uint64, v int64) { t.Store64(addr, uint64(v)) }
+
+// AddInt64 is a read-modify-write convenience: one load plus one store.
+func (t *Thread) AddInt64(addr uint64, delta int64) int64 {
+	v := t.LoadInt64(addr) + delta
+	t.StoreInt64(addr, v)
+	return v
+}
+
+// ReadBytes copies n bytes from the heap into dst and reports one read of
+// that size (the pass would emit one event for a memcpy-like intrinsic).
+func (t *Thread) ReadBytes(addr uint64, dst []byte) {
+	off := t.check(addr, uint64(len(dst)))
+	copy(dst, t.in.data[off:off+uint64(len(dst))])
+	t.notify(addr, uint64(len(dst)), false)
+}
+
+// WriteBytes copies src into the heap and reports one write of that size.
+func (t *Thread) WriteBytes(addr uint64, src []byte) {
+	off := t.check(addr, uint64(len(src)))
+	copy(t.in.data[off:off+uint64(len(src))], src)
+	t.notify(addr, uint64(len(src)), true)
+}

@@ -1,0 +1,217 @@
+// Package layout models C-style struct layouts so fix suggestions can be
+// phrased at source level. The paper's future work (§6, "Suggest Fixes")
+// proposes using memory trace information to prescribe concrete fixes;
+// this package provides the machinery: describe a struct's fields, compute
+// their offsets under C alignment rules, map a finding's hot words back to
+// field names, and synthesize a padded layout that removes the sharing.
+package layout
+
+import (
+	"fmt"
+	"strings"
+
+	"predator/internal/cacheline"
+)
+
+// Field is one struct member.
+type Field struct {
+	Name  string
+	Size  uint64 // size of one element in bytes (1,2,4,8 or a struct size)
+	Align uint64 // alignment requirement; 0 means natural (== min(Size,8))
+	Count uint64 // array length; 0 or 1 means scalar
+}
+
+// elements returns the number of array elements (at least 1).
+func (f Field) elements() uint64 {
+	if f.Count < 1 {
+		return 1
+	}
+	return f.Count
+}
+
+// alignment returns the effective alignment.
+func (f Field) alignment() uint64 {
+	if f.Align != 0 {
+		return f.Align
+	}
+	if f.Size >= 8 {
+		return 8
+	}
+	// Natural alignment: the largest power of two not above Size.
+	a := uint64(1)
+	for a*2 <= f.Size {
+		a *= 2
+	}
+	return a
+}
+
+// bytes returns the field's total byte length.
+func (f Field) bytes() uint64 { return f.Size * f.elements() }
+
+// Placed is a field with its resolved offset.
+type Placed struct {
+	Field
+	Offset uint64
+}
+
+// End returns the first byte past the field.
+func (p Placed) End() uint64 { return p.Offset + p.bytes() }
+
+// Struct is a laid-out composite type.
+type Struct struct {
+	Name   string
+	Fields []Placed
+	size   uint64
+	align  uint64
+}
+
+// New lays out the fields in declaration order under C rules: each field is
+// placed at the next offset aligned to its requirement; the struct's size is
+// rounded up to its strictest member alignment.
+func New(name string, fields ...Field) (*Struct, error) {
+	s := &Struct{Name: name, align: 1}
+	var off uint64
+	seen := map[string]bool{}
+	for _, f := range fields {
+		if f.Name == "" || f.Size == 0 {
+			return nil, fmt.Errorf("layout: field %q needs a name and size", f.Name)
+		}
+		if seen[f.Name] {
+			return nil, fmt.Errorf("layout: duplicate field %q", f.Name)
+		}
+		seen[f.Name] = true
+		a := f.alignment()
+		if a&(a-1) != 0 {
+			return nil, fmt.Errorf("layout: field %q alignment %d not a power of two", f.Name, a)
+		}
+		off = (off + a - 1) &^ (a - 1)
+		s.Fields = append(s.Fields, Placed{Field: f, Offset: off})
+		off += f.bytes()
+		if a > s.align {
+			s.align = a
+		}
+	}
+	s.size = (off + s.align - 1) &^ (s.align - 1)
+	return s, nil
+}
+
+// MustNew is New that panics on error (for literal layouts in tests/docs).
+func MustNew(name string, fields ...Field) *Struct {
+	s, err := New(name, fields...)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Size returns the struct's size including tail padding.
+func (s *Struct) Size() uint64 { return s.size }
+
+// Align returns the struct's alignment.
+func (s *Struct) Align() uint64 { return s.align }
+
+// FieldAt returns the field containing the given byte offset.
+func (s *Struct) FieldAt(offset uint64) (Placed, bool) {
+	for _, f := range s.Fields {
+		if offset >= f.Offset && offset < f.End() {
+			return f, true
+		}
+	}
+	return Placed{}, false
+}
+
+// Occupancy describes which fields of an instance at the given in-line
+// start offset land on which cache line (line indices are relative to the
+// instance's first line).
+type Occupancy struct {
+	Line   uint64
+	Fields []string
+}
+
+// LinesTouched computes per-line field occupancy for one instance whose
+// first byte sits at offset within a cache line.
+func (s *Struct) LinesTouched(geom cacheline.Geometry, offset uint64) []Occupancy {
+	byLine := map[uint64][]string{}
+	var maxLine uint64
+	for _, f := range s.Fields {
+		first := (offset + f.Offset) >> geom.Shift()
+		last := (offset + f.End() - 1) >> geom.Shift()
+		for l := first; l <= last; l++ {
+			byLine[l] = append(byLine[l], f.Name)
+			if l > maxLine {
+				maxLine = l
+			}
+		}
+	}
+	var out []Occupancy
+	for l := uint64(0); l <= maxLine; l++ {
+		if fields := byLine[l]; len(fields) > 0 {
+			out = append(out, Occupancy{Line: l, Fields: fields})
+		}
+	}
+	return out
+}
+
+// SharedLines reports, for an array of instances placed back to back at the
+// given starting in-line offset, which pairs of consecutive instances share
+// a cache line — the layout-level definition of the per-thread-slot false
+// sharing bug.
+func (s *Struct) SharedLines(geom cacheline.Geometry, offset uint64) bool {
+	// Instance i ends at offset+size*(i+1); instance i+1 begins there.
+	// They share a line iff that boundary is not line-aligned and both
+	// sides have bytes in the boundary line. Scanning a full period of
+	// lcm(size, lineSize)/size instances covers all phases.
+	period := geom.Size() / gcd(s.size%geom.Size(), geom.Size())
+	if s.size%geom.Size() == 0 {
+		period = 1
+	}
+	for i := uint64(0); i < period; i++ {
+		boundary := offset + s.size*(i+1)
+		if boundary%geom.Size() != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+func gcd(a, b uint64) uint64 {
+	if a == 0 {
+		return b
+	}
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}
+
+// PadTo returns a new layout with a trailing pad field so consecutive
+// instances are stride bytes apart. stride must be at least Size.
+func (s *Struct) PadTo(stride uint64) (*Struct, error) {
+	if stride < s.size {
+		return nil, fmt.Errorf("layout: stride %d below struct size %d", stride, s.size)
+	}
+	if stride == s.size {
+		return s, nil
+	}
+	fields := make([]Field, 0, len(s.Fields)+1)
+	for _, f := range s.Fields {
+		fields = append(fields, f.Field)
+	}
+	fields = append(fields, Field{Name: "_pad", Size: 1, Count: stride - s.size, Align: 1})
+	return New(s.Name+"_padded", fields...)
+}
+
+// String renders the layout like a C declaration with offsets.
+func (s *Struct) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "struct %s { // size %d, align %d\n", s.Name, s.size, s.align)
+	for _, f := range s.Fields {
+		count := ""
+		if f.elements() > 1 {
+			count = fmt.Sprintf("[%d]", f.elements())
+		}
+		fmt.Fprintf(&b, "\t%s%s; // offset %d, %d byte(s)\n", f.Name, count, f.Offset, f.bytes())
+	}
+	b.WriteString("}")
+	return b.String()
+}

@@ -1,0 +1,243 @@
+package layout
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"predator/internal/cacheline"
+)
+
+var geom = cacheline.MustGeometry(64)
+
+// lregArgs is the paper's Figure 6 structure.
+func lregArgs(t testing.TB) *Struct {
+	t.Helper()
+	s, err := New("lreg_args",
+		Field{Name: "tid", Size: 8},
+		Field{Name: "points", Size: 8},
+		Field{Name: "num_elems", Size: 4},
+		Field{Name: "SX", Size: 8},
+		Field{Name: "SY", Size: 8},
+		Field{Name: "SXX", Size: 8},
+		Field{Name: "SYY", Size: 8},
+		Field{Name: "SXY", Size: 8},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestLregArgsLayoutMatchesPaper(t *testing.T) {
+	s := lregArgs(t)
+	// The paper: the struct is 64 bytes on 64-bit; SX starts at 24 (the
+	// int num_elems is padded to 8 for the following long long).
+	if s.Size() != 64 {
+		t.Fatalf("size = %d, want 64", s.Size())
+	}
+	wantOffsets := map[string]uint64{
+		"tid": 0, "points": 8, "num_elems": 16,
+		"SX": 24, "SY": 32, "SXX": 40, "SYY": 48, "SXY": 56,
+	}
+	for _, f := range s.Fields {
+		if f.Offset != wantOffsets[f.Name] {
+			t.Errorf("%s offset = %d, want %d", f.Name, f.Offset, wantOffsets[f.Name])
+		}
+	}
+}
+
+func TestFieldAt(t *testing.T) {
+	s := lregArgs(t)
+	f, ok := s.FieldAt(25)
+	if !ok || f.Name != "SX" {
+		t.Errorf("FieldAt(25) = %v, want SX", f.Name)
+	}
+	f, ok = s.FieldAt(16)
+	if !ok || f.Name != "num_elems" {
+		t.Errorf("FieldAt(16) = %v", f.Name)
+	}
+	if _, ok := s.FieldAt(20); ok { // alignment hole after num_elems
+		t.Error("FieldAt inside padding hole resolved a field")
+	}
+	if _, ok := s.FieldAt(64); ok {
+		t.Error("FieldAt past end resolved a field")
+	}
+}
+
+func TestAlignmentHoles(t *testing.T) {
+	s, err := New("holey",
+		Field{Name: "a", Size: 1},
+		Field{Name: "b", Size: 8},
+		Field{Name: "c", Size: 2},
+		Field{Name: "d", Size: 4},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// a@0, b@8, c@16, d@20 -> size 24 (align 8).
+	want := map[string]uint64{"a": 0, "b": 8, "c": 16, "d": 20}
+	for _, f := range s.Fields {
+		if f.Offset != want[f.Name] {
+			t.Errorf("%s offset = %d, want %d", f.Name, f.Offset, want[f.Name])
+		}
+	}
+	if s.Size() != 24 {
+		t.Errorf("size = %d, want 24", s.Size())
+	}
+}
+
+func TestArrays(t *testing.T) {
+	s, err := New("arr",
+		Field{Name: "locks", Size: 4, Count: 41},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Size() != 164 {
+		t.Errorf("size = %d, want 164", s.Size())
+	}
+}
+
+func TestValidation(t *testing.T) {
+	if _, err := New("x", Field{Name: "", Size: 8}); err == nil {
+		t.Error("empty name accepted")
+	}
+	if _, err := New("x", Field{Name: "a", Size: 0}); err == nil {
+		t.Error("zero size accepted")
+	}
+	if _, err := New("x", Field{Name: "a", Size: 8}, Field{Name: "a", Size: 8}); err == nil {
+		t.Error("duplicate field accepted")
+	}
+	if _, err := New("x", Field{Name: "a", Size: 8, Align: 3}); err == nil {
+		t.Error("non-power-of-two alignment accepted")
+	}
+}
+
+func TestLinesTouched(t *testing.T) {
+	s := lregArgs(t)
+	// At offset 0 the 64-byte struct occupies exactly line 0.
+	occ := s.LinesTouched(geom, 0)
+	if len(occ) != 1 || occ[0].Line != 0 || len(occ[0].Fields) != 8 {
+		t.Errorf("offset 0: %+v", occ)
+	}
+	// At offset 24 it spans lines 0 and 1, splitting the accumulators.
+	occ = s.LinesTouched(geom, 24)
+	if len(occ) != 2 {
+		t.Fatalf("offset 24: %+v", occ)
+	}
+	line1 := occ[1].Fields
+	found := strings.Join(line1, ",")
+	if !strings.Contains(found, "SXX") || !strings.Contains(found, "SXY") {
+		t.Errorf("line 1 fields = %v, want the split accumulators", line1)
+	}
+}
+
+func TestSharedLines(t *testing.T) {
+	s := lregArgs(t) // 64 bytes
+	if s.SharedLines(geom, 0) {
+		t.Error("line-sized struct at offset 0 reported sharing")
+	}
+	if !s.SharedLines(geom, 24) {
+		t.Error("offset 24 not reported as sharing")
+	}
+	small := MustNew("counter", Field{Name: "n", Size: 8}, Field{Name: "m", Size: 8},
+		Field{Name: "k", Size: 8}) // 24 bytes: always shares
+	if !small.SharedLines(geom, 0) {
+		t.Error("24-byte packed slots reported clean")
+	}
+	padded, err := small.PadTo(128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if padded.SharedLines(geom, 0) {
+		t.Error("128-byte padded slots reported sharing")
+	}
+}
+
+func TestPadTo(t *testing.T) {
+	s := lregArgs(t)
+	p, err := s.PadTo(128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Size() != 128 {
+		t.Errorf("padded size = %d, want 128", p.Size())
+	}
+	if p == s {
+		t.Error("PadTo returned the original for a larger stride")
+	}
+	same, err := s.PadTo(64)
+	if err != nil || same != s {
+		t.Error("PadTo(current size) should return the original")
+	}
+	if _, err := s.PadTo(32); err == nil {
+		t.Error("PadTo below size accepted")
+	}
+	if !strings.Contains(p.String(), "_pad") {
+		t.Errorf("padded layout missing pad field:\n%s", p)
+	}
+}
+
+func TestStringRendersOffsets(t *testing.T) {
+	s := lregArgs(t)
+	out := s.String()
+	for _, want := range []string{"struct lreg_args", "SX; // offset 24", "size 64"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("String() missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// Property: fields never overlap and appear in declaration order.
+func TestPropNoOverlap(t *testing.T) {
+	f := func(sizes []uint8) bool {
+		if len(sizes) == 0 || len(sizes) > 12 {
+			return true
+		}
+		fields := make([]Field, len(sizes))
+		for i, sz := range sizes {
+			s := uint64(sz%16) + 1
+			fields[i] = Field{Name: string(rune('a' + i)), Size: s}
+		}
+		s, err := New("p", fields...)
+		if err != nil {
+			return false
+		}
+		var prevEnd uint64
+		for _, f := range s.Fields {
+			if f.Offset < prevEnd {
+				return false
+			}
+			if f.Offset%f.alignment() != 0 {
+				return false
+			}
+			prevEnd = f.End()
+		}
+		return s.Size() >= prevEnd && s.Size()%s.Align() == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: a layout padded to a multiple of double the line size never
+// shares lines at any line-aligned offset.
+func TestPropPaddedNeverShares(t *testing.T) {
+	f := func(rawSize uint16) bool {
+		size := uint64(rawSize%200) + 8
+		s, err := New("q", Field{Name: "x", Size: 1, Count: size, Align: 1})
+		if err != nil {
+			return false
+		}
+		stride := (size + 127) &^ 127
+		p, err := s.PadTo(stride)
+		if err != nil {
+			return false
+		}
+		return !p.SharedLines(geom, 0)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

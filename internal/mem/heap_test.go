@@ -1,0 +1,421 @@
+package mem
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"predator/internal/cacheline"
+)
+
+func testHeap(t testing.TB) *Heap {
+	t.Helper()
+	h, err := NewHeap(Config{Size: 16 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h
+}
+
+func TestNewHeapDefaults(t *testing.T) {
+	h, err := NewHeap(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Base() != DefaultBase {
+		t.Errorf("Base = %#x, want %#x", h.Base(), uint64(DefaultBase))
+	}
+	if h.Size() != DefaultSize {
+		t.Errorf("Size = %d, want %d", h.Size(), uint64(DefaultSize))
+	}
+	if h.Geometry().Size() != cacheline.DefaultSize {
+		t.Errorf("line size = %d, want %d", h.Geometry().Size(), cacheline.DefaultSize)
+	}
+}
+
+func TestNewHeapRejectsBadConfig(t *testing.T) {
+	if _, err := NewHeap(Config{Size: 1000}); err == nil {
+		t.Error("non-chunk-multiple size accepted")
+	}
+	if _, err := NewHeap(Config{Base: 0x1001, Size: chunkSize}); err == nil {
+		t.Error("unaligned base accepted")
+	}
+	if _, err := NewHeap(Config{LineSize: 33, Size: chunkSize}); err == nil {
+		t.Error("non-power-of-two line size accepted")
+	}
+}
+
+func TestAllocBasics(t *testing.T) {
+	h := testHeap(t)
+	addr, err := h.Alloc(0, 100, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !h.Contains(addr, 100) {
+		t.Fatalf("allocation %#x outside heap", addr)
+	}
+	o, ok := h.FindObject(addr + 50)
+	if !ok {
+		t.Fatal("FindObject failed on interior address")
+	}
+	if o.Start != addr || o.Size != 100 || o.Thread != 0 {
+		t.Errorf("object = %+v", o)
+	}
+	if o.Callsite.IsZero() {
+		t.Error("allocation callsite not captured")
+	}
+	if !strings.Contains(o.Callsite.Leaf().File, "heap_test.go") {
+		t.Errorf("callsite leaf = %v, want heap_test.go", o.Callsite.Leaf())
+	}
+}
+
+func TestAllocZeroSize(t *testing.T) {
+	h := testHeap(t)
+	a, err := h.Alloc(0, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := h.Alloc(0, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a == b {
+		t.Error("two zero-size allocations share an address")
+	}
+}
+
+func TestDataBounds(t *testing.T) {
+	h := testHeap(t)
+	addr, _ := h.Alloc(0, 64, 0)
+	buf, err := h.Data(addr, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(buf) != 64 {
+		t.Fatalf("len = %d", len(buf))
+	}
+	buf[0] = 0xAB
+	buf2, _ := h.Data(addr, 1)
+	if buf2[0] != 0xAB {
+		t.Error("Data views do not alias backing store")
+	}
+	if _, err := h.Data(h.Base()-1, 1); err == nil {
+		t.Error("below-base access accepted")
+	}
+	if _, err := h.Data(h.Base()+h.Size()-1, 2); err == nil {
+		t.Error("past-end access accepted")
+	}
+	if _, err := h.Data(^uint64(0), 2); err == nil {
+		t.Error("overflowing access accepted")
+	}
+}
+
+func TestThreadsNeverShareCacheLines(t *testing.T) {
+	h := testHeap(t)
+	geom := h.Geometry()
+	lineOwner := map[uint64]int{}
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for tid := 0; tid < 8; tid++ {
+		wg.Add(1)
+		go func(tid int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				size := uint64(8 + (i%13)*24)
+				addr, err := h.Alloc(tid, size, 0)
+				if err != nil {
+					t.Errorf("alloc: %v", err)
+					return
+				}
+				first := geom.Index(addr)
+				last := geom.Index(addr + size - 1)
+				mu.Lock()
+				for l := first; l <= last; l++ {
+					if owner, ok := lineOwner[l]; ok && owner != tid {
+						t.Errorf("line %#x shared by threads %d and %d", l, owner, tid)
+					}
+					lineOwner[l] = tid
+				}
+				mu.Unlock()
+			}
+		}(tid)
+	}
+	wg.Wait()
+}
+
+func TestAllocationsDoNotOverlap(t *testing.T) {
+	h := testHeap(t)
+	type span struct{ start, end uint64 }
+	var spans []span
+	for i := 0; i < 2000; i++ {
+		size := uint64(1 + (i*37)%300)
+		addr, err := h.Alloc(i%4, size, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		spans = append(spans, span{addr, addr + size})
+	}
+	for i := range spans {
+		for j := i + 1; j < len(spans); j++ {
+			a, b := spans[i], spans[j]
+			if a.start < b.end && b.start < a.end {
+				t.Fatalf("allocations overlap: [%#x,%#x) and [%#x,%#x)", a.start, a.end, b.start, b.end)
+			}
+		}
+	}
+}
+
+func TestAllocWithOffset(t *testing.T) {
+	h := testHeap(t)
+	geom := h.Geometry()
+	for _, off := range []uint64{0, 8, 16, 24, 32, 40, 48, 56} {
+		addr, err := h.AllocWithOffset(0, 200, off, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := geom.Offset(addr); got != off {
+			t.Errorf("offset = %d, want %d", got, off)
+		}
+		if _, ok := h.FindObject(addr); !ok {
+			t.Error("offset allocation not registered")
+		}
+	}
+	if _, err := h.AllocWithOffset(0, 8, 64, 0); err == nil {
+		t.Error("offset >= line size accepted")
+	}
+}
+
+func TestFreeAndReuse(t *testing.T) {
+	h := testHeap(t)
+	addr, _ := h.Alloc(0, 64, 0)
+	var hooked []uint64
+	h.SetFreeHook(func(start, size uint64) { hooked = append(hooked, start, size) })
+	if err := h.Free(addr); err != nil {
+		t.Fatal(err)
+	}
+	if len(hooked) != 2 || hooked[0] != addr || hooked[1] != 64 {
+		t.Errorf("free hook saw %v", hooked)
+	}
+	if _, ok := h.FindObject(addr); ok {
+		t.Error("freed object still resolvable")
+	}
+	// Same-class allocation from the same thread reuses the slot.
+	addr2, _ := h.Alloc(0, 60, 0)
+	if addr2 != addr {
+		t.Errorf("reuse: got %#x, want recycled %#x", addr2, addr)
+	}
+}
+
+func TestFreeErrors(t *testing.T) {
+	h := testHeap(t)
+	if err := h.Free(h.Base() + 128); err == nil {
+		t.Error("free of never-allocated address accepted")
+	}
+	addr, _ := h.Alloc(0, 32, 0)
+	if err := h.Free(addr); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Free(addr); err == nil {
+		t.Error("double free accepted")
+	}
+	g, _ := h.DefineGlobal("g", 8)
+	if err := h.Free(g); err == nil {
+		t.Error("free of global accepted")
+	}
+}
+
+func TestFlaggedObjectsNeverReused(t *testing.T) {
+	h := testHeap(t)
+	addr, _ := h.Alloc(0, 64, 0)
+	if !h.FlagObject(addr + 8) {
+		t.Fatal("FlagObject failed")
+	}
+	if err := h.Free(addr); err != nil {
+		t.Fatal(err)
+	}
+	// Flagged object must stay resolvable and its slot must not recycle.
+	if _, ok := h.FindObject(addr); !ok {
+		t.Error("flagged object vanished after free")
+	}
+	addr2, _ := h.Alloc(0, 64, 0)
+	if addr2 == addr {
+		t.Error("flagged object's memory was reused")
+	}
+}
+
+func TestFlagObjectUnknown(t *testing.T) {
+	h := testHeap(t)
+	if h.FlagObject(h.Base() + 4096) {
+		t.Error("FlagObject succeeded on unallocated address")
+	}
+}
+
+func TestDefineGlobal(t *testing.T) {
+	h := testHeap(t)
+	addr, err := h.DefineGlobal("counter_array", 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o, ok := h.FindObject(addr + 100)
+	if !ok {
+		t.Fatal("global not resolvable")
+	}
+	if !o.Global || o.Label != "counter_array" || o.Thread != -1 {
+		t.Errorf("global object = %+v", o)
+	}
+	if !strings.Contains(o.Describe(), "GLOBAL VARIABLE") {
+		t.Errorf("Describe = %q", o.Describe())
+	}
+}
+
+func TestObjectsOverlapping(t *testing.T) {
+	h := testHeap(t)
+	var addrs []uint64
+	for i := 0; i < 10; i++ {
+		a, _ := h.Alloc(0, 16, 0)
+		addrs = append(addrs, a)
+	}
+	got := h.ObjectsOverlapping(addrs[2], addrs[5])
+	if len(got) != 3 {
+		t.Fatalf("got %d objects, want 3", len(got))
+	}
+	for i, o := range got {
+		if o.Start != addrs[2+i] {
+			t.Errorf("object %d start = %#x, want %#x", i, o.Start, addrs[2+i])
+		}
+	}
+	// A range starting mid-object must include that object.
+	got = h.ObjectsOverlapping(addrs[0]+8, addrs[0]+9)
+	if len(got) != 1 || got[0].Start != addrs[0] {
+		t.Errorf("mid-object overlap = %v", got)
+	}
+}
+
+func TestOutOfMemory(t *testing.T) {
+	h, err := NewHeap(Config{Size: chunkSize})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.Alloc(0, chunkSize/2, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.Alloc(1, chunkSize/2, 0); err == nil {
+		t.Error("expected ErrOutOfMemory for second arena")
+	}
+}
+
+func TestStats(t *testing.T) {
+	h := testHeap(t)
+	a, _ := h.Alloc(0, 100, 0)
+	h.Alloc(0, 50, 0)
+	h.Free(a)
+	s := h.Stats()
+	if s.Allocs != 2 || s.Frees != 1 {
+		t.Errorf("stats = %+v", s)
+	}
+	if s.LiveBytes != 50 {
+		t.Errorf("LiveBytes = %d, want 50", s.LiveBytes)
+	}
+	if s.UsedBytes == 0 || s.UsedBytes%chunkSize != 0 {
+		t.Errorf("UsedBytes = %d, want positive chunk multiple", s.UsedBytes)
+	}
+}
+
+func TestRoundSize(t *testing.T) {
+	cases := []struct{ in, want uint64 }{
+		{0, 16}, {1, 16}, {16, 16}, {17, 32}, {64, 64}, {65, 96},
+		{4096, 4096}, {4097, 4112}, {10000, 10000},
+	}
+	for _, c := range cases {
+		if got := roundSize(c.in); got != c.want {
+			t.Errorf("roundSize(%d) = %d, want %d", c.in, got, c.want)
+		}
+	}
+}
+
+// Property: every allocation is minAlign-aligned, inside the heap, and
+// resolvable back to exactly its own object.
+func TestPropAllocAlignedAndResolvable(t *testing.T) {
+	h := testHeap(t)
+	f := func(tid uint8, sz uint16) bool {
+		size := uint64(sz)%2048 + 1
+		addr, err := h.Alloc(int(tid%8), size, 0)
+		if err != nil {
+			return false
+		}
+		if addr%minAlign != 0 || !h.Contains(addr, size) {
+			return false
+		}
+		o, ok := h.FindObject(addr + size - 1)
+		return ok && o.Start == addr && o.Size == size
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: FindObject never resolves addresses between objects (slop from
+// size-class rounding must not be attributed to any object).
+func TestPropNoPhantomResolution(t *testing.T) {
+	h := testHeap(t)
+	addr, _ := h.Alloc(0, 20, 0) // rounds to 32: bytes 20..31 are slop
+	for off := uint64(20); off < 32; off++ {
+		if _, ok := h.FindObject(addr + off); ok {
+			t.Errorf("slop byte at +%d resolved to an object", off)
+		}
+	}
+}
+
+func BenchmarkAllocFree(b *testing.B) {
+	h := MustNewHeap(Config{Size: 64 << 20})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		addr, err := h.Alloc(0, 64, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := h.Free(addr); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFindObject(b *testing.B) {
+	h := MustNewHeap(Config{Size: 64 << 20})
+	var addrs []uint64
+	for i := 0; i < 10000; i++ {
+		a, _ := h.Alloc(i%8, 64, 0)
+		addrs = append(addrs, a)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := h.FindObject(addrs[i%len(addrs)] + 8); !ok {
+			b.Fatal("lookup failed")
+		}
+	}
+}
+
+func TestAllocHookObservesAllObjects(t *testing.T) {
+	h := testHeap(t)
+	var seen []Object
+	h.SetAllocHook(func(o Object) { seen = append(seen, o) })
+	a, _ := h.Alloc(0, 32, 0)
+	b, _ := h.AllocWithOffset(64, 64, 8, 0)
+	g, _ := h.DefineGlobal("g", 16)
+	if len(seen) != 3 {
+		t.Fatalf("hook saw %d objects, want 3", len(seen))
+	}
+	if seen[0].Start != a || seen[1].Start != b || seen[2].Start != g {
+		t.Errorf("hook order/addresses wrong: %+v", seen)
+	}
+	if !seen[2].Global || seen[2].Label != "g" {
+		t.Errorf("global not described to hook: %+v", seen[2])
+	}
+	// The hook runs outside the heap lock: calling back into the heap
+	// must not deadlock.
+	h.SetAllocHook(func(o Object) { h.FindObject(o.Start) })
+	if _, err := h.Alloc(1, 8, 0); err != nil {
+		t.Fatal(err)
+	}
+}

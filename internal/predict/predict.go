@@ -1,0 +1,321 @@
+// Package predict implements PREDATOR's false sharing prediction (paper §3):
+// generalizing one execution to report false sharing that would appear if
+// the hardware cache line size doubled or if objects were placed at
+// different starting addresses.
+//
+// The workflow mirrors §3.2: once a line is hot enough, the detailed word
+// access information of the line and its neighbours is searched for *hot
+// access pairs* — two hot words in adjacent lines, touched by different
+// threads, at least one written, close enough to fall into one virtual cache
+// line. Each candidate's interleaved invalidations are estimated
+// conservatively; pairs estimated above the line's per-word average graduate
+// to *verification*: a virtual line is constructed (centered on the pair per
+// Figure 4, or the even-aligned doubled line) and real cache invalidations
+// on it are tracked with a history table exactly as physical detection does.
+package predict
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"predator/internal/cacheline"
+	"predator/internal/detect"
+	"predator/internal/histtable"
+)
+
+// Kind says which environmental change a prediction models.
+type Kind int
+
+const (
+	// KindAlignment predicts false sharing under a different object
+	// starting address (same line size, shifted placement).
+	KindAlignment Kind = iota
+	// KindDoubledLine predicts false sharing on hardware whose cache
+	// lines are twice as large.
+	KindDoubledLine
+)
+
+// String names the prediction kind.
+func (k Kind) String() string {
+	switch k {
+	case KindAlignment:
+		return "different object alignment"
+	case KindDoubledLine:
+		return "doubled cache line size"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// HotWord is one hot access: a word whose recorded access count exceeds its
+// line's per-word average, owned by a single thread.
+type HotWord struct {
+	Addr   uint64 // word-aligned address
+	Reads  uint64
+	Writes uint64
+	Thread int // owning thread (never OwnerShared: shared words are true sharing)
+}
+
+// Accesses returns the word's total access count.
+func (h HotWord) Accesses() uint64 { return h.Reads + h.Writes }
+
+// HotPair is a candidate predicted false sharing instance.
+type HotPair struct {
+	X, Y     HotWord           // X in the earlier line, Y in the later
+	Span     cacheline.Virtual // the virtual line to verify
+	Kind     Kind
+	Factor   int    // line-size fusion factor for KindDoubledLine (2, 4, ...)
+	Estimate uint64 // conservative interleaved invalidation estimate
+}
+
+// EstimateInvalidations bounds the cache invalidations a pair of hot words
+// could cause on a shared virtual line, assuming the scheduler interleaves
+// the two threads perfectly (the paper's conservative assumption, §3.3). If
+// neither side writes there is no invalidation; if one side writes, each of
+// its writes can invalidate the other's cached copy, bounded by the slower
+// side's access count; if both write, invalidations come from both
+// directions.
+func EstimateInvalidations(x, y HotWord) uint64 {
+	if x.Writes == 0 && y.Writes == 0 {
+		return 0
+	}
+	m := min(x.Accesses(), y.Accesses())
+	if x.Writes > 0 && y.Writes > 0 {
+		return 2 * m
+	}
+	return m
+}
+
+// hotWords extracts the track's hot single-owner words as HotWords.
+// Shared-owner hot words are excluded: simultaneous multi-thread access to
+// one word is true sharing and must not be predicted as false sharing.
+func hotWords(t *detect.Track) []HotWord {
+	if t == nil {
+		return nil
+	}
+	var out []HotWord
+	for _, w := range t.HotWords() {
+		owner := w.EffectiveOwner()
+		if owner < 0 {
+			continue
+		}
+		out = append(out, HotWord{
+			Addr:   t.WordAddr(w.Index),
+			Reads:  w.Reads,
+			Writes: w.Writes,
+			Thread: owner,
+		})
+	}
+	return out
+}
+
+// pairEligible applies the paper's three §3.3 conditions given that x and y
+// already sit in adjacent lines: same virtual line feasible (checked by the
+// caller via span construction), at least one write, different threads.
+func pairEligible(x, y HotWord) bool {
+	return x.Thread != y.Thread && (x.Writes > 0 || y.Writes > 0)
+}
+
+// FindPairs searches with the paper's default configuration: alignment
+// shifts plus the doubled line size.
+func FindPairs(cur, adj *detect.Track, geom cacheline.Geometry) []HotPair {
+	return FindPairsFused(cur, adj, geom, []int{2})
+}
+
+// FindPairsFused searches for potential false sharing between the tracked
+// line cur and one adjacent tracked line adj (either side); line adjacency
+// and fused-line alignment are derived from the tracks' base addresses.
+// Alignment-change candidates are always produced; for every factor in
+// fuseFactors, fused-line-size candidates are produced for line groups that
+// would merge on hardware with factor-times-larger lines. Candidates whose
+// estimated invalidations do not exceed cur's per-word average access count
+// are dropped (paper §3.3).
+func FindPairsFused(cur, adj *detect.Track, geom cacheline.Geometry, fuseFactors []int) []HotPair {
+	if cur == nil || adj == nil {
+		return nil
+	}
+	curIndex := geom.Index(cur.LineBase())
+	adjIndex := geom.Index(adj.LineBase())
+	if adjIndex != curIndex+1 && curIndex != adjIndex+1 {
+		return nil
+	}
+	lo, hi := cur, adj
+	if adjIndex < curIndex {
+		lo, hi = adj, cur
+	}
+	threshold := cur.AverageWordAccesses()
+	var out []HotPair
+	for _, x := range hotWords(lo) {
+		for _, y := range hotWords(hi) {
+			if !pairEligible(x, y) {
+				continue
+			}
+			est := EstimateInvalidations(x, y)
+			if float64(est) <= threshold {
+				continue
+			}
+			// Alignment-change candidate: the pair must fit in a
+			// single line-sized window.
+			if y.Addr-x.Addr < geom.Size() {
+				if span, err := cacheline.CenteredLine(x.Addr, y.Addr, geom.Size()); err == nil {
+					out = append(out, HotPair{X: x, Y: y, Span: span, Kind: KindAlignment, Estimate: est})
+				}
+			}
+			// Fused-line candidates: only line groups that merge at
+			// the factor's alignment fuse (factor 2 = the paper's
+			// doubled-line case).
+			loIdx := min(curIndex, adjIndex)
+			for _, factor := range fuseFactors {
+				span := cacheline.FusedLine(geom, loIdx, factor)
+				if span.Contains(x.Addr) && span.Contains(y.Addr) {
+					out = append(out, HotPair{X: x, Y: y, Span: span, Kind: KindDoubledLine, Factor: factor, Estimate: est})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// VTrack verifies one predicted virtual line (paper §3.4): it owns a history
+// table and counts real cache invalidations among the accesses that fall
+// inside the virtual line's span.
+type VTrack struct {
+	Pair HotPair // provenance: the hot pair that created this track
+
+	sampler       detect.Sampler
+	accesses      atomic.Uint64
+	recorded      atomic.Uint64
+	invalidations atomic.Uint64
+	hist          histtable.Table
+}
+
+// NewVTrack creates verification state for a candidate pair. Virtual lines
+// sample with the same policy as physical tracked lines (§2.4.3), so
+// verified invalidation counts scale with the sampling rate exactly like
+// observed ones.
+func NewVTrack(pair HotPair, sampler detect.Sampler) *VTrack {
+	return &VTrack{Pair: pair, sampler: sampler}
+}
+
+// Span returns the tracked virtual line.
+func (v *VTrack) Span() cacheline.Virtual { return v.Pair.Span }
+
+// HandleAccess feeds one access through the virtual line's history table if
+// it overlaps the span, and reports whether it invalidated the virtual line.
+func (v *VTrack) HandleAccess(tid int, addr, size uint64, isWrite bool) bool {
+	if !v.Pair.Span.Overlaps(addr, size) {
+		return false
+	}
+	n := v.accesses.Add(1)
+	if !v.sampler.ShouldRecord(n) {
+		return false
+	}
+	v.recorded.Add(1)
+	if v.hist.Access(tid, isWrite) {
+		v.invalidations.Add(1)
+		return true
+	}
+	return false
+}
+
+// Invalidations returns verified invalidations on the virtual line.
+func (v *VTrack) Invalidations() uint64 { return v.invalidations.Load() }
+
+// Accesses returns the number of accesses that hit the virtual line.
+func (v *VTrack) Accesses() uint64 { return v.accesses.Load() }
+
+// Recorded returns how many of those accesses were recorded in detail.
+func (v *VTrack) Recorded() uint64 { return v.recorded.Load() }
+
+// Registry routes accesses to the virtual lines they overlap. Virtual lines
+// are registered under every physical line index they intersect, so the
+// per-access routing cost is one map lookup.
+type Registry struct {
+	geom    cacheline.Geometry
+	sampler detect.Sampler
+
+	mu     sync.RWMutex
+	byLine map[uint64][]*VTrack // physical line index -> overlapping vtracks
+	all    []*VTrack
+	spans  map[cacheline.Virtual]bool // dedupe: one VTrack per span+kind
+}
+
+// NewRegistry creates an empty registry under the given physical geometry;
+// registered virtual lines sample with the given policy.
+func NewRegistry(geom cacheline.Geometry, sampler detect.Sampler) *Registry {
+	return &Registry{
+		geom:    geom,
+		sampler: sampler,
+		byLine:  make(map[uint64][]*VTrack),
+		spans:   make(map[cacheline.Virtual]bool),
+	}
+}
+
+// Add registers a verification track for the pair unless an identical span
+// is already tracked. It returns the registered track (new or nil if the
+// span was a duplicate).
+func (r *Registry) Add(pair HotPair) *VTrack {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.spans[pair.Span] {
+		return nil
+	}
+	r.spans[pair.Span] = true
+	v := NewVTrack(pair, r.sampler)
+	r.all = append(r.all, v)
+	first := r.geom.Index(pair.Span.Start)
+	last := r.geom.Index(pair.Span.End - 1)
+	for l := first; l <= last; l++ {
+		r.byLine[l] = append(r.byLine[l], v)
+	}
+	return v
+}
+
+// Route forwards an access to every virtual line it overlaps. It returns
+// the number of virtual-line invalidations the access caused.
+func (r *Registry) Route(tid int, addr, size uint64, isWrite bool) int {
+	r.mu.RLock()
+	tracks := r.byLine[r.geom.Index(addr)]
+	var spill []*VTrack
+	if size > 0 && r.geom.Index(addr) != r.geom.Index(addr+size-1) {
+		spill = r.byLine[r.geom.Index(addr+size-1)]
+	}
+	r.mu.RUnlock()
+	inv := 0
+	for _, v := range tracks {
+		if v.HandleAccess(tid, addr, size, isWrite) {
+			inv++
+		}
+	}
+	for _, v := range spill {
+		// Avoid double-handling tracks registered under both lines.
+		dup := false
+		for _, u := range tracks {
+			if u == v {
+				dup = true
+				break
+			}
+		}
+		if !dup && v.HandleAccess(tid, addr, size, isWrite) {
+			inv++
+		}
+	}
+	return inv
+}
+
+// Empty reports whether no virtual lines are registered.
+func (r *Registry) Empty() bool {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.all) == 0
+}
+
+// Tracks returns all registered verification tracks.
+func (r *Registry) Tracks() []*VTrack {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]*VTrack, len(r.all))
+	copy(out, r.all)
+	return out
+}

@@ -1,0 +1,114 @@
+package report
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"predator/internal/mem"
+)
+
+// Problem aggregates all findings that implicate one object (or, for
+// unattributed ranges, one contiguous span). A hot multi-line object — the
+// lreg_args array, a spinlock pool — produces one finding per affected
+// physical line plus one per verified virtual line; users think in objects,
+// so the CLI and examples present Problems.
+type Problem struct {
+	Object    mem.Object // primary object; zero when HasObject is false
+	HasObject bool
+
+	Sharing  Sharing  // worst classification over the grouped findings
+	Sources  []Source // distinct sources, observed first
+	Findings []Finding
+
+	TotalInvalidations uint64
+	Worst              Finding // the grouped finding with most invalidations
+}
+
+// PredictedOnly reports whether every grouped finding came from prediction.
+func (p *Problem) PredictedOnly() bool {
+	for _, s := range p.Sources {
+		if s == SourceObserved {
+			return false
+		}
+	}
+	return len(p.Sources) > 0
+}
+
+// Summary renders a one-line description of the problem; callers print the
+// Worst finding's Format for the full word-level detail.
+func (p *Problem) Summary() string {
+	target := fmt.Sprintf("range [0x%x,0x%x)", p.Worst.Span.Start, p.Worst.Span.End)
+	if p.HasObject {
+		target = p.Object.Describe()
+	}
+	return fmt.Sprintf("%s on %s: %d invalidations across %d finding(s); sources: %s",
+		p.Sharing, target, p.TotalInvalidations, len(p.Findings), sourceList(p.Sources))
+}
+
+func sourceList(sources []Source) string {
+	parts := make([]string, len(sources))
+	for i, s := range sources {
+		parts[i] = s.String()
+	}
+	return strings.Join(parts, ", ")
+}
+
+// Problems groups the report's false-sharing findings by primary object and
+// ranks the groups by total invalidations, descending. Findings with no
+// object attribution group by the physical line group their spans overlap.
+func (r *Report) Problems() []Problem {
+	type key struct {
+		addr   uint64
+		object bool
+	}
+	groups := map[key]*Problem{}
+	var order []key
+	for _, f := range r.FalseSharing() {
+		var k key
+		var obj mem.Object
+		if o, ok := f.PrimaryObject(); ok {
+			k = key{addr: o.Start, object: true}
+			obj = o
+		} else {
+			k = key{addr: r.Geometry.Align(f.Span.Start)}
+		}
+		p := groups[k]
+		if p == nil {
+			p = &Problem{Object: obj, HasObject: k.object}
+			groups[k] = p
+			order = append(order, k)
+		}
+		p.Findings = append(p.Findings, f)
+		p.TotalInvalidations += f.Invalidations
+		if f.Invalidations >= p.Worst.Invalidations {
+			p.Worst = f
+		}
+		if f.Sharing > p.Sharing {
+			p.Sharing = f.Sharing
+		}
+		seen := false
+		for _, s := range p.Sources {
+			if s == f.Source {
+				seen = true
+				break
+			}
+		}
+		if !seen {
+			p.Sources = append(p.Sources, f.Source)
+		}
+	}
+	out := make([]Problem, 0, len(groups))
+	for _, k := range order {
+		p := groups[k]
+		sort.SliceStable(p.Sources, func(i, j int) bool { return p.Sources[i] < p.Sources[j] })
+		out = append(out, *p)
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].TotalInvalidations != out[j].TotalInvalidations {
+			return out[i].TotalInvalidations > out[j].TotalInvalidations
+		}
+		return out[i].Worst.Span.Start < out[j].Worst.Span.Start
+	})
+	return out
+}

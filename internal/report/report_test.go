@@ -1,0 +1,251 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"predator/internal/cacheline"
+	"predator/internal/detect"
+	"predator/internal/mem"
+	"predator/internal/predict"
+)
+
+var geom = cacheline.MustGeometry(64)
+
+func TestClassify(t *testing.T) {
+	cases := []struct {
+		name  string
+		words []WordDetail
+		want  Sharing
+	}{
+		{"empty", nil, SharingNone},
+		{"single thread", []WordDetail{
+			{Addr: 0, Writes: 10, Owner: 1},
+			{Addr: 8, Writes: 10, Owner: 1},
+		}, SharingNone},
+		{"false sharing", []WordDetail{
+			{Addr: 0, Writes: 10, Owner: 1},
+			{Addr: 8, Writes: 10, Owner: 2},
+		}, SharingFalse},
+		{"false sharing read/write", []WordDetail{
+			{Addr: 0, Writes: 10, Owner: 1},
+			{Addr: 8, Reads: 10, Owner: 2},
+		}, SharingFalse},
+		{"true sharing", []WordDetail{
+			{Addr: 0, Writes: 20, Owner: detect.OwnerShared},
+		}, SharingTrue},
+		{"mixed", []WordDetail{
+			{Addr: 0, Writes: 20, Owner: detect.OwnerShared},
+			{Addr: 8, Writes: 10, Owner: 1},
+			{Addr: 16, Writes: 10, Owner: 2},
+		}, SharingMixed},
+		{"two readers only", []WordDetail{
+			{Addr: 0, Reads: 10, Owner: 1},
+			{Addr: 8, Reads: 10, Owner: 2},
+		}, SharingNone},
+		{"untouched words ignored", []WordDetail{
+			{Addr: 0, Owner: detect.OwnerNone},
+			{Addr: 8, Writes: 5, Owner: 3},
+		}, SharingNone},
+	}
+	for _, c := range cases {
+		if got := Classify(c.words); got != c.want {
+			t.Errorf("%s: Classify = %v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
+func heapWithObject(t *testing.T) (*mem.Heap, uint64) {
+	t.Helper()
+	h, err := mem.NewHeap(mem.Config{Size: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr, err := h.Alloc(0, 200, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h, addr
+}
+
+func TestFindingFormatFigure5Shape(t *testing.T) {
+	h, addr := heapWithObject(t)
+	f := Finding{
+		Source:        SourceObserved,
+		Sharing:       SharingFalse,
+		Span:          cacheline.NewVirtual(geom.Align(addr), 64),
+		Objects:       h.ObjectsOverlapping(addr, addr+200),
+		Accesses:      5153102690,
+		Reads:         5000000000,
+		Writes:        13636004,
+		Invalidations: 175020,
+		Words: []WordDetail{
+			{Addr: addr, Reads: 339508, Writes: 339507, Owner: 1},
+			{Addr: addr + 8, Reads: 2716059, Writes: 0, Owner: 2},
+			{Addr: addr + 16, Owner: detect.OwnerNone},
+		},
+	}
+	out := f.Format(geom)
+	for _, want := range []string{
+		"FALSE SHARING HEAP OBJECT:",
+		"(with size 200)",
+		"Number of accesses: 5153102690; Number of invalidations: 175020; Number of writes: 13636004.",
+		"Callsite stack:",
+		"report_test.go",
+		"Word level information:",
+		"reads 339508 writes 339507 by thread 1",
+		"reads 2716059 writes 0 by thread 2",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q in:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "reads 0 writes 0") {
+		t.Error("untouched word printed")
+	}
+}
+
+func TestFindingFormatPredicted(t *testing.T) {
+	f := Finding{
+		Source:        SourcePredictedAlignment,
+		Sharing:       SharingFalse,
+		Span:          cacheline.NewVirtual(0x400000038, 64),
+		Invalidations: 999,
+		Estimate:      1200,
+	}
+	out := f.Format(geom)
+	if !strings.Contains(out, "predicted (different object alignment)") {
+		t.Errorf("missing prediction source:\n%s", out)
+	}
+	if !strings.Contains(out, "estimated interleaved invalidations: 1200") {
+		t.Errorf("missing estimate:\n%s", out)
+	}
+	if !strings.Contains(out, "RANGE:") {
+		t.Errorf("object-less finding should print a range:\n%s", out)
+	}
+}
+
+func TestFindingFormatGlobal(t *testing.T) {
+	h, _ := heapWithObject(t)
+	gaddr, err := h.DefineGlobal("stats_table", 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := Finding{
+		Source:  SourceObserved,
+		Sharing: SharingFalse,
+		Span:    cacheline.NewVirtual(geom.Align(gaddr), 64),
+		Objects: h.ObjectsOverlapping(gaddr, gaddr+128),
+	}
+	out := f.Format(geom)
+	if !strings.Contains(out, `GLOBAL VARIABLE "stats_table"`) {
+		t.Errorf("global not named:\n%s", out)
+	}
+	if strings.Contains(out, "Callsite stack") {
+		t.Error("global finding printed a callsite stack")
+	}
+}
+
+func TestPrimaryObjectPicksHottest(t *testing.T) {
+	h, _ := heapWithObject(t)
+	a1, _ := h.Alloc(0, 32, 0)
+	a2, _ := h.Alloc(0, 32, 0)
+	f := Finding{
+		Objects: h.ObjectsOverlapping(a1, a2+32),
+		Words: []WordDetail{
+			{Addr: a1, Writes: 1, Owner: 1},
+			{Addr: a2, Writes: 100, Owner: 2},
+		},
+	}
+	obj, ok := f.PrimaryObject()
+	if !ok || obj.Start != a2 {
+		t.Errorf("primary = %+v, want object at %#x", obj, a2)
+	}
+}
+
+func TestPrimaryObjectNone(t *testing.T) {
+	var f Finding
+	if _, ok := f.PrimaryObject(); ok {
+		t.Error("empty finding has a primary object")
+	}
+}
+
+func TestReportRanking(t *testing.T) {
+	r := Report{
+		Geometry: geom,
+		Findings: []Finding{
+			{Invalidations: 10, Span: cacheline.NewVirtual(300, 64)},
+			{Invalidations: 1000, Span: cacheline.NewVirtual(100, 64)},
+			{Invalidations: 10, Span: cacheline.NewVirtual(200, 64)},
+		},
+	}
+	r.Rank()
+	if r.Findings[0].Invalidations != 1000 {
+		t.Error("not ranked by invalidations")
+	}
+	if r.Findings[1].Span.Start != 200 || r.Findings[2].Span.Start != 300 {
+		t.Error("ties not broken by span start")
+	}
+}
+
+func TestReportFilters(t *testing.T) {
+	r := Report{
+		Geometry: geom,
+		Findings: []Finding{
+			{Sharing: SharingFalse, Source: SourceObserved},
+			{Sharing: SharingTrue, Source: SourceObserved},
+			{Sharing: SharingFalse, Source: SourcePredictedAlignment},
+			{Sharing: SharingMixed, Source: SourcePredictedLineSize},
+		},
+	}
+	if got := len(r.FalseSharing()); got != 3 {
+		t.Errorf("FalseSharing = %d, want 3", got)
+	}
+	if got := len(r.Observed()); got != 2 {
+		t.Errorf("Observed = %d, want 2", got)
+	}
+	if got := len(r.Predicted()); got != 2 {
+		t.Errorf("Predicted = %d, want 2", got)
+	}
+}
+
+func TestReportStringEmpty(t *testing.T) {
+	r := Report{Geometry: geom}
+	if !strings.Contains(r.String(), "No false sharing") {
+		t.Errorf("empty report = %q", r.String())
+	}
+}
+
+func TestReportStringNumbersFindings(t *testing.T) {
+	r := Report{
+		Geometry: geom,
+		Findings: []Finding{
+			{Sharing: SharingFalse, Invalidations: 5},
+			{Sharing: SharingTrue, Invalidations: 2},
+		},
+	}
+	out := r.String()
+	if !strings.Contains(out, "Finding 1 of 2") || !strings.Contains(out, "Finding 2 of 2") {
+		t.Errorf("report numbering missing:\n%s", out)
+	}
+}
+
+func TestSourceForKind(t *testing.T) {
+	if SourceForKind(predict.KindAlignment) != SourcePredictedAlignment {
+		t.Error("alignment kind mapped wrong")
+	}
+	if SourceForKind(predict.KindDoubledLine) != SourcePredictedLineSize {
+		t.Error("doubled kind mapped wrong")
+	}
+}
+
+func TestStringersTotal(t *testing.T) {
+	for _, s := range []fmt_stringer{SharingNone, SharingFalse, SharingTrue, SharingMixed,
+		Sharing(99), SourceObserved, SourcePredictedAlignment, SourcePredictedLineSize, Source(99)} {
+		if s.String() == "" {
+			t.Error("empty String()")
+		}
+	}
+}
+
+type fmt_stringer interface{ String() string }

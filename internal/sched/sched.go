@@ -1,0 +1,176 @@
+// Package sched provides a deterministic round-robin scheduler for logical
+// threads. PREDATOR's analysis conservatively assumes threads interleave
+// (paper §3.3); on real hardware the observed interleaving is whatever the
+// OS produced, so invalidation counts vary run to run. Under this scheduler
+// exactly one logical thread runs at a time and control rotates round-robin
+// every `grain` ticks (one tick per instrumented access), which makes every
+// detection count in the repository exactly reproducible. The harness
+// enables it with Options.Deterministic.
+package sched
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Scheduler serializes a set of logical threads, rotating round-robin among
+// the live ones every grain ticks.
+type Scheduler struct {
+	grain uint64
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	slots   []*Slot
+	turn    int // index into slots of the slot allowed to run
+	started bool
+}
+
+// Slot is one logical thread's scheduling handle. A Slot must be used from
+// a single goroutine.
+type Slot struct {
+	s     *Scheduler
+	index int
+	ticks uint64
+	done  bool
+}
+
+// New creates a scheduler that rotates every grain ticks. grain must be
+// positive; small grains interleave finely (more invalidations, slower).
+func New(grain int) *Scheduler {
+	if grain <= 0 {
+		panic("sched: grain must be positive")
+	}
+	s := &Scheduler{grain: uint64(grain)}
+	s.cond = sync.NewCond(&s.mu)
+	return s
+}
+
+// Register adds a logical thread before Start. It panics after Start: the
+// participant set must be fixed so the rotation is deterministic.
+func (s *Scheduler) Register() *Slot {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.started {
+		panic("sched: Register after Start")
+	}
+	slot := &Slot{s: s, index: len(s.slots)}
+	s.slots = append(s.slots, slot)
+	return slot
+}
+
+// Start opens the gate: slot 0 runs first. Workers block in WaitTurn (or
+// their first Tick rotation) until started.
+func (s *Scheduler) Start() {
+	s.mu.Lock()
+	s.started = true
+	s.turn = 0
+	s.mu.Unlock()
+	s.cond.Broadcast()
+}
+
+// advanceLocked moves the turn to the next live slot. Caller holds s.mu.
+func (s *Scheduler) advanceLocked() {
+	n := len(s.slots)
+	for i := 1; i <= n; i++ {
+		next := (s.turn + i) % n
+		if !s.slots[next].done {
+			s.turn = next
+			return
+		}
+	}
+	// All done: leave turn unchanged; nobody is waiting.
+}
+
+// WaitTurn blocks until it is this slot's turn. It is the entry barrier
+// workers call once before their first access.
+func (sl *Slot) WaitTurn() {
+	s := sl.s
+	s.mu.Lock()
+	for !s.started || s.slots[s.turn] != sl {
+		s.cond.Wait()
+	}
+	s.mu.Unlock()
+}
+
+// Tick counts one access; every grain-th tick yields the processor to the
+// next live slot and blocks until the turn comes back around.
+func (sl *Slot) Tick() {
+	sl.ticks++
+	if sl.ticks%sl.s.grain != 0 {
+		return
+	}
+	sl.Yield()
+}
+
+// Yield rotates to the next live slot immediately and waits for the turn to
+// return.
+func (sl *Slot) Yield() {
+	s := sl.s
+	s.mu.Lock()
+	if sl.done {
+		s.mu.Unlock()
+		panic("sched: Yield after Done")
+	}
+	// Only the active slot may yield; a slot that has not yet waited for
+	// its first turn synchronizes here too.
+	for !s.started || s.slots[s.turn] != sl {
+		s.cond.Wait()
+	}
+	s.advanceLocked()
+	// One broadcast hands the turn over; every further state change
+	// (another yield or a Done) broadcasts again, so waiting quietly here
+	// cannot miss the turn coming back.
+	s.cond.Broadcast()
+	for s.slots[s.turn] != sl {
+		if sl.doneAllOthers() {
+			// Everyone else finished: this slot keeps running.
+			s.turn = sl.index
+			break
+		}
+		s.cond.Wait()
+	}
+	s.mu.Unlock()
+}
+
+// doneAllOthers reports whether every other slot has finished.
+// Caller holds s.mu.
+func (sl *Slot) doneAllOthers() bool {
+	for _, other := range sl.s.slots {
+		if other != sl && !other.done {
+			return false
+		}
+	}
+	return true
+}
+
+// Done removes the slot from the rotation; the goroutine stops ticking.
+func (sl *Slot) Done() {
+	s := sl.s
+	s.mu.Lock()
+	if sl.done {
+		s.mu.Unlock()
+		return
+	}
+	sl.done = true
+	if s.started && s.slots[s.turn] == sl {
+		s.advanceLocked()
+	}
+	s.mu.Unlock()
+	s.cond.Broadcast()
+}
+
+// Ticks returns how many ticks the slot has counted.
+func (sl *Slot) Ticks() uint64 { return sl.ticks }
+
+// String describes the scheduler for diagnostics.
+func (s *Scheduler) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	live := 0
+	for _, sl := range s.slots {
+		if !sl.done {
+			live++
+		}
+	}
+	return fmt.Sprintf("sched{slots=%d live=%d grain=%d}", len(s.slots), live, s.grain)
+}

@@ -1,0 +1,218 @@
+package sched
+
+import (
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// run executes n workers that each append their id to a shared log at every
+// tick, returning the observed interleaving.
+func run(t *testing.T, n, grain, ticksEach int) []int {
+	t.Helper()
+	s := New(grain)
+	slots := make([]*Slot, n)
+	for i := range slots {
+		slots[i] = s.Register()
+	}
+	var mu sync.Mutex
+	var log []int
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(id int, sl *Slot) {
+			defer wg.Done()
+			defer sl.Done()
+			sl.WaitTurn()
+			for k := 0; k < ticksEach; k++ {
+				mu.Lock()
+				log = append(log, id)
+				mu.Unlock()
+				sl.Tick()
+			}
+		}(i, slots[i])
+	}
+	s.Start()
+	wg.Wait()
+	return log
+}
+
+func TestRoundRobinInterleaving(t *testing.T) {
+	log := run(t, 3, 2, 6)
+	want := []int{
+		0, 0, 1, 1, 2, 2,
+		0, 0, 1, 1, 2, 2,
+		0, 0, 1, 1, 2, 2,
+	}
+	if len(log) != len(want) {
+		t.Fatalf("log length = %d, want %d", len(log), len(want))
+	}
+	for i := range want {
+		if log[i] != want[i] {
+			t.Fatalf("log = %v, want %v", log, want)
+		}
+	}
+}
+
+func TestDeterministicAcrossRuns(t *testing.T) {
+	a := run(t, 4, 3, 9)
+	b := run(t, 4, 3, 9)
+	if len(a) != len(b) {
+		t.Fatal("run lengths differ")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("runs diverge at %d: %v vs %v", i, a[:i+1], b[:i+1])
+		}
+	}
+}
+
+func TestUnevenWorkloads(t *testing.T) {
+	// Worker 0 does 2 ticks, worker 1 does 10: after 0 finishes, 1 must
+	// keep running alone without deadlock.
+	s := New(1)
+	s0, s1 := s.Register(), s.Register()
+	var log []int
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	work := func(id, ticks int, sl *Slot) {
+		defer wg.Done()
+		defer sl.Done()
+		sl.WaitTurn()
+		for k := 0; k < ticks; k++ {
+			mu.Lock()
+			log = append(log, id)
+			mu.Unlock()
+			sl.Tick()
+		}
+	}
+	wg.Add(2)
+	go work(0, 2, s0)
+	go work(1, 10, s1)
+	s.Start()
+	wg.Wait()
+	if len(log) != 12 {
+		t.Fatalf("log = %v", log)
+	}
+	// The tail must be all 1s.
+	for _, id := range log[4:] {
+		if id != 1 {
+			t.Fatalf("tail not worker 1: %v", log)
+		}
+	}
+}
+
+func TestSingleSlotRunsFreely(t *testing.T) {
+	s := New(1)
+	sl := s.Register()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		defer sl.Done()
+		sl.WaitTurn()
+		for i := 0; i < 1000; i++ {
+			sl.Tick()
+		}
+	}()
+	s.Start()
+	<-done
+	if sl.Ticks() != 1000 {
+		t.Errorf("ticks = %d", sl.Ticks())
+	}
+}
+
+func TestDoneIdempotent(t *testing.T) {
+	s := New(1)
+	sl := s.Register()
+	s.Start()
+	sl.Done()
+	sl.Done() // must not panic or deadlock
+}
+
+func TestRegisterAfterStartPanics(t *testing.T) {
+	s := New(1)
+	s.Register()
+	s.Start()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Register after Start did not panic")
+		}
+	}()
+	s.Register()
+}
+
+func TestNewPanicsOnBadGrain(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New(0) did not panic")
+		}
+	}()
+	New(0)
+}
+
+func TestYieldRotatesImmediately(t *testing.T) {
+	// grain huge, but explicit Yield still rotates.
+	s := New(1 << 30)
+	s0, s1 := s.Register(), s.Register()
+	var log []int
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		defer s0.Done()
+		s0.WaitTurn()
+		log = append(log, 0)
+		s0.Yield()
+		log = append(log, 0)
+	}()
+	go func() {
+		defer wg.Done()
+		defer s1.Done()
+		s1.WaitTurn()
+		log = append(log, 1)
+		s1.Yield()
+		log = append(log, 1)
+	}()
+	s.Start()
+	wg.Wait()
+	want := []int{0, 1, 0, 1}
+	for i := range want {
+		if log[i] != want[i] {
+			t.Fatalf("log = %v, want %v", log, want)
+		}
+	}
+}
+
+func TestString(t *testing.T) {
+	s := New(4)
+	s.Register()
+	if !strings.Contains(s.String(), "slots=1") {
+		t.Errorf("String = %q", s.String())
+	}
+}
+
+func BenchmarkTick(b *testing.B) {
+	s := New(64)
+	s0, s1 := s.Register(), s.Register()
+	var stop atomic.Bool
+	done := make(chan struct{})
+	go func() { // partner that keeps yielding back
+		defer close(done)
+		defer s1.Done()
+		s1.WaitTurn()
+		for !stop.Load() {
+			s1.Tick()
+		}
+	}()
+	s.Start()
+	s0.WaitTurn()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s0.Tick()
+	}
+	b.StopTimer()
+	stop.Store(true)
+	s0.Done()
+	<-done
+}

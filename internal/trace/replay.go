@@ -1,0 +1,123 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+
+	"predator/internal/core"
+	"predator/internal/mem"
+	"predator/internal/report"
+)
+
+// ReplayResult summarizes a replay.
+type ReplayResult struct {
+	Events  uint64
+	Threads map[int]string
+	Report  *report.Report
+	Stats   core.Stats
+}
+
+// Replay streams a trace through a fresh PREDATOR runtime configured with
+// cfg, rebuilding the recorded heap's object table, and returns the report.
+// Replay is deterministic: the same trace and configuration always produce
+// the same invalidation counts and findings.
+func Replay(r io.Reader, cfg core.Config) (*ReplayResult, error) {
+	tr, err := NewReader(r)
+	if err != nil {
+		return nil, err
+	}
+	hdr := tr.Header()
+	h, err := mem.NewHeap(mem.Config{
+		Base:     hdr.HeapBase,
+		Size:     hdr.HeapSize,
+		LineSize: int(hdr.LineSize),
+	})
+	if err != nil {
+		return nil, fmt.Errorf("trace: rebuilding heap: %w", err)
+	}
+	rt, err := core.NewRuntime(h, cfg)
+	if err != nil {
+		return nil, err
+	}
+	res := &ReplayResult{Threads: make(map[int]string)}
+	for {
+		e, err := tr.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		res.Events++
+		switch e.Op {
+		case OpRead:
+			rt.HandleAccess(int(e.TID), e.Addr, e.Size, false)
+		case OpWrite:
+			rt.HandleAccess(int(e.TID), e.Addr, e.Size, true)
+		case OpAlloc:
+			if err := h.ImportObject(mem.Object{Start: e.Addr, Size: e.Size, Thread: int(e.TID)}); err != nil {
+				return nil, fmt.Errorf("trace: event %d: %w", res.Events, err)
+			}
+		case OpFree:
+			if err := h.Free(e.Addr); err != nil {
+				return nil, fmt.Errorf("trace: event %d: %w", res.Events, err)
+			}
+		case OpGlobal:
+			if err := h.ImportObject(mem.Object{Start: e.Addr, Size: e.Size, Thread: -1, Label: e.Name, Global: true}); err != nil {
+				return nil, fmt.Errorf("trace: event %d: %w", res.Events, err)
+			}
+		case OpThread:
+			res.Threads[int(e.TID)] = e.Name
+		}
+	}
+	res.Report = rt.Report()
+	res.Stats = rt.Stats()
+	return res, nil
+}
+
+// RecordingHeap wraps a heap so that allocations, frees and globals are
+// mirrored into a trace Writer. The instrumentation front-end records
+// accesses by using the Writer (or a Tee) as its sink.
+type RecordingHeap struct {
+	*mem.Heap
+	W *Writer
+}
+
+// Alloc allocates and records the allocation.
+func (rh *RecordingHeap) Alloc(thread int, size uint64, skip int) (uint64, error) {
+	addr, err := rh.Heap.Alloc(thread, size, skip+1)
+	if err == nil {
+		err = rh.W.WriteEvent(Event{Op: OpAlloc, TID: int32(thread), Addr: addr, Size: size})
+	}
+	return addr, err
+}
+
+// Free frees and records the deallocation.
+func (rh *RecordingHeap) Free(addr uint64) error {
+	if err := rh.Heap.Free(addr); err != nil {
+		return err
+	}
+	return rh.W.WriteEvent(Event{Op: OpFree, Addr: addr})
+}
+
+// DefineGlobal registers a global and records it.
+func (rh *RecordingHeap) DefineGlobal(name string, size uint64) (uint64, error) {
+	addr, err := rh.Heap.DefineGlobal(name, size)
+	if err == nil {
+		err = rh.W.WriteEvent(Event{Op: OpGlobal, Addr: addr, Size: size, Name: name})
+	}
+	return addr, err
+}
+
+// Tee is an instr.Sink that forwards each access to several sinks — e.g. the
+// live runtime and a trace Writer simultaneously.
+type Tee []interface {
+	HandleAccess(tid int, addr, size uint64, isWrite bool)
+}
+
+// HandleAccess forwards to every sink in order.
+func (t Tee) HandleAccess(tid int, addr, size uint64, isWrite bool) {
+	for _, s := range t {
+		s.HandleAccess(tid, addr, size, isWrite)
+	}
+}

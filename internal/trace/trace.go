@@ -1,0 +1,263 @@
+// Package trace records and replays instrumented access streams. A trace
+// captures everything the PREDATOR runtime consumes — accesses, allocations,
+// frees, global registrations, thread naming — in a compact varint-encoded
+// binary format, so a run can be replayed deterministically through a fresh
+// runtime (possibly with different thresholds, sampling rates, or prediction
+// settings) without re-executing the workload. This is the repository's
+// deterministic-experiment substrate: cmd/predreplay and several tests use
+// it to re-analyze one interleaving under many configurations.
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+)
+
+// Magic identifies trace files, followed by a format version byte.
+var Magic = [8]byte{'P', 'R', 'E', 'D', 'T', 'R', 'C', '1'}
+
+// Op is an event discriminator.
+type Op uint8
+
+// Trace event kinds.
+const (
+	OpRead   Op = 1 // memory read: tid, addr, size
+	OpWrite  Op = 2 // memory write: tid, addr, size
+	OpAlloc  Op = 3 // allocation: tid, addr, size
+	OpFree   Op = 4 // deallocation: addr
+	OpGlobal Op = 5 // global registration: addr, size, name
+	OpThread Op = 6 // thread naming: tid, name
+)
+
+// Event is one decoded trace record.
+type Event struct {
+	Op   Op
+	TID  int32
+	Addr uint64
+	Size uint64
+	Name string
+}
+
+// Header describes the recorded heap so replay can rebuild it.
+type Header struct {
+	HeapBase uint64
+	HeapSize uint64
+	LineSize uint32
+}
+
+// Writer streams events to an io.Writer. Writer is safe for concurrent use:
+// events from concurrent threads are serialized in arrival order, which
+// becomes the replay interleaving.
+type Writer struct {
+	mu  sync.Mutex
+	w   *bufio.Writer
+	buf [2 * binary.MaxVarintLen64]byte
+	n   uint64
+}
+
+// NewWriter writes the header and returns a Writer.
+func NewWriter(w io.Writer, hdr Header) (*Writer, error) {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	if _, err := bw.Write(Magic[:]); err != nil {
+		return nil, err
+	}
+	var tmp [20]byte
+	binary.LittleEndian.PutUint64(tmp[0:], hdr.HeapBase)
+	binary.LittleEndian.PutUint64(tmp[8:], hdr.HeapSize)
+	binary.LittleEndian.PutUint32(tmp[16:], hdr.LineSize)
+	if _, err := bw.Write(tmp[:]); err != nil {
+		return nil, err
+	}
+	return &Writer{w: bw}, nil
+}
+
+// writeUvarint appends one varint. Caller must hold w.mu.
+func (w *Writer) writeUvarint(v uint64) error {
+	n := binary.PutUvarint(w.buf[:], v)
+	_, err := w.w.Write(w.buf[:n])
+	return err
+}
+
+// WriteEvent appends one event.
+func (w *Writer) WriteEvent(e Event) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if err := w.w.WriteByte(byte(e.Op)); err != nil {
+		return err
+	}
+	switch e.Op {
+	case OpRead, OpWrite, OpAlloc:
+		if err := w.writeUvarint(uint64(e.TID)); err != nil {
+			return err
+		}
+		if err := w.writeUvarint(e.Addr); err != nil {
+			return err
+		}
+		if err := w.writeUvarint(e.Size); err != nil {
+			return err
+		}
+	case OpFree:
+		if err := w.writeUvarint(e.Addr); err != nil {
+			return err
+		}
+	case OpGlobal:
+		if err := w.writeUvarint(e.Addr); err != nil {
+			return err
+		}
+		if err := w.writeUvarint(e.Size); err != nil {
+			return err
+		}
+		if err := w.writeString(e.Name); err != nil {
+			return err
+		}
+	case OpThread:
+		if err := w.writeUvarint(uint64(e.TID)); err != nil {
+			return err
+		}
+		if err := w.writeString(e.Name); err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("trace: unknown op %d", e.Op)
+	}
+	w.n++
+	return nil
+}
+
+// writeString appends a length-prefixed string. Caller must hold w.mu.
+func (w *Writer) writeString(s string) error {
+	if err := w.writeUvarint(uint64(len(s))); err != nil {
+		return err
+	}
+	_, err := w.w.WriteString(s)
+	return err
+}
+
+// Events returns the number of events written.
+func (w *Writer) Events() uint64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.n
+}
+
+// Flush flushes buffered output; call it before closing the underlying file.
+func (w *Writer) Flush() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.w.Flush()
+}
+
+// HandleAccess implements instr.Sink so a Writer can record directly from
+// the instrumentation front-end. Encoding errors are deferred to Flush.
+func (w *Writer) HandleAccess(tid int, addr, size uint64, isWrite bool) {
+	op := OpRead
+	if isWrite {
+		op = OpWrite
+	}
+	_ = w.WriteEvent(Event{Op: op, TID: int32(tid), Addr: addr, Size: size})
+}
+
+// Reader streams events back from a trace.
+type Reader struct {
+	r   *bufio.Reader
+	hdr Header
+}
+
+// ErrBadMagic reports a non-trace input.
+var ErrBadMagic = errors.New("trace: bad magic (not a PREDATOR trace)")
+
+// NewReader validates the header and returns a Reader.
+func NewReader(r io.Reader) (*Reader, error) {
+	br := bufio.NewReaderSize(r, 1<<16)
+	var magic [8]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, fmt.Errorf("trace: reading magic: %w", err)
+	}
+	if magic != Magic {
+		return nil, ErrBadMagic
+	}
+	var tmp [20]byte
+	if _, err := io.ReadFull(br, tmp[:]); err != nil {
+		return nil, fmt.Errorf("trace: reading header: %w", err)
+	}
+	return &Reader{
+		r: br,
+		hdr: Header{
+			HeapBase: binary.LittleEndian.Uint64(tmp[0:]),
+			HeapSize: binary.LittleEndian.Uint64(tmp[8:]),
+			LineSize: binary.LittleEndian.Uint32(tmp[16:]),
+		},
+	}, nil
+}
+
+// Header returns the trace's heap description.
+func (r *Reader) Header() Header { return r.hdr }
+
+// Next decodes one event; it returns io.EOF at the end of the trace.
+func (r *Reader) Next() (Event, error) {
+	op, err := r.r.ReadByte()
+	if err != nil {
+		return Event{}, err // io.EOF passes through
+	}
+	e := Event{Op: Op(op)}
+	switch e.Op {
+	case OpRead, OpWrite, OpAlloc:
+		tid, err := binary.ReadUvarint(r.r)
+		if err != nil {
+			return Event{}, fmt.Errorf("trace: truncated event: %w", err)
+		}
+		e.TID = int32(tid)
+		if e.Addr, err = binary.ReadUvarint(r.r); err != nil {
+			return Event{}, fmt.Errorf("trace: truncated event: %w", err)
+		}
+		if e.Size, err = binary.ReadUvarint(r.r); err != nil {
+			return Event{}, fmt.Errorf("trace: truncated event: %w", err)
+		}
+	case OpFree:
+		if e.Addr, err = binary.ReadUvarint(r.r); err != nil {
+			return Event{}, fmt.Errorf("trace: truncated event: %w", err)
+		}
+	case OpGlobal:
+		if e.Addr, err = binary.ReadUvarint(r.r); err != nil {
+			return Event{}, fmt.Errorf("trace: truncated event: %w", err)
+		}
+		if e.Size, err = binary.ReadUvarint(r.r); err != nil {
+			return Event{}, fmt.Errorf("trace: truncated event: %w", err)
+		}
+		if e.Name, err = r.readString(); err != nil {
+			return Event{}, err
+		}
+	case OpThread:
+		tid, err := binary.ReadUvarint(r.r)
+		if err != nil {
+			return Event{}, fmt.Errorf("trace: truncated event: %w", err)
+		}
+		e.TID = int32(tid)
+		if e.Name, err = r.readString(); err != nil {
+			return Event{}, err
+		}
+	default:
+		return Event{}, fmt.Errorf("trace: unknown op %d", op)
+	}
+	return e, nil
+}
+
+// readString decodes a length-prefixed string.
+func (r *Reader) readString() (string, error) {
+	n, err := binary.ReadUvarint(r.r)
+	if err != nil {
+		return "", fmt.Errorf("trace: truncated string: %w", err)
+	}
+	if n > 1<<20 {
+		return "", fmt.Errorf("trace: implausible string length %d", n)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r.r, buf); err != nil {
+		return "", fmt.Errorf("trace: truncated string: %w", err)
+	}
+	return string(buf), nil
+}

@@ -1,0 +1,278 @@
+package trace
+
+import (
+	"bytes"
+	"io"
+	"strings"
+	"sync"
+	"testing"
+
+	"predator/internal/core"
+	"predator/internal/instr"
+	"predator/internal/mem"
+)
+
+func testHeader() Header {
+	return Header{HeapBase: 0x400000000, HeapSize: 4 << 20, LineSize: 64}
+}
+
+func TestRoundTripAllOps(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, testHeader())
+	if err != nil {
+		t.Fatal(err)
+	}
+	events := []Event{
+		{Op: OpThread, TID: 0, Name: "main"},
+		{Op: OpAlloc, TID: 0, Addr: 0x400000040, Size: 128},
+		{Op: OpWrite, TID: 0, Addr: 0x400000040, Size: 8},
+		{Op: OpRead, TID: 1, Addr: 0x400000048, Size: 4},
+		{Op: OpGlobal, Addr: 0x400010000, Size: 64, Name: "counters"},
+		{Op: OpFree, Addr: 0x400000040},
+	}
+	for _, e := range events {
+		if err := w.WriteEvent(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if w.Events() != uint64(len(events)) {
+		t.Errorf("Events = %d", w.Events())
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	r, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Header() != testHeader() {
+		t.Errorf("header = %+v", r.Header())
+	}
+	for i, want := range events {
+		got, err := r.Next()
+		if err != nil {
+			t.Fatalf("event %d: %v", i, err)
+		}
+		if got != want {
+			t.Errorf("event %d = %+v, want %+v", i, got, want)
+		}
+	}
+	if _, err := r.Next(); err != io.EOF {
+		t.Errorf("want io.EOF at end, got %v", err)
+	}
+}
+
+func TestBadMagic(t *testing.T) {
+	if _, err := NewReader(strings.NewReader("NOTATRACEFILE-------")); err != ErrBadMagic {
+		t.Errorf("err = %v, want ErrBadMagic", err)
+	}
+}
+
+func TestTruncatedTrace(t *testing.T) {
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf, testHeader())
+	w.WriteEvent(Event{Op: OpWrite, TID: 1, Addr: 0x400000040, Size: 8})
+	w.Flush()
+	raw := buf.Bytes()
+	r, err := NewReader(bytes.NewReader(raw[:len(raw)-1]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Next(); err == nil {
+		t.Error("truncated event decoded without error")
+	}
+}
+
+func TestUnknownOp(t *testing.T) {
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf, testHeader())
+	w.Flush()
+	buf.WriteByte(0xEE)
+	r, _ := NewReader(&buf)
+	if _, err := r.Next(); err == nil {
+		t.Error("unknown op decoded")
+	}
+}
+
+func TestWriterAsSink(t *testing.T) {
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf, testHeader())
+	w.HandleAccess(3, 0x400000100, 8, true)
+	w.HandleAccess(4, 0x400000108, 2, false)
+	w.Flush()
+	r, _ := NewReader(&buf)
+	e1, _ := r.Next()
+	e2, _ := r.Next()
+	if e1.Op != OpWrite || e1.TID != 3 || e1.Size != 8 {
+		t.Errorf("e1 = %+v", e1)
+	}
+	if e2.Op != OpRead || e2.TID != 4 || e2.Size != 2 {
+		t.Errorf("e2 = %+v", e2)
+	}
+}
+
+func TestConcurrentWriters(t *testing.T) {
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf, testHeader())
+	var wg sync.WaitGroup
+	const workers, per = 4, 1000
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func(tid int) {
+			defer wg.Done()
+			for j := 0; j < per; j++ {
+				w.HandleAccess(tid, 0x400000000+uint64(j*8), 8, true)
+			}
+		}(i)
+	}
+	wg.Wait()
+	w.Flush()
+	r, _ := NewReader(&buf)
+	count := 0
+	for {
+		if _, err := r.Next(); err == io.EOF {
+			break
+		} else if err != nil {
+			t.Fatal(err)
+		}
+		count++
+	}
+	if count != workers*per {
+		t.Errorf("decoded %d events, want %d", count, workers*per)
+	}
+}
+
+// record runs a small false-sharing workload while teeing accesses into a
+// trace, returning the encoded trace.
+func record(t *testing.T) *bytes.Buffer {
+	t.Helper()
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, testHeader())
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := mem.NewHeap(mem.Config{Base: 0x400000000, Size: 4 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rh := &RecordingHeap{Heap: h, W: w}
+	in := instr.New(h, w, instr.Policy{})
+	t1, t2 := in.NewThread("a"), in.NewThread("b")
+	w.WriteEvent(Event{Op: OpThread, TID: 0, Name: "a"})
+	w.WriteEvent(Event{Op: OpThread, TID: 1, Name: "b"})
+	addr, err := rh.Alloc(t1.ID(), 64, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 500; i++ {
+		t1.Store64(addr, uint64(i))
+		t2.Store64(addr+8, uint64(i))
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	return &buf
+}
+
+func replayConfig() core.Config {
+	return core.Config{
+		TrackingThreshold:   10,
+		PredictionThreshold: 20,
+		ReportThreshold:     50,
+		Prediction:          true,
+	}
+}
+
+func TestReplayDetectsRecordedFalseSharing(t *testing.T) {
+	buf := record(t)
+	res, err := Replay(bytes.NewReader(buf.Bytes()), replayConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Report.FalseSharing()) == 0 {
+		t.Fatal("replay missed recorded false sharing")
+	}
+	if res.Threads[0] != "a" || res.Threads[1] != "b" {
+		t.Errorf("threads = %v", res.Threads)
+	}
+	if res.Events == 0 {
+		t.Error("no events replayed")
+	}
+	// The replayed finding resolves to the recorded allocation.
+	f := res.Report.FalseSharing()[0]
+	if _, ok := f.PrimaryObject(); !ok {
+		t.Error("replayed finding lost object attribution")
+	}
+}
+
+func TestReplayDeterministic(t *testing.T) {
+	buf := record(t)
+	a, err := Replay(bytes.NewReader(buf.Bytes()), replayConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Replay(bytes.NewReader(buf.Bytes()), replayConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Report.Findings) != len(b.Report.Findings) {
+		t.Fatal("replays disagree on finding count")
+	}
+	for i := range a.Report.Findings {
+		fa, fb := a.Report.Findings[i], b.Report.Findings[i]
+		if fa.Invalidations != fb.Invalidations || fa.Span != fb.Span {
+			t.Errorf("finding %d differs: %d/%v vs %d/%v",
+				i, fa.Invalidations, fa.Span, fb.Invalidations, fb.Span)
+		}
+	}
+}
+
+func TestReplayWithDifferentConfig(t *testing.T) {
+	buf := record(t)
+	// Impossibly high report threshold: same trace, no findings.
+	cfg := replayConfig()
+	cfg.ReportThreshold = 1 << 40
+	res, err := Replay(bytes.NewReader(buf.Bytes()), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Report.Findings) != 0 {
+		t.Error("threshold ignored on replay")
+	}
+}
+
+func TestReplayRejectsCorruptAlloc(t *testing.T) {
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf, testHeader())
+	w.WriteEvent(Event{Op: OpAlloc, TID: 0, Addr: 0x10, Size: 64}) // outside heap
+	w.Flush()
+	if _, err := Replay(bytes.NewReader(buf.Bytes()), replayConfig()); err == nil {
+		t.Error("out-of-heap alloc replayed without error")
+	}
+}
+
+func TestTeeFansOut(t *testing.T) {
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf, testHeader())
+	h, _ := mem.NewHeap(mem.Config{Size: 1 << 20})
+	rt, _ := core.NewRuntime(h, replayConfig())
+	tee := Tee{rt, w}
+	tee.HandleAccess(0, h.Base(), 8, true)
+	w.Flush()
+	if rt.Stats().Accesses != 1 {
+		t.Error("runtime missed teed access")
+	}
+	r, _ := NewReader(&buf)
+	if e, err := r.Next(); err != nil || e.Op != OpWrite {
+		t.Errorf("trace missed teed access: %+v, %v", e, err)
+	}
+}
+
+func BenchmarkWriteEvent(b *testing.B) {
+	w, _ := NewWriter(io.Discard, testHeader())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w.HandleAccess(i&3, 0x400000000+uint64(i&1023)*8, 8, i&1 == 0)
+	}
+}

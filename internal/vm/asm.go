@@ -1,0 +1,203 @@
+package vm
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Assemble turns assembly text into a Program. Syntax, one instruction per
+// line ("//" and ";" start comments, labels end with ":"):
+//
+//	loop:
+//	  ld   r2, r1, 8     // r2 = mem64[r1 + 8]
+//	  addi r2, r2, 1
+//	  st   r2, r1, 8
+//	  addi r3, r3, 1
+//	  blt  r3, r4, loop
+//	  halt
+//
+// Registers are r0..r15 (r15 starts as the stack base); immediates are
+// decimal or 0x-hex; branch targets are labels.
+func Assemble(src string) (Program, error) {
+	type pending struct {
+		pc    int
+		label string
+	}
+	var prog Program
+	labels := map[string]int{}
+	var fixups []pending
+
+	for lineNo, raw := range strings.Split(src, "\n") {
+		line := raw
+		if i := strings.IndexAny(line, ";"); i >= 0 {
+			line = line[:i]
+		}
+		if i := strings.Index(line, "//"); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		if strings.HasSuffix(line, ":") {
+			name := strings.TrimSuffix(line, ":")
+			if _, dup := labels[name]; dup {
+				return nil, fmt.Errorf("vm: line %d: duplicate label %q", lineNo+1, name)
+			}
+			labels[name] = len(prog)
+			continue
+		}
+		fields := strings.FieldsFunc(line, func(r rune) bool { return r == ' ' || r == '\t' || r == ',' })
+		mnemonic, ops := fields[0], fields[1:]
+		ins, labelRef, err := parse(mnemonic, ops)
+		if err != nil {
+			return nil, fmt.Errorf("vm: line %d: %w", lineNo+1, err)
+		}
+		if labelRef != "" {
+			fixups = append(fixups, pending{pc: len(prog), label: labelRef})
+		}
+		prog = append(prog, ins)
+	}
+	for _, f := range fixups {
+		target, ok := labels[f.label]
+		if !ok {
+			return nil, fmt.Errorf("vm: undefined label %q", f.label)
+		}
+		prog[f.pc].Imm = int64(target)
+	}
+	return prog, nil
+}
+
+// MustAssemble panics on assembly errors (for program literals in tests).
+func MustAssemble(src string) Program {
+	p, err := Assemble(src)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// parse decodes one instruction; labelRef is non-empty when the Imm must be
+// resolved to a label later.
+func parse(mnemonic string, ops []string) (Instruction, string, error) {
+	need := func(n int) error {
+		if len(ops) != n {
+			return fmt.Errorf("%s needs %d operands, got %d", mnemonic, n, len(ops))
+		}
+		return nil
+	}
+	switch mnemonic {
+	case "nop":
+		return Instruction{Op: OpNop}, "", need(0)
+	case "halt":
+		return Instruction{Op: OpHalt}, "", need(0)
+	case "li":
+		if err := need(2); err != nil {
+			return Instruction{}, "", err
+		}
+		a, err := reg(ops[0])
+		if err != nil {
+			return Instruction{}, "", err
+		}
+		imm, err := imm(ops[1])
+		if err != nil {
+			return Instruction{}, "", err
+		}
+		return Instruction{Op: OpLi, A: a, Imm: imm}, "", nil
+	case "mov":
+		if err := need(2); err != nil {
+			return Instruction{}, "", err
+		}
+		a, err := reg(ops[0])
+		if err != nil {
+			return Instruction{}, "", err
+		}
+		b, err := reg(ops[1])
+		if err != nil {
+			return Instruction{}, "", err
+		}
+		return Instruction{Op: OpMov, A: a, B: b}, "", nil
+	case "add", "sub", "mul":
+		if err := need(3); err != nil {
+			return Instruction{}, "", err
+		}
+		a, err := reg(ops[0])
+		if err != nil {
+			return Instruction{}, "", err
+		}
+		b, err := reg(ops[1])
+		if err != nil {
+			return Instruction{}, "", err
+		}
+		c, err := reg(ops[2])
+		if err != nil {
+			return Instruction{}, "", err
+		}
+		op := map[string]Op{"add": OpAdd, "sub": OpSub, "mul": OpMul}[mnemonic]
+		return Instruction{Op: op, A: a, B: b, C: c}, "", nil
+	case "addi", "ld", "st":
+		if err := need(3); err != nil {
+			return Instruction{}, "", err
+		}
+		a, err := reg(ops[0])
+		if err != nil {
+			return Instruction{}, "", err
+		}
+		b, err := reg(ops[1])
+		if err != nil {
+			return Instruction{}, "", err
+		}
+		v, err := imm(ops[2])
+		if err != nil {
+			return Instruction{}, "", err
+		}
+		op := map[string]Op{"addi": OpAddi, "ld": OpLd, "st": OpSt}[mnemonic]
+		return Instruction{Op: op, A: a, B: b, Imm: v}, "", nil
+	case "blt", "bne":
+		if err := need(3); err != nil {
+			return Instruction{}, "", err
+		}
+		a, err := reg(ops[0])
+		if err != nil {
+			return Instruction{}, "", err
+		}
+		b, err := reg(ops[1])
+		if err != nil {
+			return Instruction{}, "", err
+		}
+		op := OpBlt
+		if mnemonic == "bne" {
+			op = OpBne
+		}
+		return Instruction{Op: op, A: a, B: b}, ops[2], nil
+	case "jmp":
+		if err := need(1); err != nil {
+			return Instruction{}, "", err
+		}
+		return Instruction{Op: OpJmp}, ops[0], nil
+	default:
+		return Instruction{}, "", fmt.Errorf("unknown mnemonic %q", mnemonic)
+	}
+}
+
+// reg parses "rN".
+func reg(s string) (uint8, error) {
+	if len(s) < 2 || s[0] != 'r' {
+		return 0, fmt.Errorf("bad register %q", s)
+	}
+	n, err := strconv.Atoi(s[1:])
+	if err != nil || n < 0 || n >= NumRegs {
+		return 0, fmt.Errorf("bad register %q", s)
+	}
+	return uint8(n), nil
+}
+
+// imm parses a decimal or hex literal.
+func imm(s string) (int64, error) {
+	v, err := strconv.ParseInt(s, 0, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad immediate %q", s)
+	}
+	return v, nil
+}

@@ -1,0 +1,251 @@
+// Package vm is a tiny register machine over the simulated heap — the
+// repository's analog of *dynamic binary instrumentation* (paper §5.1):
+// where package instr models the compiler inserting calls at build time
+// (programs call typed accessors explicitly), the VM inspects each
+// instruction as it executes and instruments every load and store
+// automatically, exactly as Valgrind/Pin/DynamoRIO-based detectors do.
+//
+// The VM also realizes a paper feature the accessor front-end cannot
+// express: §2.2's stack-variable policy. Each VM thread gets a private
+// stack segment in the simulated heap; loads and stores that hit the
+// thread's own stack are executed but NOT reported to the runtime by
+// default ("PREDATOR currently omits accesses to stack variables"), and
+// Config.InstrumentStack turns them on ("instrumentation on stack variables
+// can always be turned on if desired").
+package vm
+
+import (
+	"fmt"
+	"runtime"
+
+	"predator/internal/instr"
+	"predator/internal/mem"
+)
+
+// Op is a VM opcode.
+type Op uint8
+
+// Opcodes. Registers are r0..r15; imm is a signed 64-bit literal.
+const (
+	OpNop  Op = iota
+	OpLi      // li rA, imm        : rA = imm
+	OpMov     // mov rA, rB        : rA = rB
+	OpAdd     // add rA, rB, rC    : rA = rB + rC
+	OpSub     // sub rA, rB, rC
+	OpMul     // mul rA, rB, rC
+	OpAddi    // addi rA, rB, imm  : rA = rB + imm
+	OpLd      // ld rA, rB, imm    : rA = mem64[rB + imm]
+	OpSt      // st rA, rB, imm    : mem64[rB + imm] = rA
+	OpBlt     // blt rA, rB, label : if rA < rB jump
+	OpBne     // bne rA, rB, label
+	OpJmp     // jmp label
+	OpHalt    // halt
+)
+
+// NumRegs is the register-file size.
+const NumRegs = 16
+
+// Instruction is one decoded VM instruction.
+type Instruction struct {
+	Op      Op
+	A, B, C uint8
+	Imm     int64 // literal, address offset, or jump target
+}
+
+// String renders the instruction for diagnostics.
+func (i Instruction) String() string {
+	names := [...]string{"nop", "li", "mov", "add", "sub", "mul", "addi", "ld", "st", "blt", "bne", "jmp", "halt"}
+	name := "?"
+	if int(i.Op) < len(names) {
+		name = names[i.Op]
+	}
+	return fmt.Sprintf("%s a=r%d b=r%d c=r%d imm=%d", name, i.A, i.B, i.C, i.Imm)
+}
+
+// Program is an executable instruction sequence.
+type Program []Instruction
+
+// Config configures a VM bound to one heap/instrumenter pair.
+type Config struct {
+	// StackSize is each thread's private stack segment in bytes
+	// (default 4096).
+	StackSize uint64
+	// InstrumentStack reports stack-segment accesses to the runtime
+	// (paper §2.2's optional mode).
+	InstrumentStack bool
+	// MaxSteps bounds execution to catch runaway programs
+	// (default 10 million).
+	MaxSteps uint64
+	// YieldEvery cooperatively yields the processor every N instructions
+	// (default 256), modelling preemptive scheduling so concurrent VM
+	// threads interleave even on single-CPU hosts. 0 disables yielding.
+	YieldEvery uint64
+}
+
+// VM executes programs for instrumented threads.
+type VM struct {
+	heap *mem.Heap
+	cfg  Config
+}
+
+// New builds a VM over the heap.
+func New(h *mem.Heap, cfg Config) *VM {
+	if cfg.StackSize == 0 {
+		cfg.StackSize = 4096
+	}
+	if cfg.MaxSteps == 0 {
+		cfg.MaxSteps = 10_000_000
+	}
+	if cfg.YieldEvery == 0 {
+		cfg.YieldEvery = 256
+	}
+	return &VM{heap: h, cfg: cfg}
+}
+
+// Result reports one thread's execution.
+type Result struct {
+	Regs        [NumRegs]int64
+	Steps       uint64
+	HeapLoads   uint64 // instrumented loads
+	HeapStores  uint64 // instrumented stores
+	StackLoads  uint64 // stack-segment loads (reported only if configured)
+	StackStores uint64
+}
+
+// Run executes prog on behalf of thread t with the given initial register
+// values (r1 = args[0], r2 = args[1], ...; r0 is always 0 on entry). The
+// thread's stack segment is allocated from its own arena; r15 is
+// initialized to the stack base.
+func (v *VM) Run(t *instr.Thread, prog Program, args ...int64) (*Result, error) {
+	if len(args) > NumRegs-2 {
+		return nil, fmt.Errorf("vm: too many args (%d)", len(args))
+	}
+	stack, err := t.Alloc(v.cfg.StackSize)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{}
+	for i, a := range args {
+		res.Regs[1+i] = a
+	}
+	res.Regs[15] = int64(stack)
+
+	inStack := func(addr uint64) bool {
+		return addr >= stack && addr+8 <= stack+v.cfg.StackSize
+	}
+
+	pc := 0
+	for res.Steps = 0; res.Steps < v.cfg.MaxSteps; res.Steps++ {
+		if v.cfg.YieldEvery > 0 && res.Steps%v.cfg.YieldEvery == v.cfg.YieldEvery-1 {
+			runtime.Gosched()
+		}
+		if pc < 0 || pc >= len(prog) {
+			return nil, fmt.Errorf("vm: pc %d out of program (len %d)", pc, len(prog))
+		}
+		ins := prog[pc]
+		pc++
+		switch ins.Op {
+		case OpNop:
+		case OpLi:
+			res.Regs[ins.A] = ins.Imm
+		case OpMov:
+			res.Regs[ins.A] = res.Regs[ins.B]
+		case OpAdd:
+			res.Regs[ins.A] = res.Regs[ins.B] + res.Regs[ins.C]
+		case OpSub:
+			res.Regs[ins.A] = res.Regs[ins.B] - res.Regs[ins.C]
+		case OpMul:
+			res.Regs[ins.A] = res.Regs[ins.B] * res.Regs[ins.C]
+		case OpAddi:
+			res.Regs[ins.A] = res.Regs[ins.B] + ins.Imm
+		case OpLd:
+			addr := uint64(res.Regs[ins.B] + ins.Imm)
+			val, err := v.load(t, addr, inStack(addr), res)
+			if err != nil {
+				return nil, err
+			}
+			res.Regs[ins.A] = val
+		case OpSt:
+			addr := uint64(res.Regs[ins.B] + ins.Imm)
+			if err := v.store(t, addr, res.Regs[ins.A], inStack(addr), res); err != nil {
+				return nil, err
+			}
+		case OpBlt:
+			if res.Regs[ins.A] < res.Regs[ins.B] {
+				pc = int(ins.Imm)
+			}
+		case OpBne:
+			if res.Regs[ins.A] != res.Regs[ins.B] {
+				pc = int(ins.Imm)
+			}
+		case OpJmp:
+			pc = int(ins.Imm)
+		case OpHalt:
+			return res, nil
+		default:
+			return nil, fmt.Errorf("vm: unknown opcode %d at pc %d", ins.Op, pc-1)
+		}
+	}
+	return nil, fmt.Errorf("vm: exceeded %d steps (infinite loop?)", v.cfg.MaxSteps)
+}
+
+// load performs a 64-bit read, instrumented unless it hits the private
+// stack with stack instrumentation off.
+func (v *VM) load(t *instr.Thread, addr uint64, stack bool, res *Result) (int64, error) {
+	if stack {
+		res.StackLoads++
+		if !v.cfg.InstrumentStack {
+			return v.rawLoad(addr)
+		}
+	} else {
+		res.HeapLoads++
+	}
+	if !v.heap.Contains(addr, 8) {
+		return 0, fmt.Errorf("vm: load outside heap at %#x", addr)
+	}
+	return t.LoadInt64(addr), nil
+}
+
+// store performs a 64-bit write under the same policy as load.
+func (v *VM) store(t *instr.Thread, addr uint64, val int64, stack bool, res *Result) error {
+	if stack {
+		res.StackStores++
+		if !v.cfg.InstrumentStack {
+			return v.rawStore(addr, val)
+		}
+	} else {
+		res.HeapStores++
+	}
+	if !v.heap.Contains(addr, 8) {
+		return fmt.Errorf("vm: store outside heap at %#x", addr)
+	}
+	t.StoreInt64(addr, val)
+	return nil
+}
+
+// rawLoad bypasses instrumentation (uninstrumented stack access).
+func (v *VM) rawLoad(addr uint64) (int64, error) {
+	b, err := v.heap.Data(addr, 8)
+	if err != nil {
+		return 0, err
+	}
+	var x uint64
+	for i := 7; i >= 0; i-- {
+		x = x<<8 | uint64(b[i])
+	}
+	return int64(x), nil
+}
+
+// rawStore bypasses instrumentation.
+func (v *VM) rawStore(addr uint64, val int64) error {
+	b, err := v.heap.Data(addr, 8)
+	if err != nil {
+		return err
+	}
+	x := uint64(val)
+	for i := 0; i < 8; i++ {
+		b[i] = byte(x)
+		x >>= 8
+	}
+	return nil
+}

@@ -1,0 +1,125 @@
+package apps
+
+import (
+	"strings"
+	"testing"
+
+	"predator/internal/core"
+	"predator/internal/harness"
+)
+
+var evalConfig = core.Config{
+	TrackingThreshold:   50,
+	PredictionThreshold: 100,
+	ReportThreshold:     200,
+	Prediction:          true,
+}
+
+func run(t *testing.T, name string, buggy bool) *harness.Result {
+	t.Helper()
+	w, ok := harness.Get(name)
+	if !ok {
+		t.Fatalf("workload %q not registered", name)
+	}
+	cfg := evalConfig
+	res, err := harness.Execute(w, harness.Options{
+		Mode:    harness.ModePredict,
+		Threads: 8,
+		Buggy:   buggy,
+		Runtime: &cfg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func checkWorkload(t *testing.T, name string) {
+	t.Helper()
+	w, _ := harness.Get(name)
+	buggy := run(t, name, true)
+	fixed := run(t, name, false)
+	if w.HasFalseSharing() && !buggy.FalseSharingFound() {
+		t.Errorf("%s: buggy variant not detected", name)
+	}
+	if !w.HasFalseSharing() && buggy.FalseSharingFound() {
+		t.Errorf("%s: clean application flagged (paper: no false positives):\n%s",
+			name, buggy.Report.String())
+	}
+	if fixed.FalseSharingFound() {
+		t.Errorf("%s: fixed variant flagged:\n%s", name, fixed.Report.String())
+	}
+	if buggy.Checksum != fixed.Checksum {
+		t.Errorf("%s: fix changed computation: %d vs %d", name, buggy.Checksum, fixed.Checksum)
+	}
+}
+
+func TestMySQL(t *testing.T)     { checkWorkload(t, "mysql") }
+func TestBoost(t *testing.T)     { checkWorkload(t, "boost") }
+func TestMemcached(t *testing.T) { checkWorkload(t, "memcached") }
+func TestAget(t *testing.T)      { checkWorkload(t, "aget") }
+func TestPbzip2(t *testing.T)    { checkWorkload(t, "pbzip2") }
+func TestPfscan(t *testing.T)    { checkWorkload(t, "pfscan") }
+
+func TestMySQLFindingNamesStatsBlock(t *testing.T) {
+	buggy := run(t, "mysql", true)
+	fs := buggy.Report.FalseSharing()
+	if len(fs) == 0 {
+		t.Fatal("mysql FS missing")
+	}
+	obj, ok := fs[0].PrimaryObject()
+	if !ok {
+		t.Fatal("no object attribution")
+	}
+	if obj.Size != 24*8 {
+		t.Errorf("primary object size = %d, want packed stats block (192)", obj.Size)
+	}
+	if !strings.Contains(buggy.Report.String(), "mysql.go") {
+		t.Error("report does not point into mysql.go")
+	}
+}
+
+func TestBoostPoolObservedDirectly(t *testing.T) {
+	// The spinlock pool bug is physical: plain detection (PREDATOR-NP)
+	// must see it, like the paper's §4.1.2 account.
+	w, _ := harness.Get("boost")
+	cfg := evalConfig
+	res, err := harness.Execute(w, harness.Options{
+		Mode:    harness.ModeDetect,
+		Threads: 8,
+		Buggy:   true,
+		Runtime: &cfg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.FalseSharingFound() {
+		t.Error("boost spinlock pool FS not observed without prediction")
+	}
+}
+
+func TestAgetIsCheap(t *testing.T) {
+	// aget is the I/O-shaped workload: it must generate far fewer
+	// instrumented accesses than the compute kernels (the reason its
+	// overhead is near 1x in Figure 7).
+	aget := run(t, "aget", false)
+	mysql := run(t, "mysql", false)
+	if aget.RuntimeStats.Accesses*10 > mysql.RuntimeStats.Accesses {
+		t.Errorf("aget accesses = %d not clearly below mysql's %d",
+			aget.RuntimeStats.Accesses, mysql.RuntimeStats.Accesses)
+	}
+}
+
+func TestAllAppsRegistered(t *testing.T) {
+	want := []string{"mysql", "boost", "memcached", "aget", "pbzip2", "pfscan"}
+	for _, name := range want {
+		w, ok := harness.Get(name)
+		if !ok {
+			t.Errorf("%s not registered", name)
+			continue
+		}
+		if w.Suite() != "apps" {
+			t.Errorf("%s suite = %q", name, w.Suite())
+		}
+	}
+}

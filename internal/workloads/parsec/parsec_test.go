@@ -1,0 +1,168 @@
+package parsec
+
+import (
+	"strings"
+	"testing"
+
+	"predator/internal/core"
+	"predator/internal/harness"
+	"predator/internal/report"
+)
+
+var evalConfig = core.Config{
+	TrackingThreshold:   50,
+	PredictionThreshold: 100,
+	ReportThreshold:     200,
+	Prediction:          true,
+}
+
+func run(t *testing.T, name string, buggy bool) *harness.Result {
+	t.Helper()
+	w, ok := harness.Get(name)
+	if !ok {
+		t.Fatalf("workload %q not registered", name)
+	}
+	cfg := evalConfig
+	res, err := harness.Execute(w, harness.Options{
+		Mode:    harness.ModePredict,
+		Threads: 8,
+		Buggy:   buggy,
+		Runtime: &cfg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func checkWorkload(t *testing.T, name string) {
+	t.Helper()
+	w, _ := harness.Get(name)
+	buggy := run(t, name, true)
+	fixed := run(t, name, false)
+	if w.HasFalseSharing() && !buggy.FalseSharingFound() {
+		t.Errorf("%s: buggy variant not detected", name)
+	}
+	if !w.HasFalseSharing() && buggy.FalseSharingFound() {
+		t.Errorf("%s: clean workload flagged:\n%s", name, buggy.Report.String())
+	}
+	if fixed.FalseSharingFound() {
+		t.Errorf("%s: fixed variant flagged:\n%s", name, fixed.Report.String())
+	}
+	if buggy.Checksum == 0 {
+		t.Errorf("%s: zero checksum", name)
+	}
+}
+
+func TestBlackscholes(t *testing.T) { checkWorkload(t, "blackscholes") }
+func TestBodytrack(t *testing.T)    { checkWorkload(t, "bodytrack") }
+func TestDedup(t *testing.T)        { checkWorkload(t, "dedup") }
+func TestFerret(t *testing.T)       { checkWorkload(t, "ferret") }
+func TestFluidanimate(t *testing.T) { checkWorkload(t, "fluidanimate") }
+func TestSwaptions(t *testing.T)    { checkWorkload(t, "swaptions") }
+func TestX264(t *testing.T)         { checkWorkload(t, "x264") }
+
+func TestStreamclusterBothBugs(t *testing.T) {
+	buggy := run(t, "streamcluster", true)
+	if !buggy.FalseSharingFound() {
+		t.Fatal("streamcluster: buggy variant not detected")
+	}
+	// Table 1 has two streamcluster rows: the work_mem scratch (768-byte
+	// packed block) and the bool switch_membership array. Both must be
+	// attributed to distinct objects in one run.
+	var sawWorkMem, sawSwitch bool
+	for _, f := range buggy.Report.FalseSharing() {
+		obj, ok := f.PrimaryObject()
+		if !ok {
+			continue
+		}
+		switch {
+		case obj.Size == 104*8: // packed work_mem block (104-byte stride x 8 threads)
+			sawWorkMem = true
+		case obj.Size == 768: // bool switch_membership: 96 points x 8 threads x 1 byte
+			sawSwitch = true
+		}
+	}
+	if !sawWorkMem {
+		t.Errorf("work_mem false sharing not attributed; report:\n%s", buggy.Report.String())
+	}
+	if !sawSwitch {
+		t.Errorf("switch_membership false sharing not attributed; report:\n%s", buggy.Report.String())
+	}
+}
+
+func TestStreamclusterFixReducesSharing(t *testing.T) {
+	// The paper's switch_membership fix (bool -> long) REDUCES rather than
+	// eliminates false sharing: region-boundary words still touch, so
+	// PREDATOR may still predict a mild problem under shifted alignment.
+	// The contract is: no observed (physical) false sharing remains, the
+	// worst residual finding is far below the buggy variant's, and the
+	// computation is unchanged.
+	buggy := run(t, "streamcluster", true)
+	fixed := run(t, "streamcluster", false)
+	if buggy.Checksum != fixed.Checksum {
+		t.Errorf("fix changed computation: %d vs %d", buggy.Checksum, fixed.Checksum)
+	}
+	for _, f := range fixed.Report.FalseSharing() {
+		if f.Source == report.SourceObserved {
+			t.Errorf("fixed variant still has OBSERVED false sharing: %v", f.Span)
+		}
+	}
+	maxInv := func(r *harness.Result) uint64 {
+		var m uint64
+		for _, f := range r.Report.FalseSharing() {
+			if f.Invalidations > m {
+				m = f.Invalidations
+			}
+		}
+		return m
+	}
+	if b, fx := maxInv(buggy), maxInv(fixed); fx*3 > b {
+		t.Errorf("fix did not clearly reduce severity: buggy max inv %d vs fixed %d", b, fx)
+	}
+}
+
+func TestStreamclusterObservedWithoutPrediction(t *testing.T) {
+	w, _ := harness.Get("streamcluster")
+	cfg := evalConfig
+	res, err := harness.Execute(w, harness.Options{
+		Mode:    harness.ModeDetect,
+		Threads: 8,
+		Buggy:   true,
+		Runtime: &cfg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.FalseSharingFound() {
+		t.Error("streamcluster FS requires prediction, but Table 1 observes it directly")
+	}
+	for _, f := range res.Report.FalseSharing() {
+		if f.Source != report.SourceObserved {
+			t.Errorf("prediction-off run produced predicted finding: %+v", f.Source)
+		}
+	}
+}
+
+func TestReportNamesStreamclusterCallsites(t *testing.T) {
+	buggy := run(t, "streamcluster", true)
+	out := buggy.Report.String()
+	if !strings.Contains(out, "streamcluster.go") {
+		t.Errorf("report does not attribute findings to streamcluster source:\n%s", out)
+	}
+}
+
+func TestAllParsecRegistered(t *testing.T) {
+	want := []string{"blackscholes", "bodytrack", "dedup", "ferret",
+		"fluidanimate", "streamcluster", "swaptions", "x264"}
+	for _, name := range want {
+		w, ok := harness.Get(name)
+		if !ok {
+			t.Errorf("%s not registered", name)
+			continue
+		}
+		if w.Suite() != "parsec" {
+			t.Errorf("%s suite = %q", name, w.Suite())
+		}
+	}
+}

@@ -1,0 +1,154 @@
+// Package parsec reimplements the PARSEC kernels the paper evaluates.
+// streamcluster carries both Table 1 bugs; the remaining kernels are clean
+// but reproduce the paper's overhead profile (write-heavy kernels like
+// bodytrack/ferret/swaptions track many lines and slow down most; read-
+// dominated kernels like blackscholes/x264 stay cheap). Facesim and canneal
+// are omitted exactly as in the paper (they did not build under its LLVM
+// either).
+package parsec
+
+import (
+	"predator/internal/harness"
+	"predator/internal/instr"
+	"predator/internal/workloads/wlutil"
+)
+
+// streamcluster reproduces the PARSEC streamcluster kernel (online
+// clustering gain computation) with the paper's two false sharing problems:
+//
+//   - work_mem (streamcluster.cpp:985): per-thread scratch regions separated
+//     by a CACHE_LINE padding macro whose default of 32 bytes is smaller
+//     than the real 64-byte line, so neighbouring threads' scratch shares
+//     lines. The fix sets the pad to a safe stride (~7.5% improvement).
+//   - switch_membership (streamcluster.cpp:1907): a bool array with one
+//     byte per point, written by whichever thread owns the point, packing
+//     64 different points per cache line. The fix widens elements to longs
+//     (~4.77% improvement).
+type streamcluster struct{}
+
+func init() { harness.Register(streamcluster{}) }
+
+func (streamcluster) Name() string  { return "streamcluster" }
+func (streamcluster) Suite() string { return "parsec" }
+func (streamcluster) Description() string {
+	return "clustering gain kernel; FS in work_mem 32-byte padding (streamcluster.cpp:985) and the bool switch_membership array (streamcluster.cpp:1907)"
+}
+func (streamcluster) HasFalseSharing() bool { return true }
+
+const (
+	scK   = 8 // candidate centers per round
+	scDim = 8 // point dimensionality: distance work dominates per point
+)
+
+func (streamcluster) Run(c *harness.Ctx) (uint64, error) {
+	main := c.NewThread("main")
+	// 96 points per thread puts a thread boundary in the middle of every
+	// other cache line of the bool switch_membership array, and 96*8 bytes
+	// keeps the fixed (long-element) layout line- and doubled-line-clean.
+	pointsPerThread := 96 * c.Scale
+	n := pointsPerThread * c.Threads
+	iters := 200
+
+	points, err := main.Alloc(uint64(n * scDim * 8))
+	if err != nil {
+		return 0, err
+	}
+	costs, err := main.Alloc(uint64(n) * 8)
+	if err != nil {
+		return 0, err
+	}
+	rng := c.Rand()
+	for i := 0; i < n*scDim; i++ {
+		main.StoreInt64(points+uint64(i)*8, int64(rng.Intn(10000)))
+	}
+	for i := 0; i < n; i++ {
+		// Costs are comparable to squared distances so membership
+		// switches actually occur (and switch_membership gets written).
+		main.StoreInt64(costs+uint64(i)*8, int64(rng.Intn(int(scDim)*100000000)))
+	}
+
+	// work_mem: per-thread scratch of K lower[] gains plus a running
+	// total (9 words = 72 bytes), separated by the CACHE_LINE pad.
+	// Buggy: the pad is 32 bytes (the macro's wrong default), a 104-byte
+	// stride that lands neighbouring threads' scratch on shared lines.
+	// Fixed: a full padded stride.
+	const workMemSlot = scK*8 + 8 + 32
+	workMem, err := wlutil.NewStatsBlock(c, main, workMemSlot)
+	if err != nil {
+		return 0, err
+	}
+	const workMemTotal = scK * 8 // running total word at the slot's tail
+
+	// switch_membership: 1 byte per point when buggy, 8 bytes when fixed.
+	// Line-aligned like the original's array-start so the fixed variant's
+	// thread boundaries land exactly on line boundaries.
+	elem := uint64(8)
+	if c.Buggy {
+		elem = 1
+	}
+	switchMem, err := main.AllocWithOffset(uint64(n)*elem, 0)
+	if err != nil {
+		return 0, err
+	}
+
+	centers, err := c.Heap.DefineGlobal("sc_centers", scK*scDim*8)
+	if err != nil {
+		return 0, err
+	}
+	for k := 0; k < scK*scDim; k++ {
+		main.StoreInt64(centers+uint64(k)*8, int64(k*311))
+	}
+
+	c.Parallel(c.Threads, "sc", func(t *instr.Thread, id int) {
+		lo, hi := wlutil.Partition(n, c.Threads, id)
+		for iter := 0; iter < iters; iter++ {
+			for i := lo; i < hi; i++ {
+				// The candidate center is per point (pgain's
+				// center_table[x]), so gain updates spread over the
+				// whole lower[] scratch.
+				k := (i + iter) % scK
+				// Multi-dimensional distance: the read-heavy bulk of
+				// the kernel, as in the original (dim ~ 32-128 there).
+				var d int64
+				for dim := 0; dim < scDim; dim++ {
+					pv := t.LoadInt64(points + uint64((i*scDim+dim))*8)
+					cv := t.LoadInt64(centers + uint64(k*scDim+dim)*8)
+					d += (pv - cv) * (pv - cv)
+				}
+				cost := t.LoadInt64(costs + uint64(i)*8)
+				if d < cost {
+					// Gain accumulation into the thread's work_mem
+					// scratch: the :985 pattern (only improving
+					// points contribute, as in pgain).
+					t.AddInt64(workMem.Addr(id, uint64(k)*8), cost-d)
+					// Membership switch decision: the :1907 pattern.
+					if elem == 1 {
+						t.Store8(switchMem+uint64(i), 1)
+					} else {
+						t.Store64(switchMem+uint64(i)*8, 1)
+					}
+				}
+				c.MaybeYield(i)
+			}
+			// Round bookkeeping: one update per pass.
+			t.AddInt64(workMem.Addr(id, workMemTotal), int64(hi-lo))
+		}
+	})
+
+	var sum uint64
+	for id := 0; id < c.Threads; id++ {
+		for k := 0; k < scK; k++ {
+			sum = wlutil.Mix64(sum, uint64(main.LoadInt64(workMem.Addr(id, uint64(k)*8))))
+		}
+		sum = wlutil.Mix64(sum, uint64(main.LoadInt64(workMem.Addr(id, workMemTotal))))
+	}
+	switched := uint64(0)
+	for i := 0; i < n; i++ {
+		if elem == 1 {
+			switched += uint64(main.Load8(switchMem + uint64(i)))
+		} else {
+			switched += main.Load64(switchMem + uint64(i)*8)
+		}
+	}
+	return wlutil.Mix64(sum, switched), nil
+}

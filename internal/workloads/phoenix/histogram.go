@@ -1,0 +1,129 @@
+package phoenix
+
+import (
+	"predator/internal/harness"
+	"predator/internal/instr"
+	"predator/internal/workloads/wlutil"
+)
+
+// histogram reproduces Phoenix histogram and the previously-unknown false
+// sharing problem PREDATOR discovered in it (paper §4.1.1): worker threads
+// simultaneously update their own red/green/blue counters inside a packed
+// array of thread_arg_t structures (histogram-pthread.c:213), so several
+// threads' counters land on one cache line. Padding the structure fixed it
+// for a ~46% improvement. The slot holds three 8-byte counters (24 bytes
+// packed); the fixed variant pads to 128 bytes.
+type histogram struct{}
+
+func init() { harness.Register(histogram{}) }
+
+func (histogram) Name() string  { return "histogram" }
+func (histogram) Suite() string { return "phoenix" }
+func (histogram) Description() string {
+	return "RGB pixel histogram; FS in the packed per-thread thread_arg_t counters (histogram-pthread.c:213)"
+}
+func (histogram) HasFalseSharing() bool { return true }
+
+// Shared thread_arg_t slot fields: the falsely-shared per-thread counters.
+const (
+	histProcessed = 0
+	histBright    = 8
+	histDim       = 16
+	histSlot      = 24
+)
+
+func (histogram) Run(c *harness.Ctx) (uint64, error) {
+	main := c.NewThread("main")
+	pixelsPerThread := 16000 * c.Scale
+	n := pixelsPerThread * c.Threads
+
+	// "Image": interleaved R,G,B bytes.
+	img, err := main.Alloc(uint64(3 * n))
+	if err != nil {
+		return 0, err
+	}
+	rng := c.Rand()
+	buf := make([]byte, 3*n)
+	rng.Read(buf)
+	main.WriteBytes(img, buf)
+
+	args, err := wlutil.NewStatsBlock(c, main, histSlot)
+	if err != nil {
+		return 0, err
+	}
+
+	// Gamma lookup table: read-shared, accessed three times per pixel.
+	// This is the non-contending bulk of the kernel's memory traffic; it
+	// keeps the false sharing's share of the total cost at tens of
+	// percent, like the paper's 46% fix.
+	lut, err := main.Alloc(256)
+	if err != nil {
+		return 0, err
+	}
+	for v := 0; v < 256; v++ {
+		g := v + v/4
+		if g > 255 {
+			g = 255
+		}
+		main.Store8(lut+uint64(v), byte(g))
+	}
+
+	// Private per-thread bucket arrays (the real histogram's main data
+	// structure): 3x256 buckets, padded apart, never falsely shared.
+	const bucketBytes = 3 * 256 * 8
+	buckets := make([]uint64, c.Threads)
+	for id := range buckets {
+		addr, err := main.AllocWithOffset(bucketBytes, 0)
+		if err != nil {
+			return 0, err
+		}
+		buckets[id] = addr
+	}
+
+	c.Parallel(c.Threads, "hist", func(t *instr.Thread, id int) {
+		bkt := buckets[id]
+		lo, hi := wlutil.Partition(n, c.Threads, id)
+		var procAcc, brightAcc, dimAcc int64
+		flush := func() {
+			t.AddInt64(args.Addr(id, histProcessed), procAcc)
+			t.AddInt64(args.Addr(id, histBright), brightAcc)
+			t.AddInt64(args.Addr(id, histDim), dimAcc)
+			procAcc, brightAcc, dimAcc = 0, 0, 0
+		}
+		for i := lo; i < hi; i++ {
+			p := img + uint64(3*i)
+			r := t.Load8(lut + uint64(t.Load8(p)))
+			g := t.Load8(lut + uint64(t.Load8(p+1)))
+			b := t.Load8(lut + uint64(t.Load8(p+2)))
+			// Bucket the gamma-corrected channels (private arrays).
+			t.AddInt64(bkt+uint64(r)*8, 1)
+			t.AddInt64(bkt+2048+uint64(g)*8, 1)
+			t.AddInt64(bkt+4096+uint64(b)*8, 1)
+			// thread_arg_t accounting: the falsely-shared part. As in
+			// the original, the shared struct is touched periodically,
+			// not on every pixel — the FS costs tens of percent, not
+			// multiples (the paper's fix bought ~46%).
+			procAcc++
+			if (uint64(r)+uint64(g)+uint64(b))/3 >= 128 {
+				brightAcc++
+			} else {
+				dimAcc++
+			}
+			if (i-lo)%8 == 7 {
+				flush()
+			}
+			c.MaybeYield(i)
+		}
+		flush()
+	})
+
+	var sum uint64
+	for id := 0; id < c.Threads; id++ {
+		sum = wlutil.Mix64(sum, uint64(main.LoadInt64(args.Addr(id, histProcessed))))
+		sum = wlutil.Mix64(sum, uint64(main.LoadInt64(args.Addr(id, histBright))))
+		for v := 0; v < 3*256; v += 17 {
+			sum = wlutil.Mix64(sum, uint64(main.LoadInt64(buckets[id]+uint64(v)*8)))
+		}
+	}
+	return sum, nil
+}

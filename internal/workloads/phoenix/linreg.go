@@ -1,0 +1,122 @@
+// Package phoenix reimplements the Phoenix benchmark kernels the paper
+// evaluates (Table 1, Figures 2/7-10), each with the original sharing bug at
+// the same structural location plus a fixed variant. The kernels compute
+// real results on the simulated heap through the instrumented accessors; the
+// checksum returned by each Run is identical for the buggy and fixed
+// variants, which is how the tests prove the fixes are behaviour-preserving.
+package phoenix
+
+import (
+	"fmt"
+
+	"predator/internal/harness"
+	"predator/internal/instr"
+	"predator/internal/workloads/wlutil"
+)
+
+// linreg reproduces Phoenix linear_regression and its famous false sharing
+// bug (paper Figure 6): an array of 64-byte per-thread lreg_args structs —
+//
+//	tid(8) points(8) num_elems(4+4 pad) SX(8) SY(8) SXX(8) SYY(8) SXY(8)
+//
+// whose hot accumulator fields start at byte 24. Whether threads falsely
+// share depends entirely on the array's starting offset within its cache
+// line (paper Figure 2): offsets 0 and 56 are clean, offset 24 is ~15x
+// slower. The buggy variant uses the packed 64-byte stride (placed at
+// ctx.Offset when forced); the fixed variant pads each slot to 128 bytes.
+type linreg struct{}
+
+func init() { harness.Register(linreg{}) }
+
+func (linreg) Name() string  { return "linear_regression" }
+func (linreg) Suite() string { return "phoenix" }
+func (linreg) Description() string {
+	return "least-squares fit over per-thread point ranges; FS in the packed lreg_args accumulator array (linear_regression-pthread.c:133)"
+}
+func (linreg) HasFalseSharing() bool { return true }
+
+// Field offsets within one lreg_args slot (Figure 6 layout on 64-bit).
+const (
+	lregPoints = 8 // POINT_T *points, reloaded every iteration at -O1
+	lregSX     = 24
+	lregSY     = 32
+	lregSXX    = 40
+	lregSYY    = 48
+	lregSXY    = 56
+	lregSize   = 64
+)
+
+func (linreg) Run(c *harness.Ctx) (uint64, error) {
+	main := c.NewThread("main")
+	pointsPerThread := 6000 * c.Scale
+	n := pointsPerThread * c.Threads
+
+	// Points: (x, y) int32 pairs, filled deterministically.
+	points, err := main.Alloc(uint64(n) * 8)
+	if err != nil {
+		return 0, err
+	}
+	rng := c.Rand()
+	for i := 0; i < n; i++ {
+		x := int32(rng.Intn(1000))
+		y := 3*x + int32(rng.Intn(100))
+		main.Store32(points+uint64(i)*8, uint32(x))
+		main.Store32(points+uint64(i)*8+4, uint32(y))
+	}
+
+	// Default placement is line-aligned (offset 0): like the paper's test
+	// environment, the buggy layout then shows NO physical false sharing —
+	// only PREDATOR's prediction can find the latent problem (Table 1
+	// lists linear_regression under "with prediction" only). Figure 2
+	// forces other offsets through c.Offset.
+	if c.Offset == harness.UseDefaultOffset {
+		c.Offset = 0
+	}
+	args, err := wlutil.NewStatsBlock(c, main, lregSize)
+	if err != nil {
+		return 0, err
+	}
+	for id := 0; id < c.Threads; id++ {
+		main.Store64(args.Addr(id, lregPoints), points)
+	}
+
+	c.Parallel(c.Threads, "lreg", func(t *instr.Thread, id int) {
+		lo, hi := wlutil.Partition(n, c.Threads, id)
+		for i := lo; i < hi; i++ {
+			// args->points is re-read from the struct each iteration
+			// (the -O1 code the paper instruments does the same); this
+			// is what stretches the slot's hot region to [8, 64) and
+			// produces Figure 2's dirty-everywhere-but-0-and-56 curve.
+			pts := t.Load64(args.Addr(id, lregPoints))
+			x := int64(int32(t.Load32(pts + uint64(i)*8)))
+			y := int64(int32(t.Load32(pts + uint64(i)*8 + 4)))
+			// Figure 6's loop body: five read-modify-write
+			// accumulations per point into the thread's slot.
+			t.StoreInt64(args.Addr(id, lregSX), t.LoadInt64(args.Addr(id, lregSX))+x)
+			t.StoreInt64(args.Addr(id, lregSXX), t.LoadInt64(args.Addr(id, lregSXX))+x*x)
+			t.StoreInt64(args.Addr(id, lregSY), t.LoadInt64(args.Addr(id, lregSY))+y)
+			t.StoreInt64(args.Addr(id, lregSYY), t.LoadInt64(args.Addr(id, lregSYY))+y*y)
+			t.StoreInt64(args.Addr(id, lregSXY), t.LoadInt64(args.Addr(id, lregSXY))+x*y)
+			c.MaybeYield(i)
+		}
+	})
+
+	// Reduce and fit: slope/intercept from the pooled sums.
+	var sx, sy, sxx, syy, sxy int64
+	for id := 0; id < c.Threads; id++ {
+		sx += main.LoadInt64(args.Addr(id, lregSX))
+		sy += main.LoadInt64(args.Addr(id, lregSY))
+		sxx += main.LoadInt64(args.Addr(id, lregSXX))
+		syy += main.LoadInt64(args.Addr(id, lregSYY))
+		sxy += main.LoadInt64(args.Addr(id, lregSXY))
+	}
+	denom := int64(n)*sxx - sx*sx
+	if denom == 0 {
+		return 0, fmt.Errorf("linear_regression: degenerate input")
+	}
+	sum := uint64(0)
+	for _, v := range []int64{sx, sy, sxx, syy, sxy} {
+		sum = wlutil.Mix64(sum, uint64(v))
+	}
+	return sum, nil
+}

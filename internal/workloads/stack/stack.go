@@ -1,0 +1,154 @@
+// Package stack demonstrates the paper's §6 "Use Across the Software Stack"
+// direction with two workloads modelled on the false sharing incidents the
+// paper's introduction cites:
+//
+//   - kernel_percpu — per-CPU statistics structs packed in one array, the
+//     shape of the Linux-kernel scalability problems analysed by
+//     Boyd-Wickizer et al. (paper citation [5]). The fix pads each CPU's
+//     slot to its own cache line(s).
+//   - jvm_cardtable — a garbage collector's card table: one byte per
+//     512-byte heap card, dirtied by mutator threads on every reference
+//     store. Threads working in adjacent heap regions mark adjacent card
+//     bytes — David Dice's famous JVM false sharing (citation [8]). The
+//     real-world fix is *conditional card marking* (+UseCondCardMark):
+//     read the card first and only write if it is not already dirty, which
+//     collapses the write traffic; that is exactly the fixed variant here.
+package stack
+
+import (
+	"predator/internal/harness"
+	"predator/internal/instr"
+	"predator/internal/workloads/wlutil"
+)
+
+// kernelPercpu models per-CPU counters updated on every simulated syscall.
+type kernelPercpu struct{}
+
+func init() { harness.Register(kernelPercpu{}) }
+
+func (kernelPercpu) Name() string  { return "kernel_percpu" }
+func (kernelPercpu) Suite() string { return "stack" }
+func (kernelPercpu) Description() string {
+	return "OS-kernel-style per-CPU stat structs packed in one array (Linux kernel scalability, paper citation [5])"
+}
+func (kernelPercpu) HasFalseSharing() bool { return true }
+
+// Per-CPU slot: syscalls(8) faults(8) ctxswitch(8) = 24 bytes packed.
+const (
+	kpSyscalls = 0
+	kpFaults   = 8
+	kpSwitch   = 16
+	kpSlot     = 24
+)
+
+func (kernelPercpu) Run(c *harness.Ctx) (uint64, error) {
+	main := c.NewThread("main")
+	stats, err := wlutil.NewStatsBlock(c, main, kpSlot)
+	if err != nil {
+		return 0, err
+	}
+	// A page-table-like structure each "syscall" walks: read-shared.
+	const tableWords = 1024
+	table, err := main.Alloc(tableWords * 8)
+	if err != nil {
+		return 0, err
+	}
+	for i := 0; i < tableWords; i++ {
+		main.StoreInt64(table+uint64(i)*8, int64(i*2654435761))
+	}
+	callsPerCPU := 5000 * c.Scale
+	c.Parallel(c.Threads, "cpu", func(t *instr.Thread, cpu int) {
+		seed := uint64(cpu + 1)
+		for call := 0; call < callsPerCPU; call++ {
+			// "Syscall": a short pointer walk through the table.
+			seed = seed*6364136223846793005 + 1442695040888963407
+			idx := seed % tableWords
+			for hop := 0; hop < 3; hop++ {
+				idx = uint64(t.LoadInt64(table+idx*8)) % tableWords
+			}
+			// Per-CPU accounting: the falsely-shared writes.
+			t.AddInt64(stats.Addr(cpu, kpSyscalls), 1)
+			if idx%7 == 0 {
+				t.AddInt64(stats.Addr(cpu, kpFaults), 1)
+			}
+			if call%64 == 0 {
+				t.AddInt64(stats.Addr(cpu, kpSwitch), 1)
+			}
+			c.MaybeYield(call)
+		}
+	})
+	var sum uint64
+	for cpu := 0; cpu < c.Threads; cpu++ {
+		sum = wlutil.Mix64(sum, uint64(main.LoadInt64(stats.Addr(cpu, kpSyscalls))))
+		sum = wlutil.Mix64(sum, uint64(main.LoadInt64(stats.Addr(cpu, kpFaults))))
+		sum = wlutil.Mix64(sum, uint64(main.LoadInt64(stats.Addr(cpu, kpSwitch))))
+	}
+	return sum, nil
+}
+
+// jvmCardTable models GC card marking by mutator threads.
+type jvmCardTable struct{}
+
+func init() { harness.Register(jvmCardTable{}) }
+
+func (jvmCardTable) Name() string  { return "jvm_cardtable" }
+func (jvmCardTable) Suite() string { return "stack" }
+func (jvmCardTable) Description() string {
+	return "GC card-table marking; FS among adjacent cards fixed by conditional card marking (JVM +UseCondCardMark, paper citation [8])"
+}
+func (jvmCardTable) HasFalseSharing() bool { return true }
+
+// cardShift: one card byte covers 512 bytes of "Java heap".
+const cardShift = 9
+
+func (jvmCardTable) Run(c *harness.Ctx) (uint64, error) {
+	main := c.NewThread("main")
+	// Per-thread "Java heap" regions: 16 KiB each = 32 cards, so each
+	// thread's cards occupy half a cache line of the card table and two
+	// threads share every card-table line.
+	const regionBytes = 16 << 10
+	javaHeap, err := main.AllocWithOffset(regionBytes*uint64(c.Threads), 0)
+	if err != nil {
+		return 0, err
+	}
+	cards := (regionBytes * uint64(c.Threads)) >> cardShift
+	cardTable, err := main.AllocWithOffset(cards, 0)
+	if err != nil {
+		return 0, err
+	}
+
+	storesPerThread := 8000 * c.Scale
+	c.Parallel(c.Threads, "mutator", func(t *instr.Thread, id int) {
+		region := javaHeap + uint64(id)*regionBytes
+		seed := uint64(id*31 + 7)
+		for s := 0; s < storesPerThread; s++ {
+			seed = seed*6364136223846793005 + 1442695040888963407
+			// Reference store into the thread's own region...
+			slot := region + (seed % (regionBytes / 8) * 8)
+			t.Store64(slot, javaHeap+seed%regionBytes)
+			// ...followed by the write barrier dirtying the card.
+			card := cardTable + ((slot - javaHeap) >> cardShift)
+			if c.Buggy {
+				// Unconditional card marking: every store writes
+				// the card byte, falsely sharing the table line.
+				t.Store8(card, 1)
+			} else {
+				// Conditional card marking (+UseCondCardMark):
+				// write only clean cards — one write per card
+				// ever, so the table line stops ping-ponging.
+				if t.Load8(card) == 0 {
+					t.Store8(card, 1)
+				}
+			}
+			c.MaybeYield(s)
+		}
+	})
+
+	var dirty uint64
+	for i := uint64(0); i < cards; i++ {
+		dirty += uint64(main.Load8(cardTable + i))
+	}
+	// The checksum is the dirty-card population, identical across
+	// variants: conditional marking changes traffic, not state.
+	return wlutil.Mix64(uint64(storesPerThread), dirty), nil
+}

@@ -1,0 +1,78 @@
+// Package wlutil holds helpers shared by the workload reimplementations:
+// range partitioning, checksum mixing, and per-thread state blocks whose
+// stride is the knob every buggy/fixed workload pair turns (packed stats
+// blocks share cache lines — the paper's recurring bug; 128-byte strides are
+// immune even under doubled-line prediction).
+package wlutil
+
+import (
+	"predator/internal/harness"
+	"predator/internal/instr"
+)
+
+// PaddedStride is the per-thread state stride that is safe under both
+// physical 64-byte lines and PREDATOR's doubled-line (128-byte) prediction.
+const PaddedStride = 128
+
+// Partition splits n items over workers; it returns worker id's [lo, hi).
+// The first n%workers workers get one extra item.
+func Partition(n, workers, id int) (lo, hi int) {
+	base := n / workers
+	extra := n % workers
+	lo = id*base + min(id, extra)
+	hi = lo + base
+	if id < extra {
+		hi++
+	}
+	return lo, hi
+}
+
+// Mix64 folds a value into a checksum with strong bit diffusion
+// (splitmix64 finalizer), so tests comparing buggy/fixed variants detect
+// any divergence in computed results.
+func Mix64(h, v uint64) uint64 {
+	h += v + 0x9e3779b97f4a7c15
+	h = (h ^ (h >> 30)) * 0xbf58476d1ce4e5b9
+	h = (h ^ (h >> 27)) * 0x94d049bb133111eb
+	return h ^ (h >> 31)
+}
+
+// StatsBlock is a contiguous array of per-thread state slots inside the
+// simulated heap. Buggy variants use the natural (packed) slot size so
+// neighbouring threads share cache lines; fixed variants use PaddedStride.
+type StatsBlock struct {
+	Base   uint64
+	Stride uint64
+	Slot   uint64 // payload bytes per thread (<= Stride)
+}
+
+// NewStatsBlock allocates per-thread slots for the context's thread count.
+// slot is the payload size; when buggy (or when the context forces an
+// offset) the stride equals the packed slot size, otherwise PaddedStride
+// (or the next multiple of it).
+func NewStatsBlock(c *harness.Ctx, t *instr.Thread, slot uint64) (StatsBlock, error) {
+	stride := uint64(PaddedStride)
+	for stride < slot {
+		stride += PaddedStride
+	}
+	if c.Buggy {
+		stride = slot
+	}
+	total := stride * uint64(c.Threads)
+	var base uint64
+	var err error
+	if c.Offset != harness.UseDefaultOffset {
+		base, err = t.AllocWithOffset(total, c.Offset)
+	} else {
+		base, err = t.Alloc(total)
+	}
+	if err != nil {
+		return StatsBlock{}, err
+	}
+	return StatsBlock{Base: base, Stride: stride, Slot: slot}, nil
+}
+
+// Addr returns the address of byte `off` inside thread id's slot.
+func (b StatsBlock) Addr(id int, off uint64) uint64 {
+	return b.Base + uint64(id)*b.Stride + off
+}

@@ -1,0 +1,121 @@
+package wlutil
+
+import (
+	"testing"
+	"testing/quick"
+
+	"predator/internal/harness"
+	"predator/internal/instr"
+	"predator/internal/mem"
+)
+
+func TestPartitionCoversExactly(t *testing.T) {
+	cases := []struct{ n, workers int }{
+		{10, 3}, {8, 8}, {7, 8}, {100, 7}, {0, 4}, {1, 1},
+	}
+	for _, c := range cases {
+		covered := 0
+		prevHi := 0
+		for id := 0; id < c.workers; id++ {
+			lo, hi := Partition(c.n, c.workers, id)
+			if lo != prevHi {
+				t.Errorf("Partition(%d,%d,%d): gap at %d", c.n, c.workers, id, lo)
+			}
+			if hi < lo {
+				t.Errorf("Partition(%d,%d,%d): hi < lo", c.n, c.workers, id)
+			}
+			covered += hi - lo
+			prevHi = hi
+		}
+		if covered != c.n || prevHi != c.n {
+			t.Errorf("Partition(%d,%d): covered %d", c.n, c.workers, covered)
+		}
+	}
+}
+
+func TestPropPartitionBalanced(t *testing.T) {
+	f := func(n uint16, w uint8) bool {
+		workers := int(w%16) + 1
+		items := int(n % 10000)
+		minSz, maxSz := items, 0
+		for id := 0; id < workers; id++ {
+			lo, hi := Partition(items, workers, id)
+			sz := hi - lo
+			if sz < minSz {
+				minSz = sz
+			}
+			if sz > maxSz {
+				maxSz = sz
+			}
+		}
+		return maxSz-minSz <= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMix64Sensitivity(t *testing.T) {
+	a := Mix64(0, 1)
+	b := Mix64(0, 2)
+	if a == b {
+		t.Error("Mix64 collision on adjacent inputs")
+	}
+	// Order sensitivity.
+	if Mix64(Mix64(0, 1), 2) == Mix64(Mix64(0, 2), 1) {
+		t.Error("Mix64 order-insensitive")
+	}
+}
+
+func testCtx(t *testing.T, buggy bool) (*harness.Ctx, *instr.Thread) {
+	t.Helper()
+	h, err := mem.NewHeap(mem.Config{Size: 4 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := instr.New(h, nil, instr.Policy{})
+	c := &harness.Ctx{In: in, Heap: h, Threads: 4, Scale: 1, Buggy: buggy, Offset: harness.UseDefaultOffset}
+	return c, in.NewThread("main")
+}
+
+func TestStatsBlockBuggyPacked(t *testing.T) {
+	c, th := testCtx(t, true)
+	b, err := NewStatsBlock(c, th, 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Stride != 24 {
+		t.Errorf("buggy stride = %d, want 24 (packed)", b.Stride)
+	}
+	if b.Addr(1, 8) != b.Base+32 {
+		t.Errorf("Addr(1,8) = %#x", b.Addr(1, 8))
+	}
+}
+
+func TestStatsBlockFixedPadded(t *testing.T) {
+	c, th := testCtx(t, false)
+	b, err := NewStatsBlock(c, th, 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Stride != PaddedStride {
+		t.Errorf("fixed stride = %d, want %d", b.Stride, PaddedStride)
+	}
+	// Slots larger than one pad unit round up to a multiple.
+	b2, _ := NewStatsBlock(c, th, 200)
+	if b2.Stride != 2*PaddedStride {
+		t.Errorf("large slot stride = %d, want %d", b2.Stride, 2*PaddedStride)
+	}
+}
+
+func TestStatsBlockForcedOffset(t *testing.T) {
+	c, th := testCtx(t, true)
+	c.Offset = 24
+	b, err := NewStatsBlock(c, th, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Heap.Geometry().Offset(b.Base); got != 24 {
+		t.Errorf("base offset = %d, want 24", got)
+	}
+}

@@ -1,0 +1,182 @@
+package xsync
+
+import (
+	"sync"
+	"testing"
+	"unsafe"
+)
+
+func TestPaddedCounterBasics(t *testing.T) {
+	var c PaddedCounter
+	if c.Load() != 0 {
+		t.Fatal("zero value not zero")
+	}
+	if got := c.Add(5); got != 5 {
+		t.Errorf("Add(5) = %d, want 5", got)
+	}
+	c.Store(-3)
+	if c.Load() != -3 {
+		t.Errorf("Load() = %d, want -3", c.Load())
+	}
+}
+
+func TestPaddedCounterSize(t *testing.T) {
+	if sz := unsafe.Sizeof(PaddedCounter{}); sz < 2*CacheLinePad {
+		t.Errorf("PaddedCounter size %d smaller than two pads", sz)
+	}
+}
+
+func TestPaddedCounterConcurrent(t *testing.T) {
+	var c PaddedCounter
+	const workers, per = 8, 10000
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < per; j++ {
+				c.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Load() != workers*per {
+		t.Errorf("counter = %d, want %d", c.Load(), workers*per)
+	}
+}
+
+func TestShardedCounterSum(t *testing.T) {
+	c := NewShardedCounter(4)
+	const workers, per = 8, 5000
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func(id uint64) {
+			defer wg.Done()
+			for j := 0; j < per; j++ {
+				c.Add(id, 1)
+			}
+		}(uint64(i))
+	}
+	wg.Wait()
+	if c.Sum() != workers*per {
+		t.Errorf("Sum() = %d, want %d", c.Sum(), workers*per)
+	}
+}
+
+func TestShardedCounterDefaultShards(t *testing.T) {
+	c := NewShardedCounter(0)
+	if len(c.shards) == 0 {
+		t.Fatal("no shards allocated")
+	}
+	if len(c.shards)&(len(c.shards)-1) != 0 {
+		t.Errorf("shard count %d not a power of two", len(c.shards))
+	}
+}
+
+func TestSpinlockMutualExclusion(t *testing.T) {
+	var lock Spinlock
+	counter := 0
+	const workers, per = 8, 2000
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < per; j++ {
+				lock.Lock()
+				counter++
+				lock.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	if counter != workers*per {
+		t.Errorf("counter = %d, want %d (lost updates imply broken lock)", counter, workers*per)
+	}
+}
+
+func TestSpinlockTryLock(t *testing.T) {
+	var lock Spinlock
+	if !lock.TryLock() {
+		t.Fatal("TryLock on free lock failed")
+	}
+	if lock.TryLock() {
+		t.Fatal("TryLock on held lock succeeded")
+	}
+	lock.Unlock()
+	if !lock.TryLock() {
+		t.Fatal("TryLock after Unlock failed")
+	}
+	lock.Unlock()
+}
+
+func TestSpinlockUnlockPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Unlock of unlocked Spinlock did not panic")
+		}
+	}()
+	var lock Spinlock
+	lock.Unlock()
+}
+
+func TestBarrierReleasesAllParties(t *testing.T) {
+	const parties = 6
+	b := NewBarrier(parties)
+	var phase0 [parties]uint64
+	var wg sync.WaitGroup
+	for i := 0; i < parties; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			phase0[i] = b.Wait()
+		}(i)
+	}
+	wg.Wait()
+	for i, p := range phase0 {
+		if p != 0 {
+			t.Errorf("party %d saw phase %d, want 0", i, p)
+		}
+	}
+}
+
+func TestBarrierReusable(t *testing.T) {
+	const parties, rounds = 4, 5
+	b := NewBarrier(parties)
+	var wg sync.WaitGroup
+	for i := 0; i < parties; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				if got := b.Wait(); got != uint64(r) {
+					t.Errorf("phase = %d, want %d", got, r)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func TestNewBarrierPanicsOnZero(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewBarrier(0) did not panic")
+		}
+	}()
+	NewBarrier(0)
+}
+
+func TestOnceValue(t *testing.T) {
+	var o OnceValue[int]
+	calls := 0
+	f := func() int { calls++; return 42 }
+	if o.Get(f) != 42 || o.Get(f) != 42 {
+		t.Error("Get returned wrong value")
+	}
+	if calls != 1 {
+		t.Errorf("fn called %d times, want 1", calls)
+	}
+}
