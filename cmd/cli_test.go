@@ -9,6 +9,7 @@ import (
 	"os"
 	"os/exec"
 	"path/filepath"
+	"strconv"
 	"strings"
 	"testing"
 )
@@ -232,5 +233,124 @@ func TestExamplesRun(t *testing.T) {
 				t.Errorf("example %s output missing %q:\n%s", c.dir, c.want, out)
 			}
 		})
+	}
+}
+
+func TestPredatorMetricsAndEventsExport(t *testing.T) {
+	dir := t.TempDir()
+	metrics := filepath.Join(dir, "metrics.prom")
+	events := filepath.Join(dir, "events.jsonl")
+	out, err := run(t, "predator", "-workload", "histogram", "-quiet",
+		"-metrics-out", metrics, "-events-out", events)
+	if err != nil {
+		t.Fatalf("%v\n%s", err, out)
+	}
+
+	// The metrics snapshot must be valid Prometheus text format: every
+	// non-comment line is "name[{labels}] value", and the contract metrics
+	// must be present with non-zero values where the workload guarantees
+	// activity.
+	raw, err := os.ReadFile(metrics)
+	if err != nil {
+		t.Fatal(err)
+	}
+	values := map[string]float64{}
+	for _, line := range strings.Split(strings.TrimSpace(string(raw)), "\n") {
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			t.Fatalf("malformed sample line %q", line)
+		}
+		v, err := strconv.ParseFloat(fields[1], 64)
+		if err != nil {
+			t.Fatalf("non-numeric value in %q: %v", line, err)
+		}
+		values[fields[0]] = v
+	}
+	for _, name := range []string{
+		"predator_accesses_total",
+		"predator_invalidations_total",
+		"predator_tracked_lines",
+		"predator_virtual_lines",
+	} {
+		v, ok := values[name]
+		if !ok {
+			t.Errorf("metrics missing %s:\n%s", name, raw)
+			continue
+		}
+		if v <= 0 {
+			t.Errorf("%s = %v, want > 0", name, v)
+		}
+		if !strings.Contains(string(raw), "# TYPE "+name+" ") {
+			t.Errorf("metrics missing TYPE comment for %s", name)
+		}
+	}
+
+	// The event stream must be JSON lines covering the detector lifecycle.
+	evRaw, err := os.ReadFile(events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	types := map[string]int{}
+	var lastSeq float64
+	for _, line := range strings.Split(strings.TrimSpace(string(evRaw)), "\n") {
+		var ev struct {
+			Seq  float64 `json:"seq"`
+			Type string  `json:"type"`
+		}
+		if err := json.Unmarshal([]byte(line), &ev); err != nil {
+			t.Fatalf("invalid JSONL line %q: %v", line, err)
+		}
+		if ev.Seq <= lastSeq {
+			t.Fatalf("event sequence not increasing at %q", line)
+		}
+		lastSeq = ev.Seq
+		types[ev.Type]++
+	}
+	for _, want := range []string{"thread", "alloc", "track_promoted",
+		"invalidation", "hot_pair", "virtual_line", "verification", "report"} {
+		if types[want] == 0 {
+			t.Errorf("no %q events (saw %v)", want, types)
+		}
+	}
+	if len(types) < 6 {
+		t.Errorf("only %d distinct event types: %v", len(types), types)
+	}
+}
+
+func TestPredreplayExportsObservability(t *testing.T) {
+	dir := t.TempDir()
+	tracePath := filepath.Join(dir, "hist.trace")
+	out, err := run(t, "predreplay", "-record", "histogram", "-out", tracePath, "-threads", "4")
+	if err != nil {
+		t.Fatalf("record: %v\n%s", err, out)
+	}
+	metrics := filepath.Join(dir, "replay.prom")
+	events := filepath.Join(dir, "replay.jsonl")
+	out, err = run(t, "predreplay", "-replay", tracePath,
+		"-metrics-out", metrics, "-events-out", events)
+	if err != nil {
+		t.Fatalf("replay: %v\n%s", err, out)
+	}
+	if !strings.Contains(out, "invalidations=") {
+		t.Errorf("replay stats line missing invalidations:\n%s", out)
+	}
+	raw, err := os.ReadFile(metrics)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"predator_accesses_total", "predator_allocs_total"} {
+		if !strings.Contains(string(raw), want) {
+			t.Errorf("replay metrics missing %s", want)
+		}
+	}
+	evRaw, err := os.ReadFile(events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(evRaw), `"type":"alloc"`) {
+		t.Error("replay events missing alloc events (heap not observed)")
 	}
 }

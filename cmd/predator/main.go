@@ -18,6 +18,7 @@ import (
 	"predator/internal/core"
 	"predator/internal/fixer"
 	"predator/internal/harness"
+	"predator/internal/obs"
 
 	// Register every workload suite.
 	_ "predator/internal/workloads/apps"
@@ -29,24 +30,27 @@ import (
 
 func main() {
 	var (
-		list      = flag.Bool("list", false, "list available workloads and exit")
-		workload  = flag.String("workload", "", "workload to run (see -list)")
-		mode      = flag.String("mode", "predict", "instrumentation mode: native | detect (PREDATOR-NP) | predict (PREDATOR)")
-		threads   = flag.Int("threads", 8, "worker thread count")
-		scale     = flag.Int("scale", 1, "workload size multiplier")
-		fixed     = flag.Bool("fixed", false, "run the fixed variant instead of the buggy one")
-		offset    = flag.Uint64("offset", 1<<63, "force the hot object's in-line byte offset (default: workload's natural placement)")
-		trackAt   = flag.Uint64("tracking-threshold", 50, "per-line writes before detailed tracking")
-		predictAt = flag.Uint64("prediction-threshold", 100, "recorded writes before hot-pair search")
-		reportAt  = flag.Uint64("report-threshold", 200, "minimum invalidations to report")
-		sampleWin = flag.Uint64("sample-window", 0, "sampling window (0 = record everything)")
-		sampleBur = flag.Uint64("sample-burst", 0, "recorded prefix of each sampling window")
-		showAll   = flag.Bool("all", false, "print every finding, including true sharing")
-		suggest   = flag.Bool("suggest", false, "print fix prescriptions for each problem")
-		asJSON    = flag.Bool("json", false, "emit the report as machine-readable JSON")
-		det       = flag.Bool("deterministic", false, "serialize workers round-robin for exactly reproducible counts")
-		detGrain  = flag.Int("deterministic-grain", 16, "accesses per turn in deterministic mode")
-		quiet     = flag.Bool("quiet", false, "print only the summary line")
+		list       = flag.Bool("list", false, "list available workloads and exit")
+		workload   = flag.String("workload", "", "workload to run (see -list)")
+		mode       = flag.String("mode", "predict", "instrumentation mode: native | detect (PREDATOR-NP) | predict (PREDATOR)")
+		threads    = flag.Int("threads", 8, "worker thread count")
+		scale      = flag.Int("scale", 1, "workload size multiplier")
+		fixed      = flag.Bool("fixed", false, "run the fixed variant instead of the buggy one")
+		offset     = flag.Uint64("offset", 1<<63, "force the hot object's in-line byte offset (default: workload's natural placement)")
+		trackAt    = flag.Uint64("tracking-threshold", 50, "per-line writes before detailed tracking")
+		predictAt  = flag.Uint64("prediction-threshold", 100, "recorded writes before hot-pair search")
+		reportAt   = flag.Uint64("report-threshold", 200, "minimum invalidations to report")
+		sampleWin  = flag.Uint64("sample-window", 0, "sampling window (0 = record everything)")
+		sampleBur  = flag.Uint64("sample-burst", 0, "recorded prefix of each sampling window")
+		showAll    = flag.Bool("all", false, "print every finding, including true sharing")
+		suggest    = flag.Bool("suggest", false, "print fix prescriptions for each problem")
+		asJSON     = flag.Bool("json", false, "emit the report as machine-readable JSON")
+		det        = flag.Bool("deterministic", false, "serialize workers round-robin for exactly reproducible counts")
+		detGrain   = flag.Int("deterministic-grain", 16, "accesses per turn in deterministic mode")
+		quiet      = flag.Bool("quiet", false, "print only the summary line")
+		metricsOut = flag.String("metrics-out", "", "write runtime metrics in Prometheus text format to this file")
+		eventsOut  = flag.String("events-out", "", "stream lifecycle trace events as JSON lines to this file")
+		heartbeat  = flag.Duration("heartbeat", 0, "heartbeat interval for periodic metric snapshots (0 = off)")
 	)
 	flag.Parse()
 
@@ -106,11 +110,50 @@ func main() {
 		}
 	}
 
+	// Observability: attach an observer when any exporter is requested.
+	var (
+		observer *obs.Observer
+		evSink   *obs.JSONLines
+		evFile   *os.File
+	)
+	if *metricsOut != "" || *eventsOut != "" {
+		var sink obs.Sink
+		if *eventsOut != "" {
+			f, err := os.Create(*eventsOut)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "predator: %v\n", err)
+				os.Exit(1)
+			}
+			evFile = f
+			evSink = obs.NewJSONLines(f)
+			sink = evSink
+		}
+		observer = obs.New(obs.NewRegistry(), sink)
+		opts.Observer = observer
+	}
+	hb := obs.StartHeartbeat(observer, *heartbeat, *metricsOut)
+
 	start := time.Now()
 	res, err := harness.Execute(w, opts)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "predator: %v\n", err)
 		os.Exit(1)
+	}
+	hb.Stop()
+	if observer != nil {
+		if *metricsOut != "" {
+			if err := observer.Metrics().WriteSnapshotFile(*metricsOut); err != nil {
+				fmt.Fprintf(os.Stderr, "predator: writing %s: %v\n", *metricsOut, err)
+				os.Exit(1)
+			}
+		}
+		if evSink != nil {
+			if err := evSink.Flush(); err != nil {
+				fmt.Fprintf(os.Stderr, "predator: writing %s: %v\n", *eventsOut, err)
+				os.Exit(1)
+			}
+			evFile.Close()
+		}
 	}
 
 	variant := "buggy"
@@ -124,8 +167,10 @@ func main() {
 		return
 	}
 	st := res.RuntimeStats
-	fmt.Printf("accesses=%d writes=%d tracked-lines=%d virtual-lines=%d total=%s\n",
-		st.Accesses, st.Writes, st.TrackedLines, st.VirtualLines, time.Since(start).Round(time.Millisecond))
+	fmt.Printf("accesses=%d writes=%d tracked-lines=%d virtual-lines=%d invalidations=%d virtual-invalidations=%d sampled=%d total=%s\n",
+		st.Accesses, st.Writes, st.TrackedLines, st.VirtualLines,
+		st.Invalidations, st.VirtualInvalidations, st.SampledAccesses,
+		time.Since(start).Round(time.Millisecond))
 
 	if *asJSON {
 		raw, err := res.Report.MarshalIndentJSON()

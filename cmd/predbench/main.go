@@ -13,6 +13,7 @@ import (
 	"strings"
 
 	"predator/internal/eval"
+	"predator/internal/obs"
 
 	_ "predator/internal/workloads/apps"
 	_ "predator/internal/workloads/parsec"
@@ -27,6 +28,9 @@ func main() {
 		threads    = flag.Int("threads", 8, "worker thread count")
 		scale      = flag.Int("scale", 1, "workload size multiplier")
 		repeats    = flag.Int("repeats", 3, "timing repetitions (median is reported)")
+		metricsOut = flag.String("metrics-out", "", "write metrics aggregated across all runs in Prometheus text format to this file")
+		eventsOut  = flag.String("events-out", "", "stream lifecycle trace events from every run as JSON lines to this file")
+		heartbeat  = flag.Duration("heartbeat", 0, "heartbeat interval for periodic metric snapshots (0 = off)")
 	)
 	flag.Parse()
 
@@ -34,6 +38,40 @@ func main() {
 	cfg.Threads = *threads
 	cfg.Scale = *scale
 	cfg.Repeats = *repeats
+
+	// Observability: one observer aggregates every run the experiments do.
+	var evSink *obs.JSONLines
+	if *metricsOut != "" || *eventsOut != "" {
+		var sink obs.Sink
+		if *eventsOut != "" {
+			f, err := os.Create(*eventsOut)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "predbench: %v\n", err)
+				os.Exit(1)
+			}
+			defer f.Close()
+			evSink = obs.NewJSONLines(f)
+			sink = evSink
+		}
+		cfg.Observer = obs.New(obs.NewRegistry(), sink)
+	}
+	hb := obs.StartHeartbeat(cfg.Observer, *heartbeat, *metricsOut)
+	defer func() {
+		hb.Stop()
+		if cfg.Observer == nil {
+			return
+		}
+		if *metricsOut != "" {
+			if err := cfg.Observer.Metrics().WriteSnapshotFile(*metricsOut); err != nil {
+				fmt.Fprintf(os.Stderr, "predbench: writing %s: %v\n", *metricsOut, err)
+			}
+		}
+		if evSink != nil {
+			if err := evSink.Flush(); err != nil {
+				fmt.Fprintf(os.Stderr, "predbench: writing %s: %v\n", *eventsOut, err)
+			}
+		}
+	}()
 
 	run := func(name string, fn func() error) {
 		fmt.Printf("==== %s ====\n", name)

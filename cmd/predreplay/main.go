@@ -17,6 +17,7 @@ import (
 	"predator/internal/core"
 	"predator/internal/harness"
 	"predator/internal/mem"
+	"predator/internal/obs"
 	"predator/internal/trace"
 
 	_ "predator/internal/workloads/apps"
@@ -28,18 +29,20 @@ import (
 
 func main() {
 	var (
-		record    = flag.String("record", "", "workload to record (see predator -list)")
-		out       = flag.String("out", "predator.trace", "output file for -record")
-		replay    = flag.String("replay", "", "trace file to replay")
-		threads   = flag.Int("threads", 8, "worker threads for -record")
-		scale     = flag.Int("scale", 1, "workload size multiplier for -record")
-		fixed     = flag.Bool("fixed", false, "record the fixed variant")
-		trackAt   = flag.Uint64("tracking-threshold", 50, "replay: per-line writes before tracking")
-		predictAt = flag.Uint64("prediction-threshold", 100, "replay: recorded writes before hot-pair search")
-		reportAt  = flag.Uint64("report-threshold", 200, "replay: minimum invalidations to report")
-		sampleWin = flag.Uint64("sample-window", 0, "replay: sampling window (0 = record everything)")
-		sampleBur = flag.Uint64("sample-burst", 0, "replay: recorded prefix of each window")
-		noPredict = flag.Bool("no-prediction", false, "replay: disable prediction")
+		record     = flag.String("record", "", "workload to record (see predator -list)")
+		out        = flag.String("out", "predator.trace", "output file for -record")
+		replay     = flag.String("replay", "", "trace file to replay")
+		threads    = flag.Int("threads", 8, "worker threads for -record")
+		scale      = flag.Int("scale", 1, "workload size multiplier for -record")
+		fixed      = flag.Bool("fixed", false, "record the fixed variant")
+		trackAt    = flag.Uint64("tracking-threshold", 50, "replay: per-line writes before tracking")
+		predictAt  = flag.Uint64("prediction-threshold", 100, "replay: recorded writes before hot-pair search")
+		reportAt   = flag.Uint64("report-threshold", 200, "replay: minimum invalidations to report")
+		sampleWin  = flag.Uint64("sample-window", 0, "replay: sampling window (0 = record everything)")
+		sampleBur  = flag.Uint64("sample-burst", 0, "replay: recorded prefix of each window")
+		noPredict  = flag.Bool("no-prediction", false, "replay: disable prediction")
+		metricsOut = flag.String("metrics-out", "", "replay: write metrics in Prometheus text format to this file")
+		eventsOut  = flag.String("events-out", "", "replay: stream lifecycle trace events as JSON lines to this file")
 	)
 	flag.Parse()
 
@@ -59,7 +62,7 @@ func main() {
 			SampleBurst:         *sampleBur,
 			Prediction:          !*noPredict,
 		}
-		if err := doReplay(*replay, cfg); err != nil {
+		if err := doReplay(*replay, cfg, *metricsOut, *eventsOut); err != nil {
 			fatal(err.Error())
 		}
 	default:
@@ -96,23 +99,13 @@ func doRecord(workload, out string, threads, scale int, buggy bool) error {
 		return err
 	}
 
-	// ExecuteSim builds the heap internally; mirror its allocations by
-	// installing the hook from inside the first access... instead, run
-	// the workload manually against our own heap so the hook is in place
-	// before any allocation.
+	// ExecuteSim builds the heap internally; run against our own heap
+	// instead so the trace mirror is installed before any allocation.
 	h, err := mem.NewHeap(mem.Config{Size: heapSize})
 	if err != nil {
 		return err
 	}
-	h.SetAllocHook(func(o mem.Object) {
-		op := trace.OpAlloc
-		name := ""
-		if o.Global {
-			op = trace.OpGlobal
-			name = o.Label
-		}
-		_ = tw.WriteEvent(trace.Event{Op: op, TID: int32(o.Thread), Addr: o.Start, Size: o.Size, Name: name})
-	})
+	trace.Mirror(h, tw)
 
 	res, err := harness.ExecuteSimOnHeap(w, harness.Options{
 		Threads: threads, Scale: scale, Buggy: buggy,
@@ -136,21 +129,50 @@ func variantName(buggy bool) string {
 }
 
 // doReplay streams the trace through a fresh runtime and prints the report.
-func doReplay(path string, cfg core.Config) error {
+func doReplay(path string, cfg core.Config, metricsOut, eventsOut string) error {
 	f, err := os.Open(path)
 	if err != nil {
 		return err
 	}
 	defer f.Close()
+
+	var evSink *obs.JSONLines
+	if metricsOut != "" || eventsOut != "" {
+		var sink obs.Sink
+		if eventsOut != "" {
+			ef, err := os.Create(eventsOut)
+			if err != nil {
+				return err
+			}
+			defer ef.Close()
+			evSink = obs.NewJSONLines(ef)
+			sink = evSink
+		}
+		cfg.Observer = obs.New(obs.NewRegistry(), sink)
+	}
+
 	start := time.Now()
 	res, err := trace.Replay(f, cfg)
 	if err != nil {
 		return err
 	}
+	if cfg.Observer != nil {
+		if metricsOut != "" {
+			if err := cfg.Observer.Metrics().WriteSnapshotFile(metricsOut); err != nil {
+				return err
+			}
+		}
+		if evSink != nil {
+			if err := evSink.Flush(); err != nil {
+				return err
+			}
+		}
+	}
 	fmt.Printf("replayed %d events in %s; %d threads named\n",
 		res.Events, time.Since(start).Round(time.Millisecond), len(res.Threads))
-	fmt.Printf("tracked-lines=%d virtual-lines=%d\n\n",
-		res.Stats.TrackedLines, res.Stats.VirtualLines)
+	fmt.Printf("tracked-lines=%d virtual-lines=%d invalidations=%d virtual-invalidations=%d sampled=%d\n\n",
+		res.Stats.TrackedLines, res.Stats.VirtualLines,
+		res.Stats.Invalidations, res.Stats.VirtualInvalidations, res.Stats.SampledAccesses)
 	fs := res.Report.FalseSharing()
 	fmt.Printf("%d false sharing problem(s)\n\n", len(fs))
 	for i := range fs {

@@ -18,10 +18,12 @@ package core
 import (
 	"fmt"
 	"sync/atomic"
+	"time"
 
 	"predator/internal/cacheline"
 	"predator/internal/detect"
 	"predator/internal/mem"
+	"predator/internal/obs"
 	"predator/internal/predict"
 	"predator/internal/report"
 	"predator/internal/shadow"
@@ -61,6 +63,10 @@ type Config struct {
 	// models; each must be a power of two > 1. Empty means {2}, the
 	// paper's doubled-line case.
 	LineSizeFactors []int
+	// Observer, when non-nil, receives runtime metrics and — when it has
+	// an event sink — lifecycle trace events. The nil default leaves the
+	// fast path uninstrumented.
+	Observer *obs.Observer
 }
 
 // Validate rejects configurations that cannot work: a sampling burst larger
@@ -121,6 +127,27 @@ type Runtime struct {
 
 	totalAccesses atomic.Uint64
 	totalWrites   atomic.Uint64
+
+	// Observability (nil when cfg.Observer is nil; every instrument method
+	// is nil-safe, so the fast path stays branch-light when unobserved).
+	// Hot-path counters are batched: the access path syncs the registry only
+	// every obs.SyncBatch-th event, and flushMetrics pushes exact totals at
+	// snapshot points, so attaching a metrics-only observer costs one
+	// predictable branch per access instead of atomic adds.
+	obs            *obs.Observer
+	obsInvs        atomic.Uint64 // invalidations seen while observed
+	pushedAccesses atomic.Uint64
+	pushedWrites   atomic.Uint64
+	pushedInvs     atomic.Uint64
+	accessesC      *obs.Counter
+	writesC        *obs.Counter
+	invC           *obs.Counter
+	promotionsC    *obs.Counter
+	hotPairsC      *obs.Counter
+	trackedG       *obs.Gauge
+	predictH       *obs.Histogram
+	reportH        *obs.Histogram
+	lineInvH       *obs.Histogram
 }
 
 // NewRuntime attaches a runtime to a heap. It installs the heap's free hook
@@ -145,7 +172,33 @@ func NewRuntime(h *mem.Heap, cfg Config) (*Runtime, error) {
 		vreg:          predict.NewRegistry(geom, sampler),
 		predictedBits: make([]atomic.Uint32, (mapping.Lines()+31)/32),
 	}
-	h.SetFreeHook(rt.onFree)
+	h.AddFreeHook(rt.onFree)
+	if o := cfg.Observer; o != nil {
+		rt.obs = o
+		reg := o.Metrics()
+		rt.accessesC = reg.Counter("predator_accesses_total",
+			"Memory accesses delivered to the runtime.")
+		rt.writesC = reg.Counter("predator_writes_total",
+			"Write accesses delivered to the runtime.")
+		rt.invC = reg.Counter("predator_invalidations_total",
+			"Cache invalidations observed on tracked physical lines.")
+		rt.promotionsC = reg.Counter("predator_track_promotions_total",
+			"Cache lines promoted to detailed tracking.")
+		rt.hotPairsC = reg.Counter("predator_hot_pairs_total",
+			"Hot access pairs found by the prediction search.")
+		rt.trackedG = reg.Gauge("predator_tracked_lines",
+			"Cache lines currently under detailed tracking.")
+		rt.predictH = reg.Histogram("predator_prediction_seconds",
+			"Hot-pair search latency per triggered line.",
+			[]float64{1e-6, 1e-5, 1e-4, 1e-3, 1e-2})
+		rt.reportH = reg.Histogram("predator_report_seconds",
+			"Report generation latency.",
+			[]float64{1e-4, 1e-3, 1e-2, 1e-1, 1})
+		rt.lineInvH = reg.Histogram("predator_line_invalidations",
+			"Distribution of invalidation counts across tracked lines at report time.",
+			[]float64{1, 10, 100, 1000, 10000, 100000})
+		rt.vreg.SetObserver(o)
+	}
 	return rt, nil
 }
 
@@ -163,9 +216,15 @@ func (rt *Runtime) HandleAccess(tid int, addr, size uint64, isWrite bool) {
 	if size == 0 {
 		return
 	}
-	rt.totalAccesses.Add(1)
+	n := rt.totalAccesses.Add(1)
+	if n&(obs.SyncBatch-1) == 0 {
+		obs.SyncCounter(rt.accessesC, n, &rt.pushedAccesses)
+	}
 	if isWrite {
-		rt.totalWrites.Add(1)
+		nw := rt.totalWrites.Add(1)
+		if nw&(obs.SyncBatch-1) == 0 {
+			obs.SyncCounter(rt.writesC, nw, &rt.pushedWrites)
+		}
 	}
 	first, ok := rt.mapping.Index(addr)
 	if !ok {
@@ -198,7 +257,18 @@ func (rt *Runtime) handleLine(tid int, line uint64, addr, size uint64, isWrite b
 		}
 		track = rt.installTrack(line)
 	}
-	track.HandleAccess(tid, addr, size, isWrite)
+	if track.HandleAccess(tid, addr, size, isWrite) {
+		if rt.obs != nil {
+			ti := rt.obsInvs.Add(1)
+			if ti&(obs.SyncBatch-1) == 0 {
+				obs.SyncCounter(rt.invC, ti, &rt.pushedInvs)
+			}
+			if rt.obs.Tracing() {
+				rt.obs.Emit(obs.Event{Type: obs.EvInvalidation, TID: tid, Addr: addr,
+					Line: line, Count: track.Invalidations()})
+			}
+		}
+	}
 	if rt.cfg.Prediction && isWrite &&
 		track.Writes() >= rt.cfg.PredictionThreshold &&
 		rt.markPredicted(line) {
@@ -210,13 +280,30 @@ func (rt *Runtime) handleLine(tid int, line uint64, addr, size uint64, isWrite b
 // is enabled — for its neighbours, so word-level information accumulates on
 // the adjacent lines too (§3.2 step 2).
 func (rt *Runtime) installTrack(line uint64) *detect.Track {
-	t := rt.sh.InstallTrack(line, detect.NewTrack(rt.mapping.LineBase(line), rt.geom, rt.sampler))
+	t := rt.installOne(line)
 	if rt.cfg.Prediction {
 		if line > 0 && rt.sh.Track(line-1) == nil {
-			rt.sh.InstallTrack(line-1, detect.NewTrack(rt.mapping.LineBase(line-1), rt.geom, rt.sampler))
+			rt.installOne(line - 1)
 		}
 		if line+1 < rt.mapping.Lines() && rt.sh.Track(line+1) == nil {
-			rt.sh.InstallTrack(line+1, detect.NewTrack(rt.mapping.LineBase(line+1), rt.geom, rt.sampler))
+			rt.installOne(line + 1)
+		}
+	}
+	return t
+}
+
+// installOne installs tracking for a single line, recording the promotion
+// only when this caller's track won the install race (InstallTrack returns
+// the existing track when another goroutine got there first).
+func (rt *Runtime) installOne(line uint64) *detect.Track {
+	fresh := detect.NewTrackObserved(rt.mapping.LineBase(line), rt.geom, rt.sampler, rt.obs)
+	t := rt.sh.InstallTrack(line, fresh)
+	if t == fresh {
+		rt.promotionsC.Inc()
+		rt.trackedG.Add(1)
+		if rt.obs.Tracing() {
+			rt.obs.Emit(obs.Event{Type: obs.EvTrackPromoted, Line: line,
+				Addr: rt.mapping.LineBase(line), Count: rt.sh.Writes(line)})
 		}
 	}
 	return t
@@ -241,6 +328,10 @@ func (rt *Runtime) markPredicted(line uint64) bool {
 // runPrediction searches the line and its neighbours for hot access pairs
 // and registers virtual lines for verification.
 func (rt *Runtime) runPrediction(line uint64, track *detect.Track) {
+	var start time.Time
+	if rt.obs != nil {
+		start = time.Now()
+	}
 	registered := false
 	for _, adj := range []uint64{line - 1, line + 1} {
 		if adj >= rt.mapping.Lines() { // also catches line-1 underflow at line 0
@@ -248,6 +339,12 @@ func (rt *Runtime) runPrediction(line uint64, track *detect.Track) {
 		}
 		adjTrack := rt.sh.Track(adj)
 		for _, pair := range predict.FindPairsFused(track, adjTrack, rt.geom, rt.cfg.fuseFactors()) {
+			rt.hotPairsC.Inc()
+			if rt.obs.Tracing() {
+				rt.obs.Emit(obs.Event{Type: obs.EvHotPair, Line: line,
+					Start: pair.Span.Start, End: pair.Span.End,
+					Count: pair.Estimate, Kind: pair.Kind.String()})
+			}
 			if rt.vreg.Add(pair) != nil {
 				registered = true
 			}
@@ -255,6 +352,9 @@ func (rt *Runtime) runPrediction(line uint64, track *detect.Track) {
 	}
 	if registered {
 		rt.vactive.Store(true)
+	}
+	if rt.obs != nil {
+		rt.predictH.Observe(time.Since(start).Seconds())
 	}
 }
 
@@ -284,6 +384,19 @@ func (rt *Runtime) onFree(start, size uint64) {
 			t.Reset()
 		}
 	}
+}
+
+// flushMetrics pushes the exact totals behind the batched hot-path counters
+// into the registry, so exported snapshots are exact whenever anyone looks
+// (heartbeats between flushes may lag by up to obs.SyncBatch-1 events).
+func (rt *Runtime) flushMetrics() {
+	if rt.obs == nil {
+		return
+	}
+	obs.SyncCounter(rt.accessesC, rt.totalAccesses.Load(), &rt.pushedAccesses)
+	obs.SyncCounter(rt.writesC, rt.totalWrites.Load(), &rt.pushedWrites)
+	obs.SyncCounter(rt.invC, rt.obsInvs.Load(), &rt.pushedInvs)
+	rt.sh.ForEachTracked(func(_ uint64, t *detect.Track) { t.FlushMetrics() })
 }
 
 // wordsForSpan gathers word details from all tracked lines overlapping a
@@ -323,10 +436,16 @@ func (rt *Runtime) wordsForSpan(span cacheline.Virtual) []report.WordDetail {
 // in false sharing findings are flagged in the heap so their memory is
 // never reused.
 func (rt *Runtime) Report() *report.Report {
+	var began time.Time
+	if rt.obs != nil {
+		began = time.Now()
+	}
+	rt.flushMetrics()
 	rep := &report.Report{Geometry: rt.geom}
 
 	// Observed findings: tracked physical lines above the threshold.
 	rt.sh.ForEachTracked(func(line uint64, t *detect.Track) {
+		rt.lineInvH.Observe(float64(t.Invalidations()))
 		if t.Invalidations() < rt.cfg.ReportThreshold {
 			return
 		}
@@ -347,6 +466,16 @@ func (rt *Runtime) Report() *report.Report {
 
 	// Predicted findings: verified virtual lines above the threshold.
 	for _, v := range rt.vreg.Tracks() {
+		if rt.obs.Tracing() {
+			phase := "rejected"
+			if v.Invalidations() >= rt.cfg.ReportThreshold {
+				phase = "verified"
+			}
+			span := v.Span()
+			rt.obs.Emit(obs.Event{Type: obs.EvVerification, Phase: phase,
+				Start: span.Start, End: span.End, Count: v.Invalidations(),
+				Kind: v.Pair.Kind.String(), Virtual: true})
+		}
 		if v.Invalidations() < rt.cfg.ReportThreshold {
 			continue
 		}
@@ -374,23 +503,43 @@ func (rt *Runtime) Report() *report.Report {
 			}
 		}
 	}
+	if rt.obs != nil {
+		rt.reportH.Observe(time.Since(began).Seconds())
+		if rt.obs.Tracing() {
+			rt.obs.Emit(obs.Event{Type: obs.EvReport, Count: uint64(len(rep.Findings))})
+		}
+	}
 	return rep
 }
 
 // Stats summarizes runtime activity.
 type Stats struct {
-	Accesses     uint64 // accesses delivered to the runtime
-	Writes       uint64 // write accesses delivered
-	TrackedLines int    // lines with detailed tracking installed
-	VirtualLines int    // virtual lines registered for verification
+	Accesses             uint64 // accesses delivered to the runtime
+	Writes               uint64 // write accesses delivered
+	TrackedLines         int    // lines with detailed tracking installed
+	VirtualLines         int    // virtual lines registered for verification
+	Invalidations        uint64 // invalidations observed on tracked physical lines
+	VirtualInvalidations uint64 // invalidations verified on virtual lines
+	SampledAccesses      uint64 // accesses recorded in detail (post-sampling)
 }
 
-// Stats returns a snapshot of runtime counters.
+// Stats returns a snapshot of runtime counters. Invalidation and sampling
+// totals are summed from per-line state at snapshot time, so the access fast
+// path carries no extra aggregate counters.
 func (rt *Runtime) Stats() Stats {
-	return Stats{
+	rt.flushMetrics()
+	s := Stats{
 		Accesses:     rt.totalAccesses.Load(),
 		Writes:       rt.totalWrites.Load(),
 		TrackedLines: len(rt.sh.TrackedLines()),
 		VirtualLines: len(rt.vreg.Tracks()),
 	}
+	rt.sh.ForEachTracked(func(_ uint64, t *detect.Track) {
+		s.Invalidations += t.Invalidations()
+		s.SampledAccesses += t.Recorded()
+	})
+	for _, v := range rt.vreg.Tracks() {
+		s.VirtualInvalidations += v.Invalidations()
+	}
+	return s
 }

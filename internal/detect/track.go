@@ -13,6 +13,7 @@ import (
 
 	"predator/internal/cacheline"
 	"predator/internal/histtable"
+	"predator/internal/obs"
 )
 
 // Owner sentinels for a word's owning thread.
@@ -133,16 +134,41 @@ type Track struct {
 	writes        atomic.Uint64
 	invalidations atomic.Uint64
 	words         []Word
+
+	// Observability (nil when unobserved; set before publication only).
+	// The recorded-access counter is batched: the hot path syncs the
+	// registry every obs.SyncBatch-th recorded access and FlushMetrics
+	// pushes the exact total at snapshot points.
+	o         *obs.Observer
+	recordedC *obs.Counter
+	windowsC  *obs.Counter
+	pushedRec atomic.Uint64
 }
 
 // NewTrack creates tracking state for the line whose first address is
 // lineBase under the given geometry.
 func NewTrack(lineBase uint64, geom cacheline.Geometry, sampler Sampler) *Track {
+	return NewTrackObserved(lineBase, geom, sampler, nil)
+}
+
+// NewTrackObserved is NewTrack with an observability layer attached: the
+// track counts recorded accesses and sampling-window opens in the observer's
+// registry and emits sampling-window transition events (§2.4.3). A nil
+// observer yields an unobserved track.
+func NewTrackObserved(lineBase uint64, geom cacheline.Geometry, sampler Sampler, o *obs.Observer) *Track {
 	t := &Track{
 		lineBase: lineBase,
 		geom:     geom,
 		sampler:  sampler,
 		words:    make([]Word, geom.WordsPerLine()),
+	}
+	if o != nil {
+		t.o = o
+		reg := o.Metrics()
+		t.recordedC = reg.Counter("predator_sampled_accesses_total",
+			"Accesses recorded in detail on tracked lines (post-sampling).")
+		t.windowsC = reg.Counter("predator_sample_windows_total",
+			"Per-line sampling windows opened.")
 	}
 	initWords(t.words)
 	return t
@@ -157,10 +183,21 @@ func (t *Track) LineBase() uint64 { return t.lineBase }
 // caused a cache invalidation on this line.
 func (t *Track) HandleAccess(tid int, addr, size uint64, isWrite bool) (invalidated bool) {
 	n := t.accesses.Add(1)
-	if !t.sampler.ShouldRecord(n) {
-		return false
+	if t.sampler.Window > 0 {
+		// One phase computation serves both the sampling decision and the
+		// window-transition events, keeping the observed path free of a
+		// second modulo per access.
+		phase := (n - 1) % t.sampler.Window
+		if t.o != nil && (phase == 0 || phase == t.sampler.Burst) {
+			t.noteWindowPhase(phase, n)
+		}
+		if phase >= t.sampler.Burst {
+			return false
+		}
 	}
-	t.recorded.Add(1)
+	if r := t.recorded.Add(1); r&(obs.SyncBatch-1) == 0 {
+		obs.SyncCounter(t.recordedC, r, &t.pushedRec)
+	}
 	if isWrite {
 		t.writes.Add(1)
 	} else {
@@ -188,6 +225,30 @@ func (t *Track) HandleAccess(tid int, addr, size uint64, isWrite bool) (invalida
 		t.words[first+i].record(tid, isWrite)
 	}
 	return invalidated
+}
+
+// noteWindowPhase surfaces sampling-window transitions: the n-th access
+// opens a window when it starts a new sampling interval (phase 0), and
+// closes the recording burst when it is the first unrecorded access of its
+// interval (phase == Burst). Callers only invoke it at those two phases.
+func (t *Track) noteWindowPhase(phase, n uint64) {
+	if phase == 0 {
+		t.windowsC.Inc()
+		if t.o.Tracing() {
+			t.o.Emit(obs.Event{Type: obs.EvSampleWindow, Addr: t.lineBase, Phase: "open", Count: n})
+		}
+		return
+	}
+	if t.o.Tracing() {
+		t.o.Emit(obs.Event{Type: obs.EvSampleWindow, Addr: t.lineBase, Phase: "close", Count: n})
+	}
+}
+
+// FlushMetrics pushes the exact recorded-access total into the registry
+// counter; the hot path batches pushes to every obs.SyncBatch-th access.
+// Safe to call on an unobserved track (no-op).
+func (t *Track) FlushMetrics() {
+	obs.SyncCounter(t.recordedC, t.recorded.Load(), &t.pushedRec)
 }
 
 // Invalidations returns the line's observed cache invalidation count.
@@ -252,11 +313,15 @@ func (t *Track) HotWords() []WordSnapshot {
 	return out
 }
 
-// Reset clears all tracking state (object freed and recycled).
+// Reset clears all tracking state (object freed and recycled). The unpushed
+// tail of the recorded-access counter is flushed first, and the push cursor
+// restarts with the recorded count so the registry keeps its lifetime total.
 func (t *Track) Reset() {
+	t.FlushMetrics()
 	t.hist.Reset()
 	t.accesses.Store(0)
 	t.recorded.Store(0)
+	t.pushedRec.Store(0)
 	t.reads.Store(0)
 	t.writes.Store(0)
 	t.invalidations.Store(0)

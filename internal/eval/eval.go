@@ -24,6 +24,7 @@ import (
 	"predator/internal/cachesim"
 	"predator/internal/core"
 	"predator/internal/harness"
+	"predator/internal/obs"
 )
 
 // Config parameterizes an evaluation run.
@@ -32,6 +33,9 @@ type Config struct {
 	Scale   int
 	Repeats int         // timing repetitions (paper: 10); default 3
 	Runtime core.Config // detection thresholds
+	// Observer, when non-nil, aggregates metrics and lifecycle events
+	// across every run the evaluation performs.
+	Observer *obs.Observer
 }
 
 // Default returns the evaluation configuration scaled for the test-sized
@@ -176,10 +180,11 @@ func Simulate(cfg Config, workload string, buggy bool, offset uint64) (uint64, c
 	}
 	sink := &captureSink{}
 	opts := harness.Options{
-		Threads: cfg.Threads,
-		Scale:   cfg.Scale,
-		Buggy:   buggy,
-		Offset:  offset,
+		Threads:  cfg.Threads,
+		Scale:    cfg.Scale,
+		Buggy:    buggy,
+		Offset:   offset,
+		Observer: cfg.Observer,
 	}
 	if _, err := harness.ExecuteSim(w, opts, sink); err != nil {
 		return 0, cachesim.Stats{}, err
@@ -197,11 +202,12 @@ func detect(cfg Config, workload string, mode harness.Mode, buggy bool, offset u
 	}
 	rc := cfg.Runtime
 	return harness.Execute(w, harness.Options{
-		Mode:    mode,
-		Threads: cfg.Threads,
-		Scale:   cfg.Scale,
-		Buggy:   buggy,
-		Offset:  offset,
-		Runtime: &rc,
+		Mode:     mode,
+		Threads:  cfg.Threads,
+		Scale:    cfg.Scale,
+		Buggy:    buggy,
+		Offset:   offset,
+		Runtime:  &rc,
+		Observer: cfg.Observer,
 	})
 }

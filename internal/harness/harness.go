@@ -18,6 +18,7 @@ import (
 	"predator/internal/core"
 	"predator/internal/instr"
 	"predator/internal/mem"
+	"predator/internal/obs"
 	"predator/internal/report"
 	"predator/internal/sched"
 )
@@ -219,6 +220,9 @@ type Options struct {
 	// DeterministicGrain is the accesses-per-turn rotation grain
 	// (default 16, matching MaybeYield's free-running cadence).
 	DeterministicGrain int
+	// Observer, when non-nil, wires the heap, instrumentation front-end,
+	// and detection runtime into the observability subsystem.
+	Observer *obs.Observer
 }
 
 // normalized fills defaults.
@@ -347,6 +351,7 @@ func execute(w Workload, opts Options, heap *mem.Heap, sinkOverride instr.Sink) 
 			return nil, err
 		}
 	}
+	h.Observe(opts.Observer)
 	var err error
 	var rt *core.Runtime
 	var sink instr.Sink
@@ -358,6 +363,9 @@ func execute(w Workload, opts Options, heap *mem.Heap, sinkOverride instr.Sink) 
 			cfg = *opts.Runtime
 		}
 		cfg.Prediction = opts.Mode == ModePredict
+		if opts.Observer != nil {
+			cfg.Observer = opts.Observer
+		}
 		rt, err = core.NewRuntime(h, cfg)
 		if err != nil {
 			return nil, err
@@ -365,6 +373,7 @@ func execute(w Workload, opts Options, heap *mem.Heap, sinkOverride instr.Sink) 
 		sink = rt
 	}
 	in := instr.New(h, sink, opts.Policy)
+	in.Observe(opts.Observer)
 
 	ctx := &Ctx{
 		In:        in,
@@ -401,6 +410,7 @@ func execute(w Workload, opts Options, heap *mem.Heap, sinkOverride instr.Sink) 
 		HeapStats: h.Stats(),
 		MemBefore: memBefore,
 	}
+	in.FlushMetrics()
 	if rt != nil {
 		res.Report = rt.Report()
 		res.RuntimeStats = rt.Stats()

@@ -238,7 +238,7 @@ func TestExecuteSimOnHeapUsesProvidedHeap(t *testing.T) {
 		t.Fatal(err)
 	}
 	seen := 0
-	h.SetAllocHook(func(mem.Object) { seen++ })
+	h.AddAllocHook(func(mem.Object) { seen++ })
 	sink := &countingSink{}
 	if _, err := ExecuteSimOnHeap(fakeWorkload{name: "s3"}, testOpts(ModeNative, true), h, sink); err != nil {
 		t.Fatal(err)

@@ -21,6 +21,7 @@ import (
 	"sync/atomic"
 
 	"predator/internal/mem"
+	"predator/internal/obs"
 	"predator/internal/sched"
 )
 
@@ -75,6 +76,15 @@ type Instrumenter struct {
 	nextTID    atomic.Int64
 	delivered  atomic.Uint64
 	suppressed atomic.Uint64
+
+	// Observability (nil when unobserved; set via Observe before threads
+	// run). Counters are batched: notify syncs the registry every
+	// obs.SyncBatch-th event and FlushMetrics pushes exact totals.
+	obs              *obs.Observer
+	deliveredC       *obs.Counter
+	suppressedC      *obs.Counter
+	pushedDelivered  atomic.Uint64
+	pushedSuppressed atomic.Uint64
 }
 
 // New binds an instrumenter to a heap and a sink. A nil sink produces an
@@ -89,6 +99,29 @@ func New(h *mem.Heap, sink Sink, policy Policy) *Instrumenter {
 
 // Heap returns the bound heap.
 func (in *Instrumenter) Heap() *mem.Heap { return in.heap }
+
+// Observe attaches an observability layer: delivered/suppressed event
+// counters and — when the observer traces — a thread-creation event per
+// NewThread. Call before minting threads; a nil observer is a no-op.
+func (in *Instrumenter) Observe(o *obs.Observer) {
+	if o == nil {
+		return
+	}
+	in.obs = o
+	reg := o.Metrics()
+	in.deliveredC = reg.Counter("predator_events_delivered_total",
+		"Instrumentation events delivered to the runtime sink.")
+	in.suppressedC = reg.Counter("predator_events_suppressed_total",
+		"Instrumentation events dropped by policy or per-site deduplication.")
+}
+
+// FlushMetrics pushes the exact delivered/suppressed totals into the
+// registry; the notify hot path batches pushes to every obs.SyncBatch-th
+// event. Safe to call on an unobserved instrumenter (no-op).
+func (in *Instrumenter) FlushMetrics() {
+	obs.SyncCounter(in.deliveredC, in.delivered.Load(), &in.pushedDelivered)
+	obs.SyncCounter(in.suppressedC, in.suppressed.Load(), &in.pushedSuppressed)
+}
 
 // SetEnabled toggles event delivery at runtime.
 func (in *Instrumenter) SetEnabled(v bool) { in.enabled.Store(v && in.sink != nil) }
@@ -120,6 +153,9 @@ type Thread struct {
 // NewThread mints a handle with the next dense thread ID.
 func (in *Instrumenter) NewThread(name string) *Thread {
 	id := int(in.nextTID.Add(1) - 1)
+	if in.obs.Tracing() {
+		in.obs.Emit(obs.Event{Type: obs.EvThread, TID: id, Name: name})
+	}
 	return &Thread{in: in, id: id, name: name}
 }
 
@@ -162,7 +198,9 @@ func (t *Thread) notify(addr, size uint64, isWrite bool) {
 		return
 	}
 	if !in.policy.allows(t.scope, isWrite) {
-		in.suppressed.Add(1)
+		if sn := in.suppressed.Add(1); sn&(obs.SyncBatch-1) == 0 {
+			obs.SyncCounter(in.suppressedC, sn, &in.pushedSuppressed)
+		}
 		return
 	}
 	if w := in.policy.DedupWindow; w > 0 {
@@ -180,7 +218,9 @@ func (t *Thread) notify(addr, size uint64, isWrite bool) {
 		n := min(w, min(t.ringLen, dedupSlots))
 		for i := 1; i <= n; i++ {
 			if t.ring[(t.ringPos-i+dedupSlots)%dedupSlots] == key {
-				in.suppressed.Add(1)
+				if sn := in.suppressed.Add(1); sn&(obs.SyncBatch-1) == 0 {
+					obs.SyncCounter(in.suppressedC, sn, &in.pushedSuppressed)
+				}
 				return
 			}
 		}
@@ -190,7 +230,9 @@ func (t *Thread) notify(addr, size uint64, isWrite bool) {
 			t.ringLen++
 		}
 	}
-	in.delivered.Add(1)
+	if dn := in.delivered.Add(1); dn&(obs.SyncBatch-1) == 0 {
+		obs.SyncCounter(in.deliveredC, dn, &in.pushedDelivered)
+	}
 	in.sink.HandleAccess(t.id, addr, size, isWrite)
 }
 

@@ -16,6 +16,7 @@ import (
 
 	"predator/internal/cacheline"
 	"predator/internal/callsite"
+	"predator/internal/obs"
 )
 
 // DefaultBase mirrors the paper's predefined heap start (reports in the
@@ -100,17 +101,17 @@ type Heap struct {
 	geom cacheline.Geometry
 	data []byte
 
-	mu        sync.Mutex
-	bump      uint64 // next uncarved byte, offset from base
-	arenas    map[int]*arena
-	objects   map[uint64]*Object // keyed by start address (live + quarantined + globals)
-	starts    []uint64           // sorted start addresses; rebuilt lazily
-	dirty     bool               // starts needs rebuild
-	freeHook  FreeHook
-	allocHook AllocHook
-	liveBytes uint64
-	allocs    uint64
-	frees     uint64
+	mu         sync.Mutex
+	bump       uint64 // next uncarved byte, offset from base
+	arenas     map[int]*arena
+	objects    map[uint64]*Object // keyed by start address (live + quarantined + globals)
+	starts     []uint64           // sorted start addresses; rebuilt lazily
+	dirty      bool               // starts needs rebuild
+	freeHooks  []FreeHook
+	allocHooks []AllocHook
+	liveBytes  uint64
+	allocs     uint64
+	frees      uint64
 }
 
 // arena is one thread's private allocation area.
@@ -192,18 +193,23 @@ func (h *Heap) Data(addr, size uint64) ([]byte, error) {
 // own bounds checks; everyone else should use Data.
 func (h *Heap) Backing() ([]byte, uint64) { return h.data, h.base }
 
-// SetFreeHook installs the runtime's metadata-reset callback.
-func (h *Heap) SetFreeHook(hook FreeHook) {
+// AddFreeHook registers a callback observing object recycling. Hooks run in
+// registration order, outside the heap lock. Multiple subscribers coexist —
+// the detection runtime resets metadata while a trace recorder mirrors the
+// free into a trace file — so register, never replace.
+func (h *Heap) AddFreeHook(hook FreeHook) {
 	h.mu.Lock()
 	defer h.mu.Unlock()
-	h.freeHook = hook
+	h.freeHooks = append(h.freeHooks, hook)
 }
 
-// SetAllocHook installs an observer for new objects.
-func (h *Heap) SetAllocHook(hook AllocHook) {
+// AddAllocHook registers an observer for new objects (heap allocations,
+// globals, and imports). Hooks run in registration order, outside the heap
+// lock.
+func (h *Heap) AddAllocHook(hook AllocHook) {
 	h.mu.Lock()
 	defer h.mu.Unlock()
-	h.allocHook = hook
+	h.allocHooks = append(h.allocHooks, hook)
 }
 
 // classFor returns the size-class index for a request, or -1 for large.
@@ -294,15 +300,15 @@ func (h *Heap) Alloc(thread int, size uint64, skip int) (uint64, error) {
 }
 
 // finishAllocLocked registers a fresh object, bumps counters, and runs the
-// alloc hook outside the heap lock. The caller must hold h.mu; it is
+// alloc hooks outside the heap lock. The caller must hold h.mu; it is
 // released on return.
 func (h *Heap) finishAllocLocked(o Object) {
 	h.registerLocked(&o)
 	h.allocs++
 	h.liveBytes += o.Size
-	hook := h.allocHook
+	hooks := h.allocHooks
 	h.mu.Unlock()
-	if hook != nil {
+	for _, hook := range hooks {
 		hook(o)
 	}
 }
@@ -353,9 +359,9 @@ func (h *Heap) DefineGlobal(name string, size uint64) (uint64, error) {
 	o := Object{Start: addr, Size: size, Thread: -1, Label: name, Global: true}
 	h.registerLocked(&o)
 	h.liveBytes += size
-	hook := h.allocHook
+	hooks := h.allocHooks
 	h.mu.Unlock()
-	if hook != nil {
+	for _, hook := range hooks {
 		hook(o)
 	}
 	return addr, nil
@@ -370,13 +376,14 @@ func (h *Heap) ImportObject(o Object) error {
 		return fmt.Errorf("%w: import [%#x,%#x)", ErrOutOfRange, o.Start, o.End())
 	}
 	h.mu.Lock()
-	defer h.mu.Unlock()
 	h.rebuildLocked()
 	if ex := h.findLocked(o.Start); ex != nil {
+		h.mu.Unlock()
 		return fmt.Errorf("mem: import overlaps object at %#x", ex.Start)
 	}
 	if o.Size > 0 {
 		if ex := h.findLocked(o.End() - 1); ex != nil {
+			h.mu.Unlock()
 			return fmt.Errorf("mem: import overlaps object at %#x", ex.Start)
 		}
 	}
@@ -384,6 +391,13 @@ func (h *Heap) ImportObject(o Object) error {
 	h.registerLocked(&imported)
 	h.allocs++
 	h.liveBytes += o.Size
+	hooks := h.allocHooks
+	h.mu.Unlock()
+	// Imported objects count as creations for observers, so a replayed run
+	// produces the same allocation telemetry as the live run it recorded.
+	for _, hook := range hooks {
+		hook(o)
+	}
 	return nil
 }
 
@@ -414,12 +428,12 @@ func (h *Heap) Free(addr uint64) error {
 	// attribution can't leak into later reports.
 	delete(h.objects, addr)
 	h.dirty = true
-	hook := h.freeHook
+	hooks := h.freeHooks
 	start, size := o.Start, o.Size
-	// The hook runs outside the heap lock: it typically queries the heap
-	// back (e.g. ObjectsOverlapping) to decide which lines to reset.
+	// Hooks run outside the heap lock: they typically query the heap back
+	// (e.g. ObjectsOverlapping) to decide which lines to reset.
 	h.mu.Unlock()
-	if hook != nil {
+	for _, hook := range hooks {
 		hook(start, size)
 	}
 	return nil
@@ -500,6 +514,38 @@ func (h *Heap) ObjectsOverlapping(start, end uint64) []Object {
 		}
 	}
 	return out
+}
+
+// Observe wires the allocator into an observability layer: allocation and
+// free counters, a live-bytes gauge, and — when the observer traces events —
+// alloc/free lifecycle events. Call before the heap is used; hooks persist
+// for the heap's lifetime. A nil observer is a no-op.
+func (h *Heap) Observe(o *obs.Observer) {
+	if o == nil {
+		return
+	}
+	reg := o.Metrics()
+	allocs := reg.Counter("predator_allocs_total",
+		"Objects created on the simulated heap (allocations, globals, imports).")
+	frees := reg.Counter("predator_frees_total",
+		"Objects freed and recycled (quarantined objects never count).")
+	live := reg.Gauge("predator_heap_live_bytes",
+		"Requested bytes currently live on the simulated heap.")
+	h.AddAllocHook(func(obj Object) {
+		allocs.Inc()
+		live.Add(int64(obj.Size))
+		if o.Tracing() {
+			o.Emit(obs.Event{Type: obs.EvAlloc, TID: obj.Thread, Addr: obj.Start,
+				Size: obj.Size, Name: obj.Label, Global: obj.Global})
+		}
+	})
+	h.AddFreeHook(func(start, size uint64) {
+		frees.Inc()
+		live.Add(-int64(size))
+		if o.Tracing() {
+			o.Emit(obs.Event{Type: obs.EvFree, Addr: start, Size: size})
+		}
+	})
 }
 
 // Stats reports allocator counters.

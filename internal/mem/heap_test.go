@@ -190,7 +190,7 @@ func TestFreeAndReuse(t *testing.T) {
 	h := testHeap(t)
 	addr, _ := h.Alloc(0, 64, 0)
 	var hooked []uint64
-	h.SetFreeHook(func(start, size uint64) { hooked = append(hooked, start, size) })
+	h.AddFreeHook(func(start, size uint64) { hooked = append(hooked, start, size) })
 	if err := h.Free(addr); err != nil {
 		t.Fatal(err)
 	}
@@ -399,7 +399,7 @@ func BenchmarkFindObject(b *testing.B) {
 func TestAllocHookObservesAllObjects(t *testing.T) {
 	h := testHeap(t)
 	var seen []Object
-	h.SetAllocHook(func(o Object) { seen = append(seen, o) })
+	h.AddAllocHook(func(o Object) { seen = append(seen, o) })
 	a, _ := h.Alloc(0, 32, 0)
 	b, _ := h.AllocWithOffset(64, 64, 8, 0)
 	g, _ := h.DefineGlobal("g", 16)
@@ -414,7 +414,7 @@ func TestAllocHookObservesAllObjects(t *testing.T) {
 	}
 	// The hook runs outside the heap lock: calling back into the heap
 	// must not deadlock.
-	h.SetAllocHook(func(o Object) { h.FindObject(o.Start) })
+	h.AddAllocHook(func(o Object) { h.FindObject(o.Start) })
 	if _, err := h.Alloc(1, 8, 0); err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,141 @@
+package obs
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// Type discriminates lifecycle events. Values are stable strings: they are
+// the "type" field of the JSON-lines export and part of the telemetry schema
+// (see README "Observability").
+type Type string
+
+// Lifecycle event types, each mapped to the paper mechanism that motivates
+// it (see DESIGN.md "Observability").
+const (
+	// EvThread: an instrumented thread handle was minted.
+	EvThread Type = "thread"
+	// EvAlloc: a heap object (or global, Global=true) was created.
+	EvAlloc Type = "alloc"
+	// EvFree: a heap object was freed and recycled.
+	EvFree Type = "free"
+	// EvTrackPromoted: a line crossed the TrackingThreshold and detailed
+	// tracking was installed (paper §2.4.1).
+	EvTrackPromoted Type = "track_promoted"
+	// EvSampleWindow: a tracked line's sampling window opened (recording
+	// burst began) or closed (burst exhausted, §2.4.3). Phase is
+	// "open"/"close"; Count is the line's access ordinal.
+	EvSampleWindow Type = "sample_window"
+	// EvInvalidation: a recorded access invalidated a tracked line
+	// (Virtual=false) or virtual lines (Virtual=true, Count = how many).
+	EvInvalidation Type = "invalidation"
+	// EvHotPair: the hot-pair search found a candidate pair (§3.3).
+	// Count is the conservative invalidation estimate.
+	EvHotPair Type = "hot_pair"
+	// EvVirtualLine: a virtual line was registered for verification
+	// (§3.4). Start/End delimit the span; Kind names the prediction.
+	EvVirtualLine Type = "virtual_line"
+	// EvVerification: a virtual line's verification outcome at report
+	// time. Phase is "verified"/"rejected"; Count is verified
+	// invalidations.
+	EvVerification Type = "verification"
+	// EvReport: a report was produced. Count is the finding count.
+	EvReport Type = "report"
+	// EvHeartbeat: periodic liveness snapshot; Metrics carries the
+	// registry's scalar values.
+	EvHeartbeat Type = "heartbeat"
+)
+
+// Event is one lifecycle record. It is a flat struct so hot-path emission
+// performs no allocation beyond what the sink itself does; unused fields
+// stay zero and are omitted from the JSON encoding.
+type Event struct {
+	Seq  uint64 `json:"seq"`
+	Time int64  `json:"t_ns,omitempty"` // wall clock, UnixNano
+	Type Type   `json:"type"`
+
+	TID     int                `json:"tid,omitempty"`
+	Addr    uint64             `json:"addr,omitempty"`
+	Size    uint64             `json:"size,omitempty"`
+	Line    uint64             `json:"line,omitempty"`  // dense line index
+	Start   uint64             `json:"start,omitempty"` // span start (virtual lines)
+	End     uint64             `json:"end,omitempty"`   // span end (exclusive)
+	Count   uint64             `json:"count,omitempty"`
+	Phase   string             `json:"phase,omitempty"`
+	Kind    string             `json:"kind,omitempty"`
+	Name    string             `json:"name,omitempty"`
+	Global  bool               `json:"global,omitempty"`
+	Virtual bool               `json:"virtual,omitempty"`
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Sink receives lifecycle events. Implementations must be safe for
+// concurrent use: the runtime emits from every worker thread.
+type Sink interface {
+	Emit(Event)
+}
+
+// FuncSink adapts a function to the Sink interface.
+type FuncSink func(Event)
+
+// Emit calls the function.
+func (f FuncSink) Emit(e Event) { f(e) }
+
+// MultiSink fans one event out to several sinks in order.
+type MultiSink []Sink
+
+// Emit forwards to every sink.
+func (m MultiSink) Emit(e Event) {
+	for _, s := range m {
+		s.Emit(e)
+	}
+}
+
+// Observer bundles the two observability layers handed to the runtime: a
+// metrics registry and an event sink. Either may be nil. A nil *Observer is
+// the no-op default — every method is safe on it — so the runtime carries
+// one pointer and pays a single nil check on instrumented paths.
+type Observer struct {
+	reg     *Registry
+	sink    Sink
+	seq     atomic.Uint64
+	emitted *Counter
+}
+
+// New builds an Observer over a registry and an event sink (either or both
+// may be nil). When both a registry and a sink are present, the observer
+// self-registers predator_sink_events_total counting delivered events.
+func New(reg *Registry, sink Sink) *Observer {
+	o := &Observer{reg: reg, sink: sink}
+	if sink != nil {
+		o.emitted = reg.Counter("predator_sink_events_total",
+			"Lifecycle events delivered to the attached sink.")
+	}
+	return o
+}
+
+// Metrics returns the observer's registry (nil on a nil observer).
+func (o *Observer) Metrics() *Registry {
+	if o == nil {
+		return nil
+	}
+	return o.reg
+}
+
+// Tracing reports whether an event sink is attached. Hot paths call this
+// before constructing an Event so the untraced path builds nothing.
+func (o *Observer) Tracing() bool { return o != nil && o.sink != nil }
+
+// Emit stamps the event with a sequence number and wall time and forwards it
+// to the sink. No-op when the observer or its sink is nil.
+func (o *Observer) Emit(e Event) {
+	if o == nil || o.sink == nil {
+		return
+	}
+	e.Seq = o.seq.Add(1)
+	if e.Time == 0 {
+		e.Time = time.Now().UnixNano()
+	}
+	o.sink.Emit(e)
+	o.emitted.Inc()
+}

@@ -1,0 +1,72 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// Heartbeat periodically emits EvHeartbeat events carrying a scalar metrics
+// snapshot and, when a path is configured, rewrites the Prometheus snapshot
+// file — the liveness signal for long eval runs scraped from outside.
+type Heartbeat struct {
+	o        *Observer
+	interval time.Duration
+	path     string // "" = no snapshot file
+	ticks    uint64
+
+	stop chan struct{}
+	wg   sync.WaitGroup
+}
+
+// StartHeartbeat begins a heartbeat loop. It returns nil (and does nothing)
+// when the observer is nil or the interval is not positive; Stop is safe on
+// the nil result, so call sites need no conditional.
+func StartHeartbeat(o *Observer, interval time.Duration, snapshotPath string) *Heartbeat {
+	if o == nil || interval <= 0 {
+		return nil
+	}
+	hb := &Heartbeat{o: o, interval: interval, path: snapshotPath, stop: make(chan struct{})}
+	hb.wg.Add(1)
+	go hb.loop()
+	return hb
+}
+
+// loop beats until stopped.
+func (hb *Heartbeat) loop() {
+	defer hb.wg.Done()
+	t := time.NewTicker(hb.interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			hb.beat()
+		case <-hb.stop:
+			return
+		}
+	}
+}
+
+// beat emits one heartbeat event and refreshes the snapshot file.
+func (hb *Heartbeat) beat() {
+	hb.ticks++
+	hb.o.Emit(Event{
+		Type:    EvHeartbeat,
+		Count:   hb.ticks,
+		Metrics: hb.o.Metrics().Snapshot(),
+	})
+	if hb.path != "" {
+		_ = hb.o.Metrics().WriteSnapshotFile(hb.path)
+	}
+}
+
+// Stop ends the loop after one final beat, so short runs still produce at
+// least one heartbeat and the snapshot file reflects the end state. Safe on
+// a nil receiver.
+func (hb *Heartbeat) Stop() {
+	if hb == nil {
+		return
+	}
+	close(hb.stop)
+	hb.wg.Wait()
+	hb.beat()
+}

@@ -1,0 +1,64 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"sync"
+)
+
+// JSONLines is a Sink encoding one event per line as JSON. It is safe for
+// concurrent use; output is buffered, so call Flush before closing the
+// underlying writer. Encoding errors are sticky and reported by Flush — the
+// runtime must never fail because telemetry does.
+type JSONLines struct {
+	mu  sync.Mutex
+	w   *bufio.Writer
+	n   uint64
+	err error
+}
+
+// NewJSONLines wraps w in a buffered JSON-lines event sink.
+func NewJSONLines(w io.Writer) *JSONLines {
+	return &JSONLines{w: bufio.NewWriterSize(w, 1<<16)}
+}
+
+// Emit encodes one event as a JSON line.
+func (s *JSONLines) Emit(e Event) {
+	raw, err := json.Marshal(e)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.err != nil {
+		return
+	}
+	if err != nil {
+		s.err = err
+		return
+	}
+	if _, err := s.w.Write(raw); err != nil {
+		s.err = err
+		return
+	}
+	if err := s.w.WriteByte('\n'); err != nil {
+		s.err = err
+		return
+	}
+	s.n++
+}
+
+// Events returns the number of events successfully encoded.
+func (s *JSONLines) Events() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.n
+}
+
+// Flush writes buffered output through and returns the first error seen.
+func (s *JSONLines) Flush() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.err != nil {
+		return s.err
+	}
+	return s.w.Flush()
+}

@@ -22,6 +22,7 @@ import (
 	"predator/internal/cacheline"
 	"predator/internal/detect"
 	"predator/internal/histtable"
+	"predator/internal/obs"
 )
 
 // Kind says which environmental change a prediction models.
@@ -239,6 +240,11 @@ type Registry struct {
 	byLine map[uint64][]*VTrack // physical line index -> overlapping vtracks
 	all    []*VTrack
 	spans  map[cacheline.Virtual]bool // dedupe: one VTrack per span+kind
+
+	// Observability (nil when unobserved; set before concurrent use).
+	o       *obs.Observer
+	vlinesG *obs.Gauge
+	vinvC   *obs.Counter
 }
 
 // NewRegistry creates an empty registry under the given physical geometry;
@@ -252,13 +258,29 @@ func NewRegistry(geom cacheline.Geometry, sampler detect.Sampler) *Registry {
 	}
 }
 
+// SetObserver wires the registry into an observability layer: a gauge of
+// registered virtual lines, a verified-invalidation counter, and — when the
+// observer traces — virtual-line creation and invalidation events. Call
+// before the registry sees concurrent traffic; a nil observer is a no-op.
+func (r *Registry) SetObserver(o *obs.Observer) {
+	if o == nil {
+		return
+	}
+	r.o = o
+	reg := o.Metrics()
+	r.vlinesG = reg.Gauge("predator_virtual_lines",
+		"Virtual cache lines registered for prediction verification.")
+	r.vinvC = reg.Counter("predator_virtual_invalidations_total",
+		"Verified cache invalidations on virtual lines.")
+}
+
 // Add registers a verification track for the pair unless an identical span
 // is already tracked. It returns the registered track (new or nil if the
 // span was a duplicate).
 func (r *Registry) Add(pair HotPair) *VTrack {
 	r.mu.Lock()
-	defer r.mu.Unlock()
 	if r.spans[pair.Span] {
+		r.mu.Unlock()
 		return nil
 	}
 	r.spans[pair.Span] = true
@@ -268,6 +290,12 @@ func (r *Registry) Add(pair HotPair) *VTrack {
 	last := r.geom.Index(pair.Span.End - 1)
 	for l := first; l <= last; l++ {
 		r.byLine[l] = append(r.byLine[l], v)
+	}
+	r.mu.Unlock()
+	r.vlinesG.Add(1)
+	if r.o.Tracing() {
+		r.o.Emit(obs.Event{Type: obs.EvVirtualLine, Start: pair.Span.Start, End: pair.Span.End,
+			Count: pair.Estimate, Kind: pair.Kind.String()})
 	}
 	return v
 }
@@ -299,6 +327,13 @@ func (r *Registry) Route(tid int, addr, size uint64, isWrite bool) int {
 		}
 		if !dup && v.HandleAccess(tid, addr, size, isWrite) {
 			inv++
+		}
+	}
+	if inv > 0 && r.o != nil {
+		r.vinvC.Add(uint64(inv))
+		if r.o.Tracing() {
+			r.o.Emit(obs.Event{Type: obs.EvInvalidation, TID: tid, Addr: addr,
+				Count: uint64(inv), Virtual: true})
 		}
 	}
 	return inv

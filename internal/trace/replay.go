@@ -35,6 +35,9 @@ func Replay(r io.Reader, cfg core.Config) (*ReplayResult, error) {
 	if err != nil {
 		return nil, fmt.Errorf("trace: rebuilding heap: %w", err)
 	}
+	// Observe the rebuilt heap before streaming events, so a replayed run
+	// produces the same allocation telemetry as the live run it recorded.
+	h.Observe(cfg.Observer)
 	rt, err := core.NewRuntime(h, cfg)
 	if err != nil {
 		return nil, err
@@ -73,6 +76,28 @@ func Replay(r io.Reader, cfg core.Config) (*ReplayResult, error) {
 	res.Report = rt.Report()
 	res.Stats = rt.Stats()
 	return res, nil
+}
+
+// Mirror subscribes a trace Writer to the heap's lifecycle hooks so every
+// allocation, global registration, and free is recorded alongside the access
+// stream. Frees matter for fidelity: the runtime recycles line metadata on
+// free, so a trace without OpFree events replays to different stats than the
+// live run that produced it. Install before the workload allocates; the
+// heap's multi-subscriber hooks let a detection runtime coexist on the same
+// heap.
+func Mirror(h *mem.Heap, w *Writer) {
+	h.AddAllocHook(func(o mem.Object) {
+		op := OpAlloc
+		name := ""
+		if o.Global {
+			op = OpGlobal
+			name = o.Label
+		}
+		_ = w.WriteEvent(Event{Op: op, TID: int32(o.Thread), Addr: o.Start, Size: o.Size, Name: name})
+	})
+	h.AddFreeHook(func(start, size uint64) {
+		_ = w.WriteEvent(Event{Op: OpFree, Addr: start})
+	})
 }
 
 // RecordingHeap wraps a heap so that allocations, frees and globals are

@@ -3,10 +3,12 @@ package trace
 import (
 	"bytes"
 	"io"
+	"reflect"
 	"strings"
 	"sync"
 	"testing"
 
+	"predator/internal/callsite"
 	"predator/internal/core"
 	"predator/internal/instr"
 	"predator/internal/mem"
@@ -274,5 +276,94 @@ func BenchmarkWriteEvent(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		w.HandleAccess(i&3, 0x400000000+uint64(i&1023)*8, 8, i&1 == 0)
+	}
+}
+
+// TestRecordReplayParity is the fidelity contract: one live run teed into a
+// trace must replay to the same core.Stats and the same findings the live
+// runtime produced. Frees are part of the contract — the runtime recycles
+// line metadata on free, so a trace missing OpFree events would diverge.
+func TestRecordReplayParity(t *testing.T) {
+	const base, size = uint64(0x400000000), uint64(4 << 20)
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, Header{HeapBase: base, HeapSize: size, LineSize: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := mem.NewHeap(mem.Config{Base: base, Size: size})
+	if err != nil {
+		t.Fatal(err)
+	}
+	Mirror(h, w)
+	cfg := replayConfig()
+	rt, err := core.NewRuntime(h, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := instr.New(h, Tee{rt, w}, instr.Policy{})
+	t1, t2 := in.NewThread("a"), in.NewThread("b")
+
+	// Falsely-shared object: two threads hammer adjacent words.
+	shared, err := h.Alloc(t1.ID(), 64, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Tracked-then-freed object: crosses the tracking threshold, then is
+	// freed so its line metadata is recycled — the OpFree-sensitive path.
+	scratch, err := h.Alloc(t2.ID(), 64, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 500; i++ {
+		t1.Store64(shared, uint64(i))
+		t2.Store64(shared+8, uint64(i))
+		t1.Store64(scratch, uint64(i))
+	}
+	if err := h.Free(scratch); err != nil {
+		t.Fatal(err)
+	}
+	// Post-free traffic on the shared line keeps accumulating.
+	for i := 0; i < 100; i++ {
+		t1.Store64(shared, uint64(i))
+		t2.Store64(shared+8, uint64(i))
+	}
+	liveStats := rt.Stats()
+	liveReport := rt.Report()
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	res, err := Replay(bytes.NewReader(buf.Bytes()), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats != liveStats {
+		t.Errorf("stats diverge:\n live:   %+v\n replay: %+v", liveStats, res.Stats)
+	}
+	if got, want := len(res.Report.Findings), len(liveReport.Findings); got != want {
+		t.Fatalf("finding count: replay %d, live %d", got, want)
+	}
+	for i := range liveReport.Findings {
+		lf, rf := liveReport.Findings[i], res.Report.Findings[i]
+		if lf.Source != rf.Source || lf.Sharing != rf.Sharing || lf.Span != rf.Span ||
+			lf.Accesses != rf.Accesses || lf.Reads != rf.Reads || lf.Writes != rf.Writes ||
+			lf.Invalidations != rf.Invalidations || lf.Estimate != rf.Estimate {
+			t.Errorf("finding %d diverges:\n live:   %+v\n replay: %+v", i, lf, rf)
+		}
+		if !reflect.DeepEqual(lf.Words, rf.Words) {
+			t.Errorf("finding %d words diverge", i)
+		}
+		if len(lf.Objects) != len(rf.Objects) {
+			t.Errorf("finding %d object count: live %d, replay %d", i, len(lf.Objects), len(rf.Objects))
+			continue
+		}
+		for j := range lf.Objects {
+			lo, ro := lf.Objects[j], rf.Objects[j]
+			// Callsites are not recorded in traces; everything else must match.
+			lo.Callsite, ro.Callsite = callsite.Stack{}, callsite.Stack{}
+			if !reflect.DeepEqual(lo, ro) {
+				t.Errorf("finding %d object %d diverges:\n live:   %+v\n replay: %+v", i, j, lo, ro)
+			}
+		}
 	}
 }

@@ -1,0 +1,77 @@
+package predator_test
+
+import (
+	"testing"
+	"time"
+
+	predator "predator"
+)
+
+// hotLoop drives one thread through a write-heavy loop that keeps the
+// detector's full pipeline busy (tracked lines, sampling, invalidation
+// recording) and returns the per-access cost.
+func hotLoop(t testing.TB, o *predator.Observer) time.Duration {
+	t.Helper()
+	d, err := predator.New(predator.Options{HeapSize: 1 << 22, Observer: o})
+	if err != nil {
+		t.Fatal(err)
+	}
+	th := d.Thread("w")
+	addr, err := th.Alloc(64 * 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 500_000
+	start := time.Now()
+	for i := 0; i < n; i++ {
+		th.Store64(addr+uint64(i%8192)*8, uint64(i))
+	}
+	return time.Since(start) / n
+}
+
+// TestNoSinkObserverOverhead is the observability subsystem's performance
+// contract: attaching an observer with a metrics registry but no event sink
+// must cost less than 5% on the access hot path relative to the unobserved
+// default. Interleaved min-of-trials measurement filters scheduler noise,
+// and the comparison retries before declaring failure so a single noisy
+// trial cannot fail the suite.
+func TestNoSinkObserverOverhead(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing test")
+	}
+	const trials, maxAttempts, limit = 5, 3, 1.05
+	for attempt := 1; ; attempt++ {
+		base, observed := time.Duration(1<<62), time.Duration(1<<62)
+		for i := 0; i < trials; i++ {
+			if d := hotLoop(t, nil); d < base {
+				base = d
+			}
+			if d := hotLoop(t, predator.NewObserver(nil)); d < observed {
+				observed = d
+			}
+		}
+		ratio := float64(observed) / float64(base)
+		t.Logf("attempt %d: base=%v observed=%v ratio=%.3f", attempt, base, observed, ratio)
+		if ratio <= limit {
+			return
+		}
+		if attempt >= maxAttempts {
+			t.Fatalf("no-sink observer overhead %.1f%% exceeds %.0f%% (base=%v observed=%v)",
+				(ratio-1)*100, (limit-1)*100, base, observed)
+		}
+	}
+}
+
+// BenchmarkHotPathNilObserver and BenchmarkHotPathMetricsObserver publish
+// the absolute numbers behind the overhead contract.
+func BenchmarkHotPathNilObserver(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		b.ReportMetric(float64(hotLoop(b, nil).Nanoseconds()), "ns/access")
+	}
+}
+
+func BenchmarkHotPathMetricsObserver(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		b.ReportMetric(float64(hotLoop(b, predator.NewObserver(nil)).Nanoseconds()), "ns/access")
+	}
+}

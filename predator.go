@@ -23,12 +23,15 @@
 package predator
 
 import (
+	"io"
+
 	"predator/internal/cacheline"
 	"predator/internal/core"
 	"predator/internal/fixer"
 	"predator/internal/instr"
 	"predator/internal/layout"
 	"predator/internal/mem"
+	"predator/internal/obs"
 	"predator/internal/report"
 )
 
@@ -65,7 +68,25 @@ type (
 	StructLayout = layout.Struct
 	// LayoutField is one struct member description.
 	LayoutField = layout.Field
+	// Observer carries the metrics registry and event sink the detector
+	// reports into (see internal/obs).
+	Observer = obs.Observer
+	// Metrics is a registry of named counters, gauges, and histograms.
+	Metrics = obs.Registry
+	// Event is one lifecycle trace event.
+	Event = obs.Event
+	// EventSink receives lifecycle trace events.
+	EventSink = obs.Sink
 )
+
+// NewObserver builds an Observer over a fresh metrics registry. A nil sink
+// collects metrics without tracing events; see NewJSONLinesSink for a sink
+// that streams events as JSON lines.
+func NewObserver(sink EventSink) *Observer { return obs.New(obs.NewRegistry(), sink) }
+
+// NewJSONLinesSink returns a sink encoding each event as one JSON object per
+// line. Call Flush before closing the underlying writer.
+func NewJSONLinesSink(w io.Writer) *obs.JSONLines { return obs.NewJSONLines(w) }
 
 // NewLayout lays out struct fields under C alignment rules; pass the result
 // in SuggestOptions.Layouts keyed by object start address for field-level
@@ -121,6 +142,10 @@ type Options struct {
 	// Uninstrumented builds a Detector whose accessors touch memory but
 	// report nothing — the "Original" baseline for overhead measurement.
 	Uninstrumented bool
+	// Observer, when non-nil, receives the detector's metrics and — when
+	// it has an event sink — lifecycle trace events. Nil (the default)
+	// leaves the hot path uninstrumented.
+	Observer *Observer
 }
 
 // DefaultRuntimeConfig returns the paper's default thresholds.
@@ -132,6 +157,7 @@ type Detector struct {
 	heap *mem.Heap
 	rt   *core.Runtime
 	in   *instr.Instrumenter
+	obs  *Observer
 }
 
 // New builds a Detector.
@@ -144,11 +170,15 @@ func New(opts Options) (*Detector, error) {
 	if err != nil {
 		return nil, err
 	}
-	d := &Detector{heap: h}
+	h.Observe(opts.Observer)
+	d := &Detector{heap: h, obs: opts.Observer}
 	if !opts.Uninstrumented {
 		cfg := core.DefaultConfig()
 		if opts.Runtime != nil {
 			cfg = *opts.Runtime
+		}
+		if opts.Observer != nil {
+			cfg.Observer = opts.Observer
 		}
 		rt, err := core.NewRuntime(h, cfg)
 		if err != nil {
@@ -159,7 +189,22 @@ func New(opts Options) (*Detector, error) {
 	} else {
 		d.in = instr.New(h, nil, opts.Policy)
 	}
+	d.in.Observe(opts.Observer)
 	return d, nil
+}
+
+// Observer returns the detector's observer, or nil when unobserved.
+func (d *Detector) Observer() *Observer { return d.obs }
+
+// WriteMetrics writes the observer's metrics in Prometheus text format,
+// flushing batched hot-path counters first so the snapshot is exact. It is a
+// no-op (and returns nil) for unobserved detectors.
+func (d *Detector) WriteMetrics(w io.Writer) error {
+	if d.obs == nil {
+		return nil
+	}
+	d.Stats()
+	return d.obs.Metrics().WritePrometheus(w)
 }
 
 // Thread mints a handle for one logical thread. Each goroutine must use its
@@ -190,19 +235,26 @@ func (d *Detector) Report() *Report {
 
 // Stats summarizes detector activity.
 type Stats struct {
-	Accesses     uint64 // events delivered to the runtime
-	Writes       uint64
-	TrackedLines int
-	VirtualLines int
-	Suppressed   uint64 // events dropped by instrumentation policy
-	HeapLive     uint64 // live simulated-heap bytes
-	HeapUsed     uint64 // carved simulated-heap bytes
+	Accesses             uint64 // events delivered to the runtime
+	Writes               uint64
+	TrackedLines         int
+	VirtualLines         int
+	Invalidations        uint64 // invalidations observed on tracked lines
+	VirtualInvalidations uint64 // invalidations verified on virtual lines
+	SampledAccesses      uint64 // accesses recorded in detail (post-sampling)
+	Delivered            uint64 // events delivered by the instrumentation front-end
+	Suppressed           uint64 // events dropped by instrumentation policy
+	HeapLive             uint64 // live simulated-heap bytes
+	HeapUsed             uint64 // carved simulated-heap bytes
 }
 
-// Stats returns a snapshot of detector counters.
+// Stats returns a snapshot of detector counters, flushing batched hot-path
+// metric pushes so the observer's registry is exact afterwards.
 func (d *Detector) Stats() Stats {
+	d.in.FlushMetrics()
 	hs := d.heap.Stats()
 	s := Stats{
+		Delivered:  d.in.Delivered(),
 		Suppressed: d.in.Suppressed(),
 		HeapLive:   hs.LiveBytes,
 		HeapUsed:   hs.UsedBytes,
@@ -213,6 +265,9 @@ func (d *Detector) Stats() Stats {
 		s.Writes = rs.Writes
 		s.TrackedLines = rs.TrackedLines
 		s.VirtualLines = rs.VirtualLines
+		s.Invalidations = rs.Invalidations
+		s.VirtualInvalidations = rs.VirtualInvalidations
+		s.SampledAccesses = rs.SampledAccesses
 	}
 	return s
 }
