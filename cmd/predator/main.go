@@ -19,6 +19,7 @@ import (
 	"predator/internal/fixer"
 	"predator/internal/harness"
 	"predator/internal/obs"
+	"predator/internal/resilience"
 
 	// Register every workload suite.
 	_ "predator/internal/workloads/apps"
@@ -51,6 +52,9 @@ func main() {
 		metricsOut = flag.String("metrics-out", "", "write runtime metrics in Prometheus text format to this file")
 		eventsOut  = flag.String("events-out", "", "stream lifecycle trace events as JSON lines to this file")
 		heartbeat  = flag.Duration("heartbeat", 0, "heartbeat interval for periodic metric snapshots (0 = off)")
+		maxTracked = flag.Int("max-tracked-lines", 0, "resource governor budget for detailed tracking (0 = unlimited)")
+		maxVirtual = flag.Int("max-virtual-lines", 0, "resource governor budget for virtual lines (0 = unlimited)")
+		strict     = flag.Bool("strict", true, "panic on out-of-heap accesses (false: absorb them as recoverable faults)")
 	)
 	flag.Parse()
 
@@ -92,6 +96,8 @@ func main() {
 		SampleWindow:        *sampleWin,
 		SampleBurst:         *sampleBur,
 		Prediction:          m == harness.ModePredict,
+		MaxTrackedLines:     *maxTracked,
+		MaxVirtualLines:     *maxVirtual,
 	}
 	opts := harness.Options{
 		Mode:               m,
@@ -101,6 +107,7 @@ func main() {
 		Runtime:            &cfg,
 		Deterministic:      *det,
 		DeterministicGrain: *detGrain,
+		Strict:             strict,
 	}
 	if *offset != 1<<63 {
 		if *offset == 0 {
@@ -126,7 +133,9 @@ func main() {
 			}
 			evFile = f
 			evSink = obs.NewJSONLines(f)
-			sink = evSink
+			// Quarantine the sink rather than let an export failure kill
+			// the run (see internal/resilience).
+			sink = resilience.GuardSink("events-jsonl", evSink, 0, nil)
 		}
 		observer = obs.New(obs.NewRegistry(), sink)
 		opts.Observer = observer
@@ -171,6 +180,10 @@ func main() {
 		st.Accesses, st.Writes, st.TrackedLines, st.VirtualLines,
 		st.Invalidations, st.VirtualInvalidations, st.SampledAccesses,
 		time.Since(start).Round(time.Millisecond))
+	if st.Degraded {
+		fmt.Printf("DEGRADED: degraded-lines=%d evictions=%d virtual-rejections=%d (findings flagged in report)\n",
+			st.DegradedLines, st.Evictions, st.VirtualRejections)
+	}
 
 	if *asJSON {
 		raw, err := res.Report.MarshalIndentJSON()

@@ -14,6 +14,7 @@ import (
 
 	"predator/internal/eval"
 	"predator/internal/obs"
+	"predator/internal/resilience"
 
 	_ "predator/internal/workloads/apps"
 	_ "predator/internal/workloads/parsec"
@@ -51,7 +52,9 @@ func main() {
 			}
 			defer f.Close()
 			evSink = obs.NewJSONLines(f)
-			sink = evSink
+			// Quarantine the sink rather than let an export failure kill
+			// the whole benchmark sweep (see internal/resilience).
+			sink = resilience.GuardSink("events-jsonl", evSink, 0, nil)
 		}
 		cfg.Observer = obs.New(obs.NewRegistry(), sink)
 	}

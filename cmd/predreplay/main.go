@@ -6,9 +6,15 @@
 //	predreplay -record histogram -out hist.trace
 //	predreplay -replay hist.trace
 //	predreplay -replay hist.trace -no-prediction -report-threshold 1000
+//
+// Untrusted or damaged traces replay with -salvage: malformed and truncated
+// records are skipped and accounted instead of aborting, optionally bounded
+// by -salvage-budget corrupt regions (exceeding the budget still prints the
+// partial report, then exits nonzero).
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -18,6 +24,7 @@ import (
 	"predator/internal/harness"
 	"predator/internal/mem"
 	"predator/internal/obs"
+	"predator/internal/resilience"
 	"predator/internal/trace"
 
 	_ "predator/internal/workloads/apps"
@@ -43,6 +50,10 @@ func main() {
 		noPredict  = flag.Bool("no-prediction", false, "replay: disable prediction")
 		metricsOut = flag.String("metrics-out", "", "replay: write metrics in Prometheus text format to this file")
 		eventsOut  = flag.String("events-out", "", "replay: stream lifecycle trace events as JSON lines to this file")
+		salvage    = flag.Bool("salvage", false, "replay: skip malformed/truncated records instead of aborting")
+		salvageMax = flag.Uint64("salvage-budget", 0, "replay: max corrupt regions tolerated under -salvage (0 = unlimited); exceeding it exits nonzero after the partial report")
+		maxTracked = flag.Int("max-tracked-lines", 0, "replay: resource governor budget for detailed tracking (0 = unlimited)")
+		maxVirtual = flag.Int("max-virtual-lines", 0, "replay: resource governor budget for virtual lines (0 = unlimited)")
 	)
 	flag.Parse()
 
@@ -61,8 +72,16 @@ func main() {
 			SampleWindow:        *sampleWin,
 			SampleBurst:         *sampleBur,
 			Prediction:          !*noPredict,
+			MaxTrackedLines:     *maxTracked,
+			MaxVirtualLines:     *maxVirtual,
 		}
-		if err := doReplay(*replay, cfg, *metricsOut, *eventsOut); err != nil {
+		opts := replayOptions{
+			salvage:       *salvage,
+			salvageBudget: *salvageMax,
+			metricsOut:    *metricsOut,
+			eventsOut:     *eventsOut,
+		}
+		if err := doReplay(*replay, cfg, opts); err != nil {
 			fatal(err.Error())
 		}
 	default:
@@ -128,8 +147,20 @@ func variantName(buggy bool) string {
 	return "fixed"
 }
 
+// replayOptions carries the replay-side CLI knobs.
+type replayOptions struct {
+	salvage       bool
+	salvageBudget uint64 // max corrupt regions tolerated; 0 = unlimited
+	metricsOut    string
+	eventsOut     string
+}
+
 // doReplay streams the trace through a fresh runtime and prints the report.
-func doReplay(path string, cfg core.Config, metricsOut, eventsOut string) error {
+// Decode failures are diagnosed on stderr with the byte offset and event
+// index where decoding failed; under -salvage the trace replays to
+// completion with a degradation banner (and a nonzero exit when the corrupt-
+// region budget is exceeded, after the partial report has been printed).
+func doReplay(path string, cfg core.Config, opts replayOptions) error {
 	f, err := os.Open(path)
 	if err != nil {
 		return err
@@ -137,28 +168,36 @@ func doReplay(path string, cfg core.Config, metricsOut, eventsOut string) error 
 	defer f.Close()
 
 	var evSink *obs.JSONLines
-	if metricsOut != "" || eventsOut != "" {
+	if opts.metricsOut != "" || opts.eventsOut != "" {
 		var sink obs.Sink
-		if eventsOut != "" {
-			ef, err := os.Create(eventsOut)
+		if opts.eventsOut != "" {
+			ef, err := os.Create(opts.eventsOut)
 			if err != nil {
 				return err
 			}
 			defer ef.Close()
 			evSink = obs.NewJSONLines(ef)
-			sink = evSink
+			// The JSON-lines sink is our own code, but it writes to user-
+			// controlled storage; quarantine it rather than die with it.
+			sink = resilience.GuardSink("events-jsonl", evSink, 0, nil)
 		}
 		cfg.Observer = obs.New(obs.NewRegistry(), sink)
 	}
 
 	start := time.Now()
-	res, err := trace.Replay(f, cfg)
+	res, err := trace.ReplayWithOptions(f, cfg, trace.ReplayOptions{Salvage: opts.salvage})
 	if err != nil {
+		var de *trace.DecodeError
+		if errors.As(err, &de) {
+			fmt.Fprintf(os.Stderr, "predreplay: decode error at byte offset %d (event index %d): %v\n",
+				de.Offset, de.Index, de.Err)
+			return fmt.Errorf("trace is damaged; rerun with -salvage to skip corrupt records")
+		}
 		return err
 	}
 	if cfg.Observer != nil {
-		if metricsOut != "" {
-			if err := cfg.Observer.Metrics().WriteSnapshotFile(metricsOut); err != nil {
+		if opts.metricsOut != "" {
+			if err := cfg.Observer.Metrics().WriteSnapshotFile(opts.metricsOut); err != nil {
 				return err
 			}
 		}
@@ -168,11 +207,25 @@ func doReplay(path string, cfg core.Config, metricsOut, eventsOut string) error 
 			}
 		}
 	}
+	if res.Salvage != nil && !res.Salvage.Clean() {
+		fmt.Fprintf(os.Stderr, "predreplay: DEGRADED TRACE: %s\n", res.Salvage)
+		for _, e := range res.Salvage.Errors {
+			fmt.Fprintf(os.Stderr, "predreplay:   skipped: %s\n", e)
+		}
+		if res.SemanticErrors > 0 {
+			fmt.Fprintf(os.Stderr, "predreplay:   %d decoded event(s) rejected by the rebuilt heap\n", res.SemanticErrors)
+		}
+	}
 	fmt.Printf("replayed %d events in %s; %d threads named\n",
 		res.Events, time.Since(start).Round(time.Millisecond), len(res.Threads))
-	fmt.Printf("tracked-lines=%d virtual-lines=%d invalidations=%d virtual-invalidations=%d sampled=%d\n\n",
+	fmt.Printf("tracked-lines=%d virtual-lines=%d invalidations=%d virtual-invalidations=%d sampled=%d\n",
 		res.Stats.TrackedLines, res.Stats.VirtualLines,
 		res.Stats.Invalidations, res.Stats.VirtualInvalidations, res.Stats.SampledAccesses)
+	if res.Stats.Degraded {
+		fmt.Printf("DEGRADED: degraded-lines=%d evictions=%d virtual-rejections=%d (findings flagged in report)\n",
+			res.Stats.DegradedLines, res.Stats.Evictions, res.Stats.VirtualRejections)
+	}
+	fmt.Println()
 	fs := res.Report.FalseSharing()
 	fmt.Printf("%d false sharing problem(s)\n\n", len(fs))
 	for i := range fs {
@@ -180,6 +233,11 @@ func doReplay(path string, cfg core.Config, metricsOut, eventsOut string) error 
 			fmt.Println()
 		}
 		fmt.Print(fs[i].Format(res.Report.Geometry))
+	}
+	if res.Salvage != nil && opts.salvageBudget > 0 && res.Salvage.CorruptRegions > opts.salvageBudget {
+		fmt.Fprintf(os.Stderr, "predreplay: salvage budget exceeded: %d corrupt regions > budget %d (partial report above)\n",
+			res.Salvage.CorruptRegions, opts.salvageBudget)
+		os.Exit(1)
 	}
 	return nil
 }

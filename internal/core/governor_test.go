@@ -1,0 +1,161 @@
+package core
+
+import (
+	"testing"
+
+	"predator/internal/mem"
+)
+
+// governed builds a runtime with a bounded tracked-line budget and
+// prediction off, so slot accounting is easy to reason about.
+func governed(t *testing.T, maxTracked int) (*Runtime, uint64) {
+	t.Helper()
+	cfg := testConfig()
+	cfg.Prediction = false
+	cfg.MaxTrackedLines = maxTracked
+	rt, h := newRuntime(t, cfg)
+	addr, err := h.AllocWithOffset(0, 64*8, 0, 0) // eight line-aligned lines
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rt, addr
+}
+
+func TestGovernorEvictsColdLinesForHotOnes(t *testing.T) {
+	rt, addr := governed(t, 2)
+	line := func(i int) uint64 { return addr + uint64(i)*64 }
+
+	// Two lines promoted just past the tracking threshold stay cold: few
+	// invalidations, well under the report threshold, so they are
+	// legitimate eviction victims.
+	pingPongWrites(rt, line(0), line(0)+8, 15)
+	pingPongWrites(rt, line(1), line(1)+8, 15)
+	// Three genuinely hot lines arrive with the budget already full.
+	pingPongWrites(rt, line(2), line(2)+8, 100)
+	pingPongWrites(rt, line(3), line(3)+8, 100)
+	pingPongWrites(rt, line(4), line(4)+8, 100)
+
+	st := rt.Stats()
+	if st.TrackedLines != 5 {
+		t.Errorf("TrackedLines = %d, want 5 (degraded lines stay installed)", st.TrackedLines)
+	}
+	if st.DegradedLines != 3 {
+		t.Errorf("DegradedLines = %d, want 3", st.DegradedLines)
+	}
+	if st.Evictions == 0 {
+		t.Error("no evictions despite cold victims being available")
+	}
+	if !st.Degraded {
+		t.Error("Stats.Degraded false under an exhausted budget")
+	}
+
+	rep := rt.Report()
+	if !rep.Degraded {
+		t.Error("Report.Degraded false under an exhausted budget")
+	}
+	// The hot lines kept their detail; reported findings that were
+	// degraded must say so.
+	sawDegradedFlag := false
+	for _, f := range rep.Findings {
+		if f.Degraded {
+			sawDegradedFlag = true
+		}
+	}
+	// At least one hot line was forced to degrade_new (both cold victims
+	// are gone by the third hot arrival and the survivors are protected
+	// by the report threshold), and with 100 ping-pong rounds it clears
+	// the report threshold, so a degraded finding must appear.
+	if !sawDegradedFlag {
+		t.Error("no finding carries the Degraded flag")
+	}
+}
+
+func TestGovernorUnlimitedByDefault(t *testing.T) {
+	rt, addr := governed(t, 0)
+	for i := 0; i < 6; i++ {
+		base := addr + uint64(i)*64
+		pingPongWrites(rt, base, base+8, 50)
+	}
+	st := rt.Stats()
+	if st.DegradedLines != 0 || st.Evictions != 0 || st.Degraded {
+		t.Errorf("unlimited budget degraded: %+v", st)
+	}
+}
+
+func TestGovernorProtectsReportableLines(t *testing.T) {
+	// Budget of one: the first line crosses the report threshold and
+	// becomes non-evictable, so every later promotion degrades the fresh
+	// line instead of evicting the reportable one.
+	rt, addr := governed(t, 1)
+	pingPongWrites(rt, addr, addr+8, 200)
+	pingPongWrites(rt, addr+64, addr+72, 200)
+	pingPongWrites(rt, addr+128, addr+136, 200)
+
+	st := rt.Stats()
+	if st.Evictions != 0 {
+		t.Errorf("Evictions = %d, want 0: the reportable line must not be evicted", st.Evictions)
+	}
+	if st.DegradedLines != 2 {
+		t.Errorf("DegradedLines = %d, want 2", st.DegradedLines)
+	}
+	rep := rt.Report()
+	for _, f := range rep.Findings {
+		if f.Span.Contains(addr) && f.Degraded {
+			t.Error("the protected first line was degraded")
+		}
+	}
+}
+
+func TestVirtualLineBudget(t *testing.T) {
+	cfg := testConfig()
+	cfg.MaxVirtualLines = 0 // unlimited: baseline must create virtual lines
+	rt, h := newRuntime(t, cfg)
+	addr, _ := h.AllocWithOffset(0, 128, 0, 0)
+	for i := 0; i < 2000; i++ {
+		rt.HandleAccess(1, addr+56, 8, true)
+		rt.HandleAccess(2, addr+64, 8, true)
+	}
+	if rt.Stats().VirtualLines == 0 {
+		t.Fatal("baseline produced no virtual lines; budget test is vacuous")
+	}
+
+	cfg.MaxVirtualLines = 1
+	rt2, h2 := newRuntime(t, cfg)
+	addr2, _ := h2.AllocWithOffset(0, 64*6, 0, 0)
+	// Two disjoint hot boundary pairs: each wants its own virtual lines,
+	// but the budget admits only one.
+	for i := 0; i < 2000; i++ {
+		rt2.HandleAccess(1, addr2+56, 8, true)
+		rt2.HandleAccess(2, addr2+64, 8, true)
+		rt2.HandleAccess(3, addr2+184, 8, true)
+		rt2.HandleAccess(4, addr2+192, 8, true)
+	}
+	st := rt2.Stats()
+	if st.VirtualLines > 1 {
+		t.Errorf("VirtualLines = %d with budget 1", st.VirtualLines)
+	}
+	if st.VirtualRejections == 0 {
+		t.Error("no virtual-line rejections despite exceeding the budget")
+	}
+	if !st.Degraded || !rt2.Report().Degraded {
+		t.Error("virtual-line rejections did not mark the run degraded")
+	}
+}
+
+func TestConfigValidatesBudgets(t *testing.T) {
+	h, _ := mem.NewHeap(mem.Config{Size: 1 << 20})
+	for _, cfg := range []Config{
+		{TrackingThreshold: 10, MaxTrackedLines: -1},
+		{TrackingThreshold: 10, MaxVirtualLines: -5},
+	} {
+		if _, err := NewRuntime(h, cfg); err == nil {
+			t.Errorf("negative budget accepted: %+v", cfg)
+		}
+	}
+	ok := testConfig()
+	ok.MaxTrackedLines = 4
+	ok.MaxVirtualLines = 4
+	if _, err := NewRuntime(h, ok); err != nil {
+		t.Errorf("positive budgets rejected: %v", err)
+	}
+}

@@ -17,6 +17,7 @@ package core
 
 import (
 	"fmt"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -26,6 +27,7 @@ import (
 	"predator/internal/obs"
 	"predator/internal/predict"
 	"predator/internal/report"
+	"predator/internal/resilience"
 	"predator/internal/shadow"
 )
 
@@ -59,6 +61,19 @@ type Config struct {
 	// Prediction enables virtual-line false sharing prediction (§3).
 	// Corresponds to PREDATOR vs PREDATOR-NP in the paper's evaluation.
 	Prediction bool
+	// MaxTrackedLines bounds how many cache lines may hold detailed word
+	// tracking at once — the resource governor's budget for the paper's
+	// §2.4.1 per-line state. 0 (the zero value) means unlimited, the
+	// paper's behavior; any value >= 1 enforces the bound by degrading the
+	// coldest tracked line (fewest invalidations, never a report-worthy
+	// one) to invalidation-counting-only mode when a new line is promoted.
+	// Negative values are rejected by Validate.
+	MaxTrackedLines int
+	// MaxVirtualLines bounds how many virtual lines (§3) the prediction
+	// registry may hold. 0 (the zero value) means unlimited; any value
+	// >= 1 makes the registry refuse further registrations, counting each
+	// rejection. Negative values are rejected by Validate.
+	MaxVirtualLines int
 	// LineSizeFactors selects which larger-line geometries prediction
 	// models; each must be a power of two > 1. Empty means {2}, the
 	// paper's doubled-line case.
@@ -86,6 +101,12 @@ func (c Config) Validate() error {
 		if f < 2 || f&(f-1) != 0 {
 			return fmt.Errorf("core: line size factor %d must be a power of two > 1", f)
 		}
+	}
+	if c.MaxTrackedLines < 0 {
+		return fmt.Errorf("core: MaxTrackedLines must be 0 (unlimited) or >= 1, got %d", c.MaxTrackedLines)
+	}
+	if c.MaxVirtualLines < 0 {
+		return fmt.Errorf("core: MaxVirtualLines must be 0 (unlimited) or >= 1, got %d", c.MaxVirtualLines)
 	}
 	return nil
 }
@@ -128,6 +149,15 @@ type Runtime struct {
 	totalAccesses atomic.Uint64
 	totalWrites   atomic.Uint64
 
+	// Resource governor (tentpole: graceful degradation). trackBudget is
+	// nil when MaxTrackedLines is unlimited; otherwise every non-degraded
+	// tracked line holds one slot, and promotion past the budget degrades
+	// the coldest line under govMu.
+	trackBudget   *resilience.Budget
+	govMu         sync.Mutex
+	evictions     atomic.Uint64
+	degradedLines atomic.Int64
+
 	// Observability (nil when cfg.Observer is nil; every instrument method
 	// is nil-safe, so the fast path stays branch-light when unobserved).
 	// Hot-path counters are batched: the access path syncs the registry only
@@ -145,6 +175,9 @@ type Runtime struct {
 	promotionsC    *obs.Counter
 	hotPairsC      *obs.Counter
 	trackedG       *obs.Gauge
+	evictionsC     *obs.Counter
+	degradedG      *obs.Gauge
+	degradedModeG  *obs.Gauge
 	predictH       *obs.Histogram
 	reportH        *obs.Histogram
 	lineInvH       *obs.Histogram
@@ -172,6 +205,12 @@ func NewRuntime(h *mem.Heap, cfg Config) (*Runtime, error) {
 		vreg:          predict.NewRegistry(geom, sampler),
 		predictedBits: make([]atomic.Uint32, (mapping.Lines()+31)/32),
 	}
+	if cfg.MaxTrackedLines > 0 {
+		rt.trackBudget = resilience.NewBudget(cfg.MaxTrackedLines)
+	}
+	if cfg.MaxVirtualLines > 0 {
+		rt.vreg.SetBudget(resilience.NewBudget(cfg.MaxVirtualLines))
+	}
 	h.AddFreeHook(rt.onFree)
 	if o := cfg.Observer; o != nil {
 		rt.obs = o
@@ -188,6 +227,12 @@ func NewRuntime(h *mem.Heap, cfg Config) (*Runtime, error) {
 			"Hot access pairs found by the prediction search.")
 		rt.trackedG = reg.Gauge("predator_tracked_lines",
 			"Cache lines currently under detailed tracking.")
+		rt.evictionsC = reg.Counter("predator_track_evictions_total",
+			"Tracked lines degraded to invalidation-counting-only by the resource governor.")
+		rt.degradedG = reg.Gauge("predator_degraded_lines",
+			"Cache lines currently in invalidation-counting-only (degraded) mode.")
+		rt.degradedModeG = reg.Gauge("predator_degraded_mode",
+			"1 once the runtime has shed any detection detail under resource pressure.")
 		rt.predictH = reg.Histogram("predator_prediction_seconds",
 			"Hot-pair search latency per triggered line.",
 			[]float64{1e-6, 1e-5, 1e-4, 1e-3, 1e-2})
@@ -305,8 +350,78 @@ func (rt *Runtime) installOne(line uint64) *detect.Track {
 			rt.obs.Emit(obs.Event{Type: obs.EvTrackPromoted, Line: line,
 				Addr: rt.mapping.LineBase(line), Count: rt.sh.Writes(line)})
 		}
+		rt.governAdmit(line, fresh)
 	}
 	return t
+}
+
+// governAdmit charges a freshly installed track against the tracked-line
+// budget. When the budget is exhausted it degrades the coldest evictable
+// line to invalidation-counting-only mode to free a slot; if every other
+// line is report-worthy (its invalidations already crossed ReportThreshold —
+// a finding in progress the paper would report), the fresh line itself
+// enters tracking degraded instead. Either way detection continues, with
+// the loss of detail accounted in metrics, events, and Stats.
+func (rt *Runtime) governAdmit(line uint64, fresh *detect.Track) {
+	if rt.trackBudget == nil {
+		return
+	}
+	if rt.trackBudget.Acquire() {
+		return
+	}
+	rt.govMu.Lock()
+	defer rt.govMu.Unlock()
+	// Concurrent promotions race for freed slots outside govMu, so keep
+	// evicting until this line holds one. The loop terminates: each pass
+	// either acquires or permanently degrades one line.
+	for !rt.trackBudget.Acquire() {
+		victim, vline, ok := rt.coldestEvictable(line)
+		if !ok {
+			fresh.Degrade()
+			rt.noteDegraded(line, "degrade_new")
+			return
+		}
+		victim.Degrade()
+		rt.noteDegraded(vline, "evict")
+		rt.trackBudget.Release()
+	}
+}
+
+// coldestEvictable picks the governor's eviction victim: the non-degraded
+// tracked line (other than the one being admitted) with the fewest
+// invalidations, breaking ties by total accesses. Lines at or above
+// ReportThreshold are never evicted — they are findings in progress.
+func (rt *Runtime) coldestEvictable(exclude uint64) (victim *detect.Track, vline uint64, ok bool) {
+	rt.sh.ForEachTracked(func(line uint64, t *detect.Track) {
+		if line == exclude || t.Degraded() {
+			return
+		}
+		inv := t.Invalidations()
+		if inv >= rt.cfg.ReportThreshold {
+			return
+		}
+		if victim == nil || inv < victim.Invalidations() ||
+			(inv == victim.Invalidations() && t.Accesses() < victim.Accesses()) {
+			victim, vline = t, line
+		}
+	})
+	return victim, vline, victim != nil
+}
+
+// noteDegraded accounts one line's degradation in metrics and events.
+func (rt *Runtime) noteDegraded(line uint64, phase string) {
+	n := rt.degradedLines.Add(1)
+	rt.trackedG.Add(-1)
+	rt.degradedG.Add(1)
+	rt.degradedModeG.Set(1)
+	if phase == "evict" {
+		rt.evictions.Add(1)
+		rt.evictionsC.Inc()
+	}
+	if rt.obs.Tracing() {
+		rt.obs.Emit(obs.Event{Type: obs.EvDegradation, Phase: phase, Line: line,
+			Addr: rt.mapping.LineBase(line), Count: uint64(n)})
+	}
 }
 
 // markPredicted sets the line's prediction-done bit; it returns true only
@@ -461,6 +576,7 @@ func (rt *Runtime) Report() *report.Report {
 			Writes:        t.Writes(),
 			Invalidations: t.Invalidations(),
 			Words:         words,
+			Degraded:      t.Degraded(),
 		})
 	})
 
@@ -493,6 +609,7 @@ func (rt *Runtime) Report() *report.Report {
 		})
 	}
 
+	rep.Degraded = rt.degradedLines.Load() > 0 || rt.vreg.Rejected() > 0
 	rep.Rank()
 
 	// Quarantine falsely-shared objects against reuse.
@@ -521,6 +638,13 @@ type Stats struct {
 	Invalidations        uint64 // invalidations observed on tracked physical lines
 	VirtualInvalidations uint64 // invalidations verified on virtual lines
 	SampledAccesses      uint64 // accesses recorded in detail (post-sampling)
+
+	// Resource-governor accounting. TrackedLines above counts every
+	// installed track, including degraded ones.
+	DegradedLines     int    // lines degraded to invalidation-counting-only
+	Evictions         uint64 // lines degraded to admit a newer line
+	VirtualRejections uint64 // virtual lines refused by MaxVirtualLines
+	Degraded          bool   // any detail shed under resource pressure
 }
 
 // Stats returns a snapshot of runtime counters. Invalidation and sampling
@@ -541,5 +665,9 @@ func (rt *Runtime) Stats() Stats {
 	for _, v := range rt.vreg.Tracks() {
 		s.VirtualInvalidations += v.Invalidations()
 	}
+	s.DegradedLines = int(rt.degradedLines.Load())
+	s.Evictions = rt.evictions.Load()
+	s.VirtualRejections = rt.vreg.Rejected()
+	s.Degraded = s.DegradedLines > 0 || s.VirtualRejections > 0
 	return s
 }

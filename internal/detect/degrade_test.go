@@ -1,0 +1,73 @@
+package detect
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestDegradeFreezesWordsKeepsInvalidations(t *testing.T) {
+	tr := newTrack()
+	tr.HandleAccess(1, tr.LineBase(), 8, true)
+	tr.HandleAccess(2, tr.LineBase()+8, 8, true)
+	tr.HandleAccess(1, tr.LineBase(), 8, true)
+	invBefore := tr.Invalidations()
+	if invBefore == 0 {
+		t.Fatal("ping-pong produced no invalidations; test setup broken")
+	}
+	wordsBefore := tr.Words()
+
+	tr.Degrade()
+	if !tr.Degraded() {
+		t.Fatal("Degraded() false after Degrade")
+	}
+
+	// Invalidation counting must continue; word detail must be frozen.
+	tr.HandleAccess(2, tr.LineBase()+8, 8, true)
+	tr.HandleAccess(1, tr.LineBase(), 8, true)
+	tr.HandleAccess(2, tr.LineBase()+8, 8, true)
+	if inv := tr.Invalidations(); inv <= invBefore {
+		t.Errorf("invalidations stalled after Degrade: %d -> %d", invBefore, inv)
+	}
+	if got := tr.Words(); !reflect.DeepEqual(got, wordsBefore) {
+		t.Errorf("word detail moved after Degrade:\nbefore %+v\nafter  %+v", wordsBefore, got)
+	}
+
+	// Degrade is idempotent.
+	tr.Degrade()
+	if got := tr.Words(); !reflect.DeepEqual(got, wordsBefore) {
+		t.Error("second Degrade disturbed the frozen snapshot")
+	}
+}
+
+func TestDegradeSurvivesReset(t *testing.T) {
+	tr := newTrack()
+	tr.HandleAccess(1, tr.LineBase(), 8, true)
+	tr.Degrade()
+	tr.Reset()
+	if !tr.Degraded() {
+		t.Error("Reset cleared degradation; a shed line must not silently regain detail")
+	}
+	if tr.Accesses() != 0 {
+		t.Error("Reset did not clear counters")
+	}
+	// Accesses after reset still count invalidations without word detail.
+	tr.HandleAccess(1, tr.LineBase(), 8, true)
+	tr.HandleAccess(2, tr.LineBase(), 8, true)
+	if tr.Accesses() != 2 {
+		t.Errorf("degraded line stopped counting accesses: %d", tr.Accesses())
+	}
+	if ws := tr.Words(); len(ws) != 0 {
+		t.Errorf("degraded line regrew word detail after Reset: %d words", len(ws))
+	}
+}
+
+func TestAverageWordAccessesDegraded(t *testing.T) {
+	tr := newTrack()
+	tr.HandleAccess(1, tr.LineBase(), 8, true)
+	tr.HandleAccess(1, tr.LineBase(), 8, false)
+	avgBefore := tr.AverageWordAccesses()
+	tr.Degrade()
+	if got := tr.AverageWordAccesses(); got != avgBefore {
+		t.Errorf("frozen average = %v, want %v", got, avgBefore)
+	}
+}

@@ -133,7 +133,12 @@ type Track struct {
 	reads         atomic.Uint64
 	writes        atomic.Uint64
 	invalidations atomic.Uint64
-	words         []Word
+
+	// words is nil once the track has been degraded to
+	// invalidation-counting-only mode by the resource governor; frozen then
+	// holds the word detail captured at degradation time so reports can
+	// still classify sharing observed before the line was shed.
+	words atomic.Pointer[[]Word]
 
 	// Observability (nil when unobserved; set before publication only).
 	// The recorded-access counter is batched: the hot path syncs the
@@ -143,6 +148,10 @@ type Track struct {
 	recordedC *obs.Counter
 	windowsC  *obs.Counter
 	pushedRec atomic.Uint64
+
+	// Degradation state (cold: touched at Degrade/report time only).
+	frozen   atomic.Pointer[[]WordSnapshot]
+	degraded atomic.Bool
 }
 
 // NewTrack creates tracking state for the line whose first address is
@@ -160,8 +169,10 @@ func NewTrackObserved(lineBase uint64, geom cacheline.Geometry, sampler Sampler,
 		lineBase: lineBase,
 		geom:     geom,
 		sampler:  sampler,
-		words:    make([]Word, geom.WordsPerLine()),
 	}
+	words := make([]Word, geom.WordsPerLine())
+	initWords(words)
+	t.words.Store(&words)
 	if o != nil {
 		t.o = o
 		reg := o.Metrics()
@@ -170,7 +181,6 @@ func NewTrackObserved(lineBase uint64, geom cacheline.Geometry, sampler Sampler,
 		t.windowsC = reg.Counter("predator_sample_windows_total",
 			"Per-line sampling windows opened.")
 	}
-	initWords(t.words)
 	return t
 }
 
@@ -208,7 +218,14 @@ func (t *Track) HandleAccess(tid int, addr, size uint64, isWrite bool) (invalida
 		t.invalidations.Add(1)
 	}
 
-	// Clip the access to this line and update covered words.
+	// Clip the access to this line and update covered words. A degraded
+	// track has no word state: invalidation counting above is all that
+	// remains (the governor's invalidation-counting-only mode).
+	wp := t.words.Load()
+	if wp == nil {
+		return invalidated
+	}
+	words := *wp
 	start, end := addr, addr+size
 	if start < t.lineBase {
 		start = t.lineBase
@@ -222,10 +239,31 @@ func (t *Track) HandleAccess(tid int, addr, size uint64, isWrite bool) (invalida
 	wStart, nWords := cacheline.WordsCovered(start, end-start)
 	first := int((wStart - t.lineBase) >> cacheline.WordShift)
 	for i := 0; i < nWords; i++ {
-		t.words[first+i].record(tid, isWrite)
+		words[first+i].record(tid, isWrite)
 	}
 	return invalidated
 }
+
+// Degrade switches the track to invalidation-counting-only mode — the
+// resource governor's graceful degradation (the line gives up the paper's
+// §2.4.1 detailed word tracking but keeps counting invalidations). The word
+// detail gathered so far is frozen so reports can still classify sharing
+// observed before degradation, and the live word state is released.
+// Concurrent recorders holding the old word slice finish their writes into
+// memory that is simply dropped; an access racing the freeze may be missing
+// from the frozen snapshot, which only under-reports pre-degradation detail.
+// Degrading twice is a no-op; degradation survives Reset.
+func (t *Track) Degrade() {
+	if t.degraded.Swap(true) {
+		return
+	}
+	snap := t.Words()
+	t.frozen.Store(&snap)
+	t.words.Store(nil)
+}
+
+// Degraded reports whether the track is in invalidation-counting-only mode.
+func (t *Track) Degraded() bool { return t.degraded.Load() }
 
 // noteWindowPhase surfaces sampling-window transitions: the n-th access
 // opens a window when it starts a new sampling interval (phase 0), and
@@ -271,10 +309,21 @@ func (t *Track) WordAddr(i int) uint64 {
 
 // Words returns a snapshot of per-word access information, ascending by
 // word index, including untouched words (Owner == OwnerNone, zero counts).
+// On a degraded track it returns the detail frozen at degradation time.
 func (t *Track) Words() []WordSnapshot {
-	out := make([]WordSnapshot, len(t.words))
-	for i := range t.words {
-		w := &t.words[i]
+	wp := t.words.Load()
+	if wp == nil {
+		if fz := t.frozen.Load(); fz != nil {
+			out := make([]WordSnapshot, len(*fz))
+			copy(out, *fz)
+			return out
+		}
+		return nil
+	}
+	words := *wp
+	out := make([]WordSnapshot, len(words))
+	for i := range words {
+		w := &words[i]
 		out[i] = WordSnapshot{
 			Index:   i,
 			Reads:   w.reads.Load(),
@@ -288,16 +337,17 @@ func (t *Track) Words() []WordSnapshot {
 
 // AverageWordAccesses returns the mean number of recorded accesses per word
 // of the line — the paper's threshold for calling a word's access "hot"
-// (§3.3).
+// (§3.3). A degraded track reports its frozen pre-degradation average.
 func (t *Track) AverageWordAccesses() float64 {
-	if len(t.words) == 0 {
+	ws := t.Words()
+	if len(ws) == 0 {
 		return 0
 	}
 	var total uint64
-	for i := range t.words {
-		total += t.words[i].reads.Load() + t.words[i].writes.Load()
+	for _, w := range ws {
+		total += w.Reads + w.Writes
 	}
-	return float64(total) / float64(len(t.words))
+	return float64(total) / float64(len(ws))
 }
 
 // HotWords returns snapshots of words whose access count strictly exceeds
@@ -325,12 +375,16 @@ func (t *Track) Reset() {
 	t.reads.Store(0)
 	t.writes.Store(0)
 	t.invalidations.Store(0)
-	for i := range t.words {
-		t.words[i].reads.Store(0)
-		t.words[i].writes.Store(0)
-		t.words[i].foreign.Store(0)
-		t.words[i].owner.Store(OwnerNone)
+	if wp := t.words.Load(); wp != nil {
+		words := *wp
+		for i := range words {
+			words[i].reads.Store(0)
+			words[i].writes.Store(0)
+			words[i].foreign.Store(0)
+			words[i].owner.Store(OwnerNone)
+		}
 	}
+	t.frozen.Store(nil)
 }
 
 // initWords sets every word's owner to OwnerNone: the zero value 0 is a

@@ -223,6 +223,11 @@ type Options struct {
 	// Observer, when non-nil, wires the heap, instrumentation front-end,
 	// and detection runtime into the observability subsystem.
 	Observer *obs.Observer
+	// Strict selects the instrumentation out-of-heap policy. Nil (the
+	// default) keeps strict mode: out-of-heap accesses panic. Point it at
+	// false for the resilience layer's fault-tolerant mode (recoverable
+	// instr.ErrOutOfHeap faults).
+	Strict *bool
 }
 
 // normalized fills defaults.
@@ -374,6 +379,9 @@ func execute(w Workload, opts Options, heap *mem.Heap, sinkOverride instr.Sink) 
 	}
 	in := instr.New(h, sink, opts.Policy)
 	in.Observe(opts.Observer)
+	if opts.Strict != nil {
+		in.SetStrict(*opts.Strict)
+	}
 
 	ctx := &Ctx{
 		In:        in,

@@ -16,6 +16,7 @@ package instr
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"math"
 	"sync/atomic"
@@ -24,6 +25,28 @@ import (
 	"predator/internal/obs"
 	"predator/internal/sched"
 )
+
+// ErrOutOfHeap reports an access outside the simulated heap. In strict mode
+// (the default) such an access panics — workloads are trusted code and the
+// bug must fail loudly; in non-strict mode (SetStrict(false), the resilience
+// layer's fault-tolerant front-end) the access is absorbed: loads return
+// zero, stores are dropped, and the fault is recorded per-thread and
+// per-instrumenter as a typed *OutOfHeapError wrapping this sentinel.
+var ErrOutOfHeap = errors.New("instr: access outside simulated heap")
+
+// OutOfHeapError locates one out-of-heap access.
+type OutOfHeapError struct {
+	Addr uint64
+	Size uint64
+}
+
+// Error formats the faulting range.
+func (e *OutOfHeapError) Error() string {
+	return fmt.Sprintf("instr: access [%#x,%#x) outside simulated heap", e.Addr, e.Addr+e.Size)
+}
+
+// Unwrap ties the error to ErrOutOfHeap for errors.Is.
+func (e *OutOfHeapError) Unwrap() error { return ErrOutOfHeap }
 
 // Sink receives instrumentation events. *core.Runtime implements Sink; a
 // trace writer or a tee can stand in for it.
@@ -73,9 +96,11 @@ type Instrumenter struct {
 	policy Policy
 
 	enabled    atomic.Bool
+	strict     atomic.Bool // panic on out-of-heap access (default true)
 	nextTID    atomic.Int64
 	delivered  atomic.Uint64
 	suppressed atomic.Uint64
+	faults     atomic.Uint64 // out-of-heap accesses absorbed (non-strict)
 
 	// Observability (nil when unobserved; set via Observe before threads
 	// run). Counters are batched: notify syncs the registry every
@@ -83,6 +108,7 @@ type Instrumenter struct {
 	obs              *obs.Observer
 	deliveredC       *obs.Counter
 	suppressedC      *obs.Counter
+	faultsC          *obs.Counter
 	pushedDelivered  atomic.Uint64
 	pushedSuppressed atomic.Uint64
 }
@@ -94,6 +120,7 @@ func New(h *mem.Heap, sink Sink, policy Policy) *Instrumenter {
 	data, base := h.Backing()
 	in := &Instrumenter{heap: h, data: data, base: base, sink: sink, policy: policy}
 	in.enabled.Store(sink != nil)
+	in.strict.Store(true)
 	return in
 }
 
@@ -113,6 +140,8 @@ func (in *Instrumenter) Observe(o *obs.Observer) {
 		"Instrumentation events delivered to the runtime sink.")
 	in.suppressedC = reg.Counter("predator_events_suppressed_total",
 		"Instrumentation events dropped by policy or per-site deduplication.")
+	in.faultsC = reg.Counter("predator_heap_faults_total",
+		"Out-of-heap accesses absorbed by the non-strict front-end.")
 }
 
 // FlushMetrics pushes the exact delivered/suppressed totals into the
@@ -125,6 +154,18 @@ func (in *Instrumenter) FlushMetrics() {
 
 // SetEnabled toggles event delivery at runtime.
 func (in *Instrumenter) SetEnabled(v bool) { in.enabled.Store(v && in.sink != nil) }
+
+// SetStrict selects the out-of-heap policy: true (the default) panics on any
+// out-of-heap access; false absorbs such accesses as recoverable faults (see
+// ErrOutOfHeap).
+func (in *Instrumenter) SetStrict(v bool) { in.strict.Store(v) }
+
+// Strict reports the current out-of-heap policy.
+func (in *Instrumenter) Strict() bool { return in.strict.Load() }
+
+// Faults returns the total out-of-heap accesses absorbed across all threads
+// (always 0 in strict mode, which panics instead).
+func (in *Instrumenter) Faults() uint64 { return in.faults.Load() }
 
 // Delivered returns the number of events delivered to the sink.
 func (in *Instrumenter) Delivered() uint64 { return in.delivered.Load() }
@@ -148,6 +189,11 @@ type Thread struct {
 	ringLen int
 	ringPos int
 	evCount int // accessor calls since the current dedup block began
+
+	// Non-strict fault accounting. A Thread is single-goroutine, so plain
+	// fields suffice.
+	faults    uint64
+	lastFault error
 }
 
 // NewThread mints a handle with the next dense thread ID.
@@ -236,34 +282,69 @@ func (t *Thread) notify(addr, size uint64, isWrite bool) {
 	in.sink.HandleAccess(t.id, addr, size, isWrite)
 }
 
-// check panics on out-of-heap accesses: workloads are trusted code, and an
-// out-of-range access is a workload bug that must fail loudly.
-func (t *Thread) check(addr, size uint64) uint64 {
-	off := addr - t.in.base
+// check validates an access against the heap bounds. In strict mode (the
+// default) an out-of-heap access panics: workloads are trusted code, and an
+// out-of-range access is a workload bug that must fail loudly. In non-strict
+// mode it records the fault and reports ok=false so the accessor absorbs the
+// access instead of touching memory.
+func (t *Thread) check(addr, size uint64) (off uint64, ok bool) {
+	off = addr - t.in.base
 	if addr < t.in.base || off+size > uint64(len(t.in.data)) || off+size < off {
-		panic(fmt.Sprintf("instr: access [%#x,%#x) outside simulated heap", addr, addr+size))
+		t.fault(addr, size)
+		return 0, false
 	}
-	return off
+	return off, true
 }
 
-// Load64 reads a 64-bit value.
+// fault handles one out-of-heap access under the current strictness policy.
+func (t *Thread) fault(addr, size uint64) {
+	err := &OutOfHeapError{Addr: addr, Size: size}
+	if t.in.strict.Load() {
+		panic(err)
+	}
+	t.faults++
+	t.lastFault = err
+	t.in.faults.Add(1)
+	t.in.faultsC.Inc()
+	if t.in.obs.Tracing() {
+		t.in.obs.Emit(obs.Event{Type: obs.EvFault, TID: t.id, Addr: addr, Size: size})
+	}
+}
+
+// Faults returns how many out-of-heap accesses this thread has absorbed.
+func (t *Thread) Faults() uint64 { return t.faults }
+
+// LastFault returns the thread's most recent absorbed fault (a typed
+// *OutOfHeapError), or nil when none occurred.
+func (t *Thread) LastFault() error { return t.lastFault }
+
+// Load64 reads a 64-bit value. A non-strict out-of-heap load returns 0.
 func (t *Thread) Load64(addr uint64) uint64 {
-	off := t.check(addr, 8)
+	off, ok := t.check(addr, 8)
+	if !ok {
+		return 0
+	}
 	v := binary.LittleEndian.Uint64(t.in.data[off:])
 	t.notify(addr, 8, false)
 	return v
 }
 
-// Store64 writes a 64-bit value.
+// Store64 writes a 64-bit value. A non-strict out-of-heap store is dropped.
 func (t *Thread) Store64(addr uint64, v uint64) {
-	off := t.check(addr, 8)
+	off, ok := t.check(addr, 8)
+	if !ok {
+		return
+	}
 	binary.LittleEndian.PutUint64(t.in.data[off:], v)
 	t.notify(addr, 8, true)
 }
 
 // Load32 reads a 32-bit value.
 func (t *Thread) Load32(addr uint64) uint32 {
-	off := t.check(addr, 4)
+	off, ok := t.check(addr, 4)
+	if !ok {
+		return 0
+	}
 	v := binary.LittleEndian.Uint32(t.in.data[off:])
 	t.notify(addr, 4, false)
 	return v
@@ -271,14 +352,20 @@ func (t *Thread) Load32(addr uint64) uint32 {
 
 // Store32 writes a 32-bit value.
 func (t *Thread) Store32(addr uint64, v uint32) {
-	off := t.check(addr, 4)
+	off, ok := t.check(addr, 4)
+	if !ok {
+		return
+	}
 	binary.LittleEndian.PutUint32(t.in.data[off:], v)
 	t.notify(addr, 4, true)
 }
 
 // Load8 reads one byte.
 func (t *Thread) Load8(addr uint64) byte {
-	off := t.check(addr, 1)
+	off, ok := t.check(addr, 1)
+	if !ok {
+		return 0
+	}
 	v := t.in.data[off]
 	t.notify(addr, 1, false)
 	return v
@@ -286,7 +373,10 @@ func (t *Thread) Load8(addr uint64) byte {
 
 // Store8 writes one byte.
 func (t *Thread) Store8(addr uint64, v byte) {
-	off := t.check(addr, 1)
+	off, ok := t.check(addr, 1)
+	if !ok {
+		return
+	}
 	t.in.data[off] = v
 	t.notify(addr, 1, true)
 }
@@ -316,15 +406,23 @@ func (t *Thread) AddInt64(addr uint64, delta int64) int64 {
 
 // ReadBytes copies n bytes from the heap into dst and reports one read of
 // that size (the pass would emit one event for a memcpy-like intrinsic).
+// A non-strict out-of-heap read zero-fills dst.
 func (t *Thread) ReadBytes(addr uint64, dst []byte) {
-	off := t.check(addr, uint64(len(dst)))
+	off, ok := t.check(addr, uint64(len(dst)))
+	if !ok {
+		clear(dst)
+		return
+	}
 	copy(dst, t.in.data[off:off+uint64(len(dst))])
 	t.notify(addr, uint64(len(dst)), false)
 }
 
 // WriteBytes copies src into the heap and reports one write of that size.
 func (t *Thread) WriteBytes(addr uint64, src []byte) {
-	off := t.check(addr, uint64(len(src)))
+	off, ok := t.check(addr, uint64(len(src)))
+	if !ok {
+		return
+	}
 	copy(t.in.data[off:off+uint64(len(src))], src)
 	t.notify(addr, uint64(len(src)), true)
 }

@@ -1,0 +1,76 @@
+package instr
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestNonStrictAbsorbsOutOfHeapAccesses(t *testing.T) {
+	in, rec, addr := setup(t, Policy{})
+	in.SetStrict(false)
+	th := in.NewThread("w")
+	bad := uint64(0x10) // far below the heap base
+
+	if got := th.Load64(bad); got != 0 {
+		t.Errorf("faulted Load64 = %#x, want 0", got)
+	}
+	th.Store64(bad, 42) // dropped, must not panic
+	dst := []byte{1, 2, 3, 4}
+	th.ReadBytes(bad, dst)
+	for i, b := range dst {
+		if b != 0 {
+			t.Errorf("faulted ReadBytes left dst[%d] = %#x", i, b)
+		}
+	}
+
+	if th.Faults() != 3 {
+		t.Errorf("thread Faults = %d, want 3", th.Faults())
+	}
+	if in.Faults() != 3 {
+		t.Errorf("instrumenter Faults = %d, want 3", in.Faults())
+	}
+	if !errors.Is(th.LastFault(), ErrOutOfHeap) {
+		t.Errorf("LastFault = %v, want ErrOutOfHeap", th.LastFault())
+	}
+	var oe *OutOfHeapError
+	if !errors.As(th.LastFault(), &oe) || oe.Addr != bad {
+		t.Errorf("LastFault = %#v, want *OutOfHeapError at %#x", th.LastFault(), bad)
+	}
+	if len(rec.events) != 0 {
+		t.Errorf("faulted accesses were delivered to the sink: %d events", len(rec.events))
+	}
+
+	// Valid accesses keep working and are still instrumented.
+	th.Store64(addr, 7)
+	if got := th.Load64(addr); got != 7 {
+		t.Errorf("Load64 after faults = %d", got)
+	}
+	if len(rec.events) != 2 {
+		t.Errorf("valid accesses not delivered: %d events", len(rec.events))
+	}
+	if th.Faults() != 3 {
+		t.Errorf("valid accesses counted as faults: %d", th.Faults())
+	}
+}
+
+func TestStrictIsDefaultAndRestorable(t *testing.T) {
+	in, _, _ := setup(t, Policy{})
+	if !in.Strict() {
+		t.Fatal("new instrumenter is not strict")
+	}
+	in.SetStrict(false)
+	th := in.NewThread("w")
+	th.Load64(0x10) // absorbed
+	in.SetStrict(true)
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("strict mode restored but out-of-heap access did not panic")
+		}
+		err, ok := r.(error)
+		if !ok || !errors.Is(err, ErrOutOfHeap) {
+			t.Errorf("panic value = %v, want an ErrOutOfHeap error", r)
+		}
+	}()
+	th.Load64(0x10)
+}

@@ -17,6 +17,7 @@ import (
 	"predator/internal/cacheline"
 	"predator/internal/callsite"
 	"predator/internal/obs"
+	"predator/internal/resilience"
 )
 
 // DefaultBase mirrors the paper's predefined heap start (reports in the
@@ -109,6 +110,7 @@ type Heap struct {
 	dirty      bool               // starts needs rebuild
 	freeHooks  []FreeHook
 	allocHooks []AllocHook
+	hookGuards []*resilience.Guard // one per registered hook, same order
 	liveBytes  uint64
 	allocs     uint64
 	frees      uint64
@@ -194,22 +196,48 @@ func (h *Heap) Data(addr, size uint64) ([]byte, error) {
 func (h *Heap) Backing() ([]byte, uint64) { return h.data, h.base }
 
 // AddFreeHook registers a callback observing object recycling. Hooks run in
-// registration order, outside the heap lock. Multiple subscribers coexist —
-// the detection runtime resets metadata while a trace recorder mirrors the
-// free into a trace file — so register, never replace.
+// registration order, outside the heap lock, each behind a recover boundary
+// with a panic budget (resilience.DefaultPanicLimit): a hook that keeps
+// panicking is quarantined while the heap — and every other hook — keeps
+// working. Multiple subscribers coexist — the detection runtime resets
+// metadata while a trace recorder mirrors the free into a trace file — so
+// register, never replace.
 func (h *Heap) AddFreeHook(hook FreeHook) {
 	h.mu.Lock()
 	defer h.mu.Unlock()
-	h.freeHooks = append(h.freeHooks, hook)
+	g := resilience.NewGuard(fmt.Sprintf("mem.free_hook[%d]", len(h.hookGuards)), 0, nil)
+	h.hookGuards = append(h.hookGuards, g)
+	h.freeHooks = append(h.freeHooks, func(start, size uint64) {
+		g.Run(func() { hook(start, size) })
+	})
 }
 
 // AddAllocHook registers an observer for new objects (heap allocations,
 // globals, and imports). Hooks run in registration order, outside the heap
-// lock.
+// lock, behind the same panic-isolation boundary as free hooks.
 func (h *Heap) AddAllocHook(hook AllocHook) {
 	h.mu.Lock()
 	defer h.mu.Unlock()
-	h.allocHooks = append(h.allocHooks, hook)
+	g := resilience.NewGuard(fmt.Sprintf("mem.alloc_hook[%d]", len(h.hookGuards)), 0, nil)
+	h.hookGuards = append(h.hookGuards, g)
+	h.allocHooks = append(h.allocHooks, func(o Object) {
+		g.Run(func() { hook(o) })
+	})
+}
+
+// HookPanics sums the panics absorbed from all registered alloc/free hooks;
+// HookQuarantines counts hooks that exceeded their panic budget and were
+// disabled.
+func (h *Heap) HookPanics() (panics, quarantined uint64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for _, g := range h.hookGuards {
+		panics += g.Panics()
+		if g.Quarantined() {
+			quarantined++
+		}
+	}
+	return panics, quarantined
 }
 
 // classFor returns the size-class index for a request, or -1 for large.

@@ -44,6 +44,21 @@ const (
 	// EvHeartbeat: periodic liveness snapshot; Metrics carries the
 	// registry's scalar values.
 	EvHeartbeat Type = "heartbeat"
+	// EvDegradation: the resource governor shed detection detail. Phase
+	// says what degraded: "evict" (a cold tracked line fell back to
+	// invalidation-counting-only to admit a new one), "degrade_new" (a
+	// freshly promoted line entered tracking already degraded because every
+	// other line is report-worthy), or "virtual_reject" (a virtual line was
+	// refused by the MaxVirtualLines budget).
+	EvDegradation Type = "degradation"
+	// EvSinkQuarantined: an observer sink exceeded its panic budget and was
+	// quarantined; Name identifies the sink, Count its absorbed panics.
+	// This is the final event a quarantined sink receives.
+	EvSinkQuarantined Type = "sink_quarantined"
+	// EvFault: a non-strict instrumentation front-end absorbed an
+	// out-of-heap access instead of panicking. Addr/Size locate the fault;
+	// TID is the faulting thread.
+	EvFault Type = "fault"
 )
 
 // Event is one lifecycle record. It is a flat struct so hot-path emission

@@ -23,6 +23,7 @@ import (
 	"predator/internal/detect"
 	"predator/internal/histtable"
 	"predator/internal/obs"
+	"predator/internal/resilience"
 )
 
 // Kind says which environmental change a prediction models.
@@ -241,10 +242,17 @@ type Registry struct {
 	all    []*VTrack
 	spans  map[cacheline.Virtual]bool // dedupe: one VTrack per span+kind
 
+	// budget, when non-nil, bounds how many virtual lines may be
+	// registered (core.Config.MaxVirtualLines); rejections are counted in
+	// the budget and surfaced as degradation events.
+	budget *resilience.Budget
+
 	// Observability (nil when unobserved; set before concurrent use).
-	o       *obs.Observer
-	vlinesG *obs.Gauge
-	vinvC   *obs.Counter
+	o             *obs.Observer
+	vlinesG       *obs.Gauge
+	vinvC         *obs.Counter
+	vrejectC      *obs.Counter
+	degradedModeG *obs.Gauge
 }
 
 // NewRegistry creates an empty registry under the given physical geometry;
@@ -272,15 +280,44 @@ func (r *Registry) SetObserver(o *obs.Observer) {
 		"Virtual cache lines registered for prediction verification.")
 	r.vinvC = reg.Counter("predator_virtual_invalidations_total",
 		"Verified cache invalidations on virtual lines.")
+	r.vrejectC = reg.Counter("predator_virtual_line_rejections_total",
+		"Virtual line registrations refused by the MaxVirtualLines budget.")
+	r.degradedModeG = reg.Gauge("predator_degraded_mode",
+		"1 once the runtime has shed any detection detail under resource pressure.")
+}
+
+// SetBudget bounds virtual-line registrations (nil removes the bound). Call
+// before the registry sees concurrent traffic.
+func (r *Registry) SetBudget(b *resilience.Budget) { r.budget = b }
+
+// Rejected returns how many registrations the budget has refused.
+func (r *Registry) Rejected() uint64 {
+	if r.budget == nil {
+		return 0
+	}
+	return r.budget.Rejected()
 }
 
 // Add registers a verification track for the pair unless an identical span
-// is already tracked. It returns the registered track (new or nil if the
-// span was a duplicate).
+// is already tracked or the virtual-line budget is exhausted. It returns the
+// registered track, or nil when the span was a duplicate or the registration
+// was refused (the refusal is counted and surfaced as a degradation event —
+// the §3 prediction detail this run gives up under resource pressure).
 func (r *Registry) Add(pair HotPair) *VTrack {
 	r.mu.Lock()
 	if r.spans[pair.Span] {
 		r.mu.Unlock()
+		return nil
+	}
+	if r.budget != nil && !r.budget.Acquire() {
+		r.mu.Unlock()
+		r.vrejectC.Inc()
+		r.degradedModeG.Set(1)
+		if r.o.Tracing() {
+			r.o.Emit(obs.Event{Type: obs.EvDegradation, Phase: "virtual_reject",
+				Start: pair.Span.Start, End: pair.Span.End, Kind: pair.Kind.String(),
+				Count: r.budget.Rejected(), Virtual: true})
+		}
 		return nil
 	}
 	r.spans[pair.Span] = true

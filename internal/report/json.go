@@ -13,6 +13,7 @@ import (
 // JSONReport is the machine-readable form of a Report.
 type JSONReport struct {
 	LineSize uint64        `json:"line_size"`
+	Degraded bool          `json:"degraded,omitempty"`
 	Findings []JSONFinding `json:"findings"`
 	Problems []JSONProblem `json:"problems"`
 }
@@ -28,6 +29,7 @@ type JSONFinding struct {
 	Writes        uint64     `json:"writes"`
 	Invalidations uint64     `json:"invalidations"`
 	Estimate      uint64     `json:"estimate,omitempty"`
+	Degraded      bool       `json:"degraded,omitempty"`
 	Object        *JSONObj   `json:"object,omitempty"`
 	Words         []JSONWord `json:"words,omitempty"`
 }
@@ -62,7 +64,7 @@ type JSONProblem struct {
 
 // ToJSON converts the report into its machine-readable mirror.
 func (r *Report) ToJSON() JSONReport {
-	out := JSONReport{LineSize: r.Geometry.Size()}
+	out := JSONReport{LineSize: r.Geometry.Size(), Degraded: r.Degraded}
 	for _, f := range r.Findings {
 		jf := JSONFinding{
 			Source:        f.Source.String(),
@@ -74,6 +76,7 @@ func (r *Report) ToJSON() JSONReport {
 			Writes:        f.Writes,
 			Invalidations: f.Invalidations,
 			Estimate:      f.Estimate,
+			Degraded:      f.Degraded,
 		}
 		if obj, ok := f.PrimaryObject(); ok {
 			jo := JSONObj{Start: obj.Start, Size: obj.Size, Global: obj.Global, Label: obj.Label}

@@ -135,6 +135,12 @@ type Finding struct {
 	Estimate      uint64 // predicted findings: pre-verification estimate
 
 	Words []WordDetail
+
+	// Degraded marks a finding whose line was shed to invalidation-
+	// counting-only mode by the resource governor: invalidation totals are
+	// complete, but word detail (and hence the sharing classification) is
+	// frozen at the moment the line was degraded.
+	Degraded bool
 }
 
 // PrimaryObject returns the object carrying the most hot words, defaulting
@@ -172,6 +178,9 @@ func (f *Finding) Format(geom cacheline.Geometry) string {
 	fmt.Fprintf(&b, "Source: %s.\n", f.Source)
 	fmt.Fprintf(&b, "Number of accesses: %d; Number of invalidations: %d; Number of writes: %d.\n",
 		f.Accesses, f.Invalidations, f.Writes)
+	if f.Degraded {
+		b.WriteString("NOTE: line was degraded to invalidation-counting-only under resource pressure; word detail is frozen at degradation time.\n")
+	}
 	if f.Source != SourceObserved {
 		fmt.Fprintf(&b, "Virtual line %s; estimated interleaved invalidations: %d.\n",
 			f.Span, f.Estimate)
@@ -205,6 +214,12 @@ func (f *Finding) Format(geom cacheline.Geometry) string {
 type Report struct {
 	Geometry cacheline.Geometry
 	Findings []Finding // all findings, ranked by invalidations descending
+
+	// Degraded is true when any detection detail was shed under resource
+	// pressure during the run that produced this report (degraded lines or
+	// refused virtual-line registrations): findings are sound but possibly
+	// incomplete.
+	Degraded bool
 }
 
 // Rank sorts findings by invalidations descending (the paper ranks reported
@@ -257,9 +272,15 @@ func (r *Report) Predicted() []Finding {
 // String renders the whole report.
 func (r *Report) String() string {
 	if len(r.Findings) == 0 {
+		if r.Degraded {
+			return "No false sharing problems detected.\nNOTE: detection detail was shed under resource pressure; the absence of findings is not conclusive.\n"
+		}
 		return "No false sharing problems detected.\n"
 	}
 	var b strings.Builder
+	if r.Degraded {
+		b.WriteString("NOTE: this report was produced under degraded tracking (resource governor active); findings are sound but possibly incomplete.\n\n")
+	}
 	for i := range r.Findings {
 		if i > 0 {
 			b.WriteString("\n")

@@ -1,0 +1,215 @@
+// Package resilience is PREDATOR's fault-containment layer. A detector that
+// is meant to stay attached to long-running workloads (the paper spends §2.4
+// bounding runtime cost precisely so detection can stay on) must shed
+// precision under pressure instead of crashing: a panicking observer sink, a
+// misbehaving heap hook, or an adversarial workload that promotes millions of
+// lines to detailed tracking are operational hazards, not reasons to lose the
+// run. This package provides the three primitives the rest of the stack wires
+// in:
+//
+//   - Guard: a recover boundary with a panic budget. A component that panics
+//     more than its limit is quarantined — subsequent invocations are skipped
+//     — while the caller keeps running.
+//   - SinkGuard: a Guard specialized for obs.Sink implementations. A sink
+//     that keeps panicking is quarantined with one final
+//     obs.EvSinkQuarantined event (best-effort, delivered to the sink itself
+//     so an event log ends with the reason it went quiet).
+//   - Budget: a bounded-resource admission counter used by the core
+//     runtime's tracked-line governor and the prediction registry's
+//     virtual-line cap, so per-line metadata cannot grow without bound.
+//
+// Degradation, never failure: every primitive here turns a crash or an
+// unbounded growth path into an accounted, observable loss of detail.
+package resilience
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"predator/internal/obs"
+)
+
+// DefaultPanicLimit is the number of panics after which a guarded component
+// is quarantined.
+const DefaultPanicLimit = 3
+
+// Guard is a recover boundary around one named component. After Limit
+// panics the component is quarantined: Run skips the function and returns
+// false immediately. Guard is safe for concurrent use.
+type Guard struct {
+	name         string
+	limit        uint64
+	panics       atomic.Uint64
+	quarantined  atomic.Bool
+	onQuarantine func(name string, panics uint64) // runs once, at quarantine
+}
+
+// NewGuard builds a guard for a named component. limit <= 0 selects
+// DefaultPanicLimit. onQuarantine, when non-nil, runs exactly once when the
+// component is quarantined (itself behind a recover so a panicking callback
+// cannot defeat the guard).
+func NewGuard(name string, limit int, onQuarantine func(name string, panics uint64)) *Guard {
+	if limit <= 0 {
+		limit = DefaultPanicLimit
+	}
+	return &Guard{name: name, limit: uint64(limit), onQuarantine: onQuarantine}
+}
+
+// Run invokes fn behind the recover boundary. It returns true when fn
+// completed without panicking, false when fn panicked or the component is
+// quarantined.
+func (g *Guard) Run(fn func()) (ok bool) {
+	if g.quarantined.Load() {
+		return false
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			ok = false
+			if g.panics.Add(1) >= g.limit {
+				g.enterQuarantine()
+			}
+		}
+	}()
+	fn()
+	return true
+}
+
+// enterQuarantine flips the quarantine flag exactly once and fires the
+// callback.
+func (g *Guard) enterQuarantine() {
+	if g.quarantined.Swap(true) {
+		return
+	}
+	if g.onQuarantine != nil {
+		func() {
+			defer func() { _ = recover() }()
+			g.onQuarantine(g.name, g.panics.Load())
+		}()
+	}
+}
+
+// Name returns the guarded component's name.
+func (g *Guard) Name() string { return g.name }
+
+// Panics returns how many panics the guard has absorbed.
+func (g *Guard) Panics() uint64 { return g.panics.Load() }
+
+// Quarantined reports whether the component has been quarantined.
+func (g *Guard) Quarantined() bool { return g.quarantined.Load() }
+
+// SinkGuard wraps an obs.Sink behind a recover boundary so a panicking
+// observer cannot take down the detection run. After the panic limit is
+// reached the sink is quarantined: one final obs.EvSinkQuarantined event is
+// delivered to it (best-effort — the sink may panic on that too) and every
+// later event is dropped. Detection continues either way.
+type SinkGuard struct {
+	inner obs.Sink
+	guard *Guard
+}
+
+// GuardSink wraps sink. limit <= 0 selects DefaultPanicLimit; onQuarantine,
+// when non-nil, runs once at quarantine time (after the final event was
+// offered to the sink). A nil sink yields a nil guard, which Emit tolerates.
+func GuardSink(name string, sink obs.Sink, limit int, onQuarantine func(name string, panics uint64)) *SinkGuard {
+	if sink == nil {
+		return nil
+	}
+	sg := &SinkGuard{inner: sink}
+	sg.guard = NewGuard(name, limit, func(n string, panics uint64) {
+		// Final event: the sink's own log ends with the reason it went
+		// quiet. Best-effort — delivered outside the guard with its own
+		// recover, since the sink is already known to panic.
+		func() {
+			defer func() { _ = recover() }()
+			sg.inner.Emit(obs.Event{Type: obs.EvSinkQuarantined, Name: n, Count: panics})
+		}()
+		if onQuarantine != nil {
+			onQuarantine(n, panics)
+		}
+	})
+	return sg
+}
+
+// Emit forwards the event to the wrapped sink behind the recover boundary.
+// Safe on a nil guard (no-op).
+func (s *SinkGuard) Emit(e obs.Event) {
+	if s == nil {
+		return
+	}
+	s.guard.Run(func() { s.inner.Emit(e) })
+}
+
+// Panics returns how many panics the wrapped sink has caused.
+func (s *SinkGuard) Panics() uint64 {
+	if s == nil {
+		return 0
+	}
+	return s.guard.Panics()
+}
+
+// Quarantined reports whether the wrapped sink has been quarantined.
+func (s *SinkGuard) Quarantined() bool {
+	if s == nil {
+		return false
+	}
+	return s.guard.Quarantined()
+}
+
+// Budget is an admission counter for a bounded resource: Acquire succeeds
+// until limit slots are held, Release returns a slot. A limit of 0 means
+// unlimited. Budget is safe for concurrent use.
+type Budget struct {
+	limit int64
+	used  atomic.Int64
+	full  atomic.Uint64 // rejected acquisitions
+}
+
+// NewBudget builds a budget with the given limit; limit <= 0 is unlimited.
+func NewBudget(limit int) *Budget {
+	if limit < 0 {
+		limit = 0
+	}
+	return &Budget{limit: int64(limit)}
+}
+
+// Acquire takes one slot, reporting false (and counting the rejection) when
+// the budget is exhausted.
+func (b *Budget) Acquire() bool {
+	if b.limit <= 0 {
+		b.used.Add(1)
+		return true
+	}
+	for {
+		cur := b.used.Load()
+		if cur >= b.limit {
+			b.full.Add(1)
+			return false
+		}
+		if b.used.CompareAndSwap(cur, cur+1) {
+			return true
+		}
+	}
+}
+
+// Release returns one slot.
+func (b *Budget) Release() { b.used.Add(-1) }
+
+// Used returns the number of held slots.
+func (b *Budget) Used() int64 { return b.used.Load() }
+
+// Limit returns the budget's limit (0 = unlimited).
+func (b *Budget) Limit() int64 { return b.limit }
+
+// Rejected returns how many acquisitions the budget has refused.
+func (b *Budget) Rejected() uint64 { return b.full.Load() }
+
+// Bounded reports whether the budget enforces a limit.
+func (b *Budget) Bounded() bool { return b.limit > 0 }
+
+// String summarizes the budget for degradation banners.
+func (b *Budget) String() string {
+	if !b.Bounded() {
+		return fmt.Sprintf("%d used (unlimited)", b.Used())
+	}
+	return fmt.Sprintf("%d/%d used, %d rejected", b.Used(), b.limit, b.Rejected())
+}

@@ -1,0 +1,240 @@
+package resilience
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"predator/internal/obs"
+)
+
+func TestGuardAbsorbsPanicsUntilLimit(t *testing.T) {
+	g := NewGuard("boom", 3, nil)
+	calls := 0
+	for i := 0; i < 3; i++ {
+		if ok := g.Run(func() { calls++; panic("injected") }); ok {
+			t.Fatalf("run %d: ok = true for panicking fn", i)
+		}
+	}
+	if calls != 3 {
+		t.Errorf("calls = %d, want 3", calls)
+	}
+	if !g.Quarantined() {
+		t.Error("not quarantined after limit panics")
+	}
+	if g.Panics() != 3 {
+		t.Errorf("Panics = %d, want 3", g.Panics())
+	}
+	// Quarantined: the function must not run at all.
+	if ok := g.Run(func() { calls++ }); ok {
+		t.Error("quarantined guard ran fn")
+	}
+	if calls != 3 {
+		t.Errorf("quarantined guard invoked fn (calls = %d)", calls)
+	}
+}
+
+func TestGuardHealthyPath(t *testing.T) {
+	g := NewGuard("fine", 0, nil)
+	ran := false
+	if ok := g.Run(func() { ran = true }); !ok || !ran {
+		t.Errorf("ok = %v, ran = %v", ok, ran)
+	}
+	if g.Quarantined() || g.Panics() != 0 {
+		t.Errorf("healthy guard: quarantined=%v panics=%d", g.Quarantined(), g.Panics())
+	}
+}
+
+func TestGuardDefaultLimit(t *testing.T) {
+	g := NewGuard("d", 0, nil)
+	for i := 0; i < DefaultPanicLimit-1; i++ {
+		g.Run(func() { panic("x") })
+	}
+	if g.Quarantined() {
+		t.Fatal("quarantined before DefaultPanicLimit")
+	}
+	g.Run(func() { panic("x") })
+	if !g.Quarantined() {
+		t.Error("not quarantined at DefaultPanicLimit")
+	}
+}
+
+func TestGuardQuarantineCallbackOnce(t *testing.T) {
+	var fires atomic.Uint64
+	g := NewGuard("cb", 1, func(name string, panics uint64) {
+		if name != "cb" {
+			t.Errorf("callback name = %q", name)
+		}
+		fires.Add(1)
+		panic("callback itself panics") // must not defeat the guard
+	})
+	g.Run(func() { panic("x") })
+	g.Run(func() { panic("x") }) // skipped: already quarantined
+	if fires.Load() != 1 {
+		t.Errorf("onQuarantine fired %d times, want 1", fires.Load())
+	}
+}
+
+// flakySink panics on normal events but records the quarantine notice, so the
+// test can observe SinkGuard's final best-effort event.
+type flakySink struct {
+	mu     sync.Mutex
+	events []obs.Event
+}
+
+func (s *flakySink) Emit(e obs.Event) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if e.Type != obs.EvSinkQuarantined {
+		panic("flaky sink")
+	}
+	s.events = append(s.events, e)
+}
+
+func TestSinkGuardFinalQuarantineEvent(t *testing.T) {
+	sink := &flakySink{}
+	var notified atomic.Uint64
+	sg := GuardSink("flaky", sink, 2, func(name string, panics uint64) { notified.Add(1) })
+	for i := 0; i < 5; i++ {
+		sg.Emit(obs.Event{Type: obs.EvInvalidation})
+	}
+	if !sg.Quarantined() {
+		t.Fatal("sink not quarantined")
+	}
+	if sg.Panics() != 2 {
+		t.Errorf("Panics = %d, want 2 (later emits must be skipped)", sg.Panics())
+	}
+	if notified.Load() != 1 {
+		t.Errorf("onQuarantine fired %d times, want 1", notified.Load())
+	}
+	sink.mu.Lock()
+	defer sink.mu.Unlock()
+	if len(sink.events) != 1 || sink.events[0].Type != obs.EvSinkQuarantined {
+		t.Fatalf("final events = %+v, want one sink_quarantined", sink.events)
+	}
+	if sink.events[0].Name != "flaky" || sink.events[0].Count != 2 {
+		t.Errorf("quarantine event = %+v", sink.events[0])
+	}
+}
+
+func TestSinkGuardNil(t *testing.T) {
+	if sg := GuardSink("none", nil, 0, nil); sg != nil {
+		t.Fatal("GuardSink(nil) != nil")
+	}
+	var sg *SinkGuard
+	sg.Emit(obs.Event{Type: obs.EvInvalidation}) // must not panic
+	if sg.Panics() != 0 || sg.Quarantined() {
+		t.Error("nil SinkGuard reports activity")
+	}
+}
+
+func TestBudgetLimits(t *testing.T) {
+	b := NewBudget(2)
+	if !b.Acquire() || !b.Acquire() {
+		t.Fatal("budget refused within limit")
+	}
+	if b.Acquire() {
+		t.Fatal("budget admitted past limit")
+	}
+	if b.Rejected() != 1 {
+		t.Errorf("Rejected = %d, want 1", b.Rejected())
+	}
+	b.Release()
+	if !b.Acquire() {
+		t.Error("budget refused after Release")
+	}
+	if b.Used() != 2 {
+		t.Errorf("Used = %d, want 2", b.Used())
+	}
+	if !b.Bounded() || b.Limit() != 2 {
+		t.Errorf("Bounded=%v Limit=%d", b.Bounded(), b.Limit())
+	}
+}
+
+func TestBudgetUnlimited(t *testing.T) {
+	b := NewBudget(0)
+	for i := 0; i < 1000; i++ {
+		if !b.Acquire() {
+			t.Fatal("unlimited budget refused")
+		}
+	}
+	if b.Bounded() || b.Rejected() != 0 {
+		t.Errorf("Bounded=%v Rejected=%d", b.Bounded(), b.Rejected())
+	}
+}
+
+// TestChaosBudgetConcurrent hammers one bounded budget from many goroutines
+// and checks the slot accounting never over-admits (run under -race).
+func TestChaosBudgetConcurrent(t *testing.T) {
+	const limit, workers, rounds = 8, 16, 500
+	b := NewBudget(limit)
+	var wg sync.WaitGroup
+	var held atomic.Int64
+	var maxSeen atomic.Int64
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				if b.Acquire() {
+					h := held.Add(1)
+					for {
+						m := maxSeen.Load()
+						if h <= m || maxSeen.CompareAndSwap(m, h) {
+							break
+						}
+					}
+					held.Add(-1)
+					b.Release()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if maxSeen.Load() > limit {
+		t.Errorf("held %d slots concurrently, limit %d", maxSeen.Load(), limit)
+	}
+	if b.Used() != 0 {
+		t.Errorf("Used = %d after all released", b.Used())
+	}
+}
+
+// panickySink panics on every delivery; used to verify quarantine engages
+// exactly once under concurrent emitters.
+type panickySink struct{ calls atomic.Uint64 }
+
+func (s *panickySink) Emit(obs.Event) {
+	s.calls.Add(1)
+	panic("always")
+}
+
+// TestChaosSinkQuarantineConcurrent drives a guarded always-panicking sink
+// from many goroutines: no panic may escape, quarantine must engage, and the
+// sink must stop being invoked afterwards (run under -race).
+func TestChaosSinkQuarantineConcurrent(t *testing.T) {
+	sink := &panickySink{}
+	var notices atomic.Uint64
+	sg := GuardSink("chaos", sink, DefaultPanicLimit, func(string, uint64) { notices.Add(1) })
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				sg.Emit(obs.Event{Type: obs.EvInvalidation})
+			}
+		}()
+	}
+	wg.Wait()
+	if !sg.Quarantined() {
+		t.Fatal("sink not quarantined")
+	}
+	if notices.Load() != 1 {
+		t.Errorf("quarantine notice fired %d times, want 1", notices.Load())
+	}
+	// Racing emitters may slip a few extra panics in before the flag lands,
+	// but quarantine must have stopped deliveries well before the end.
+	if calls := sink.calls.Load(); calls >= 8*200 {
+		t.Errorf("sink saw every emit (%d); quarantine never engaged", calls)
+	}
+}

@@ -15,6 +15,23 @@ type ReplayResult struct {
 	Threads map[int]string
 	Report  *report.Report
 	Stats   core.Stats
+	// Salvage accounts what a salvage-mode replay skipped or repaired;
+	// nil when the replay ran strict.
+	Salvage *SalvageStats
+	// SemanticErrors counts events that decoded cleanly but were rejected
+	// by the rebuilt heap (overlapping allocations, unknown frees) and
+	// tolerated in salvage mode. Always 0 on a strict replay, which aborts
+	// on the first such error instead.
+	SemanticErrors uint64
+}
+
+// ReplayOptions selects replay behavior beyond the runtime configuration.
+type ReplayOptions struct {
+	// Salvage replays through a salvage-mode reader: malformed or truncated
+	// records are skipped (accounted in ReplayResult.Salvage) and semantic
+	// heap errors are counted instead of aborting, so a damaged trace still
+	// yields a report.
+	Salvage bool
 }
 
 // Replay streams a trace through a fresh PREDATOR runtime configured with
@@ -22,7 +39,18 @@ type ReplayResult struct {
 // Replay is deterministic: the same trace and configuration always produce
 // the same invalidation counts and findings.
 func Replay(r io.Reader, cfg core.Config) (*ReplayResult, error) {
-	tr, err := NewReader(r)
+	return ReplayWithOptions(r, cfg, ReplayOptions{})
+}
+
+// ReplayWithOptions is Replay with explicit resilience options.
+func ReplayWithOptions(r io.Reader, cfg core.Config, opts ReplayOptions) (*ReplayResult, error) {
+	var tr *Reader
+	var err error
+	if opts.Salvage {
+		tr, err = NewSalvageReader(r)
+	} else {
+		tr, err = NewReader(r)
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -32,6 +60,18 @@ func Replay(r io.Reader, cfg core.Config) (*ReplayResult, error) {
 		Size:     hdr.HeapSize,
 		LineSize: int(hdr.LineSize),
 	})
+	if err != nil && opts.Salvage {
+		// The header decoded but describes an unbuildable heap (e.g. a
+		// bit-flipped size). Fall back to the default geometry; accesses
+		// outside it are ignored by the runtime's range check.
+		tr.stats.HeaderDamaged = true
+		hdr = defaultHeader()
+		h, err = mem.NewHeap(mem.Config{
+			Base:     hdr.HeapBase,
+			Size:     hdr.HeapSize,
+			LineSize: int(hdr.LineSize),
+		})
+	}
 	if err != nil {
 		return nil, fmt.Errorf("trace: rebuilding heap: %w", err)
 	}
@@ -59,15 +99,27 @@ func Replay(r io.Reader, cfg core.Config) (*ReplayResult, error) {
 			rt.HandleAccess(int(e.TID), e.Addr, e.Size, true)
 		case OpAlloc:
 			if err := h.ImportObject(mem.Object{Start: e.Addr, Size: e.Size, Thread: int(e.TID)}); err != nil {
-				return nil, fmt.Errorf("trace: event %d: %w", res.Events, err)
+				if opts.Salvage {
+					res.SemanticErrors++
+					continue
+				}
+				return nil, fmt.Errorf("trace: event %d (byte offset %d): %w", res.Events-1, tr.Offset(), err)
 			}
 		case OpFree:
 			if err := h.Free(e.Addr); err != nil {
-				return nil, fmt.Errorf("trace: event %d: %w", res.Events, err)
+				if opts.Salvage {
+					res.SemanticErrors++
+					continue
+				}
+				return nil, fmt.Errorf("trace: event %d (byte offset %d): %w", res.Events-1, tr.Offset(), err)
 			}
 		case OpGlobal:
 			if err := h.ImportObject(mem.Object{Start: e.Addr, Size: e.Size, Thread: -1, Label: e.Name, Global: true}); err != nil {
-				return nil, fmt.Errorf("trace: event %d: %w", res.Events, err)
+				if opts.Salvage {
+					res.SemanticErrors++
+					continue
+				}
+				return nil, fmt.Errorf("trace: event %d (byte offset %d): %w", res.Events-1, tr.Offset(), err)
 			}
 		case OpThread:
 			res.Threads[int(e.TID)] = e.Name
@@ -75,6 +127,10 @@ func Replay(r io.Reader, cfg core.Config) (*ReplayResult, error) {
 	}
 	res.Report = rt.Report()
 	res.Stats = rt.Stats()
+	if opts.Salvage {
+		stats := tr.Stats()
+		res.Salvage = &stats
+	}
 	return res, nil
 }
 

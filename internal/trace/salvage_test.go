@@ -1,0 +1,345 @@
+package trace
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+
+	"predator/internal/core"
+	"predator/internal/resilience/faultinject"
+)
+
+// freeTrace builds a trace of n OpFree records with a one-byte address
+// varint, so every record is exactly 2 bytes: [0x04][0x48]. Fixed-size
+// records let corruption tests predict region counts and offsets exactly.
+func freeTrace(t *testing.T, n int) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, testHeader())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		if err := w.WriteEvent(Event{Op: OpFree, Addr: 0x48}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// drainSalvage decodes the whole input in salvage mode and returns the stats.
+func drainSalvage(t *testing.T, raw []byte) SalvageStats {
+	t.Helper()
+	r, err := NewSalvageReader(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatalf("NewSalvageReader: %v", err)
+	}
+	for {
+		if _, err := r.Next(); err == io.EOF {
+			break
+		} else if err != nil {
+			t.Fatalf("salvage Next: %v", err)
+		}
+	}
+	return r.Stats()
+}
+
+func TestWriterRejectsUnknownOpTyped(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, testHeader())
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = w.WriteEvent(Event{Op: Op(99), Addr: 0x48})
+	if !errors.Is(err, ErrUnknownOp) {
+		t.Fatalf("err = %v, want ErrUnknownOp", err)
+	}
+	var ue *UnknownOpError
+	if !errors.As(err, &ue) || ue.Op != Op(99) {
+		t.Errorf("err = %#v, want *UnknownOpError{Op: 99}", err)
+	}
+	if w.Events() != 0 {
+		t.Errorf("Events = %d after rejected write", w.Events())
+	}
+	// Nothing beyond the header may have been written.
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() != headerSize {
+		t.Errorf("stream grew to %d bytes; rejected event leaked partial bytes", buf.Len())
+	}
+	if s := drainSalvage(t, buf.Bytes()); !s.Clean() || s.Events != 0 {
+		t.Errorf("stream after rejected write not clean: %+v", s)
+	}
+}
+
+func TestSalvageCleanTrace(t *testing.T) {
+	const n = 10
+	s := drainSalvage(t, freeTrace(t, n))
+	if !s.Clean() {
+		t.Errorf("clean trace reported damage: %+v", s)
+	}
+	if s.Events != n || s.FirstErrorOffset != -1 {
+		t.Errorf("Events=%d FirstErrorOffset=%d", s.Events, s.FirstErrorOffset)
+	}
+}
+
+func TestSalvageExactCorruptionAccounting(t *testing.T) {
+	const n = 20
+	raw := freeTrace(t, n)
+	// Stomp the opcode byte of non-adjacent records so every corruption is
+	// its own maximal region: both bytes of the record become undecodable.
+	records := []int{2, 5, 9, 14}
+	var offsets []int
+	for _, rec := range records {
+		offsets = append(offsets, headerSize+2*rec)
+	}
+	corrupted, faults := faultinject.CorruptAt(raw, offsets, 0xFF)
+	if len(faults) != len(records) {
+		t.Fatalf("injected %d faults, want %d", len(faults), len(records))
+	}
+	s := drainSalvage(t, corrupted)
+	if s.CorruptRegions != uint64(len(records)) {
+		t.Errorf("CorruptRegions = %d, want %d", s.CorruptRegions, len(records))
+	}
+	if s.Events != n-uint64(len(records)) {
+		t.Errorf("Events = %d, want %d", s.Events, n-len(records))
+	}
+	if s.SkippedBytes != 2*uint64(len(records)) {
+		t.Errorf("SkippedBytes = %d, want %d", s.SkippedBytes, 2*len(records))
+	}
+	if want := int64(headerSize + 2*records[0]); s.FirstErrorOffset != want {
+		t.Errorf("FirstErrorOffset = %d, want %d", s.FirstErrorOffset, want)
+	}
+	if s.TruncatedTail {
+		t.Error("TruncatedTail set for corruption-only damage")
+	}
+	if len(s.Errors) != len(records) {
+		t.Errorf("retained %d diagnostics, want %d", len(s.Errors), len(records))
+	}
+}
+
+func TestSalvageTruncatedTail(t *testing.T) {
+	raw := freeTrace(t, 5)
+	s := drainSalvage(t, raw[:len(raw)-1]) // cut mid-record
+	if !s.TruncatedTail {
+		t.Errorf("TruncatedTail not set: %+v", s)
+	}
+	if s.Events != 4 {
+		t.Errorf("Events = %d, want 4", s.Events)
+	}
+}
+
+func TestSalvageDamagedMagic(t *testing.T) {
+	raw := freeTrace(t, 5)
+	bad := append([]byte(nil), raw...)
+	bad[0] ^= 0xFF
+	r, err := NewSalvageReader(bytes.NewReader(bad))
+	if err != nil {
+		t.Fatalf("NewSalvageReader on damaged magic: %v", err)
+	}
+	if !r.Stats().HeaderDamaged {
+		t.Error("HeaderDamaged not set")
+	}
+	if r.Header() != defaultHeader() {
+		t.Errorf("header = %+v, want defaults", r.Header())
+	}
+	for {
+		if _, err := r.Next(); err == io.EOF {
+			break
+		} else if err != nil {
+			t.Fatalf("Next: %v", err)
+		}
+	}
+	if s := r.Stats(); s.Clean() {
+		t.Error("damaged-magic trace reported clean")
+	}
+}
+
+func TestStrictDecodeErrorCarriesOffsetAndIndex(t *testing.T) {
+	raw := freeTrace(t, 6)
+	target := 3 // corrupt the opcode of the fourth record
+	corrupted, _ := faultinject.CorruptAt(raw, []int{headerSize + 2*target}, 0xFF)
+	r, err := NewReader(bytes.NewReader(corrupted))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < target; i++ {
+		if _, err := r.Next(); err != nil {
+			t.Fatalf("event %d: %v", i, err)
+		}
+	}
+	_, err = r.Next()
+	var de *DecodeError
+	if !errors.As(err, &de) {
+		t.Fatalf("err = %v, want *DecodeError", err)
+	}
+	if de.Offset != int64(headerSize+2*target) || de.Index != uint64(target) {
+		t.Errorf("DecodeError at offset %d index %d, want %d / %d",
+			de.Offset, de.Index, headerSize+2*target, target)
+	}
+	if !errors.Is(err, ErrUnknownOp) {
+		t.Errorf("err = %v does not unwrap to ErrUnknownOp", err)
+	}
+}
+
+// TestTruncatedAtEveryByteOffset cuts a mixed trace at every possible byte
+// boundary. The strict reader must fail with a typed error (or plain EOF at a
+// record boundary) and the salvage reader must always drain to completion —
+// neither may panic.
+func TestTruncatedAtEveryByteOffset(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, testHeader())
+	if err != nil {
+		t.Fatal(err)
+	}
+	events := []Event{
+		{Op: OpThread, TID: 0, Name: "main"},
+		{Op: OpAlloc, TID: 0, Addr: 0x400000040, Size: 128},
+		{Op: OpWrite, TID: 0, Addr: 0x400000040, Size: 8},
+		{Op: OpRead, TID: 1, Addr: 0x400000048, Size: 4},
+		{Op: OpGlobal, Addr: 0x400010000, Size: 64, Name: "counters"},
+		{Op: OpFree, Addr: 0x400000040},
+	}
+	for _, e := range events {
+		if err := w.WriteEvent(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+
+	for cut := 0; cut <= len(raw); cut++ {
+		prefix := raw[:cut]
+
+		// Strict: construction fails before a full header exists; after
+		// that, decoding ends in io.EOF (boundary cut) or a DecodeError.
+		r, err := NewReader(bytes.NewReader(prefix))
+		if cut < headerSize {
+			if err == nil {
+				t.Fatalf("cut %d: strict reader accepted a partial header", cut)
+			}
+		} else {
+			if err != nil {
+				t.Fatalf("cut %d: NewReader: %v", cut, err)
+			}
+			decoded := 0
+			for {
+				_, err := r.Next()
+				if err == nil {
+					decoded++
+					continue
+				}
+				if err != io.EOF {
+					var de *DecodeError
+					if !errors.As(err, &de) {
+						t.Fatalf("cut %d: untyped decode failure %v", cut, err)
+					}
+					if !errors.Is(err, ErrTruncated) {
+						t.Fatalf("cut %d: err %v, want ErrTruncated", cut, err)
+					}
+				}
+				break
+			}
+			if decoded > len(events) {
+				t.Fatalf("cut %d: decoded %d events from a prefix of %d", cut, decoded, len(events))
+			}
+		}
+
+		// Salvage: always constructs, always drains.
+		sr, err := NewSalvageReader(bytes.NewReader(prefix))
+		if err != nil {
+			t.Fatalf("cut %d: NewSalvageReader: %v", cut, err)
+		}
+		for {
+			if _, err := sr.Next(); err == io.EOF {
+				break
+			} else if err != nil {
+				t.Fatalf("cut %d: salvage Next: %v", cut, err)
+			}
+		}
+		s := sr.Stats()
+		if s.Events > uint64(len(events)) {
+			t.Fatalf("cut %d: salvaged %d events from a prefix", cut, s.Events)
+		}
+		if cut == len(raw) && !s.Clean() {
+			t.Fatalf("full trace reported damage: %+v", s)
+		}
+	}
+}
+
+// TestReplaySalvageEndToEnd corrupts write records in a recorded false
+// sharing trace and checks the salvage replay still terminates with a
+// report, with salvage stats matching the injected damage exactly.
+func TestReplaySalvageEndToEnd(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, testHeader())
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := uint64(0x400000040)
+	w.WriteEvent(Event{Op: OpThread, TID: 0, Name: "a"})
+	w.WriteEvent(Event{Op: OpThread, TID: 1, Name: "b"})
+	w.WriteEvent(Event{Op: OpAlloc, TID: 0, Addr: base, Size: 64})
+	// Record the start offset of every write record so corruption can
+	// target opcode bytes precisely.
+	w.Flush()
+	var writeOffsets []int
+	const writes = 300
+	for i := 0; i < writes; i++ {
+		w.Flush()
+		writeOffsets = append(writeOffsets, buf.Len())
+		w.WriteEvent(Event{Op: OpWrite, TID: 0, Addr: base, Size: 8})
+		w.Flush()
+		writeOffsets = append(writeOffsets, buf.Len())
+		w.WriteEvent(Event{Op: OpWrite, TID: 1, Addr: base + 8, Size: 8})
+	}
+	w.Flush()
+	raw := buf.Bytes()
+
+	// Corrupt the opcodes of a handful of non-adjacent write records. A
+	// write record here is [op][tid][addr:5][size] = 8 bytes with no
+	// byte that aliases a valid opcode, so each stomp skips one whole
+	// record as one region.
+	targets := []int{writeOffsets[10], writeOffsets[100], writeOffsets[333]}
+	corrupted, _ := faultinject.CorruptAt(raw, targets, 0xFF)
+
+	cfg := core.Config{
+		TrackingThreshold:   10,
+		PredictionThreshold: 20,
+		ReportThreshold:     50,
+	}
+	res, err := ReplayWithOptions(bytes.NewReader(corrupted), cfg, ReplayOptions{Salvage: true})
+	if err != nil {
+		t.Fatalf("salvage replay: %v", err)
+	}
+	if res.Salvage == nil {
+		t.Fatal("no salvage stats on a salvage replay")
+	}
+	if res.Salvage.CorruptRegions != uint64(len(targets)) {
+		t.Errorf("CorruptRegions = %d, want %d", res.Salvage.CorruptRegions, len(targets))
+	}
+	if res.Salvage.SkippedBytes != 8*uint64(len(targets)) {
+		t.Errorf("SkippedBytes = %d, want %d", res.Salvage.SkippedBytes, 8*len(targets))
+	}
+	if want := uint64(3 + 2*writes - len(targets)); res.Events != want {
+		t.Errorf("Events = %d, want %d", res.Events, want)
+	}
+	if res.Report == nil {
+		t.Fatal("salvage replay returned no report")
+	}
+	if len(res.Report.FalseSharing()) == 0 {
+		t.Error("false sharing lost to salvage despite surviving writes")
+	}
+
+	// The same damaged trace must fail strictly without -salvage.
+	if _, err := Replay(bytes.NewReader(corrupted), cfg); err == nil {
+		t.Error("strict replay accepted a corrupt trace")
+	}
+}

@@ -33,6 +33,7 @@ import (
 	"predator/internal/mem"
 	"predator/internal/obs"
 	"predator/internal/report"
+	"predator/internal/resilience"
 )
 
 // Re-exported types: the public API surface of the detector.
@@ -83,6 +84,15 @@ type (
 // collects metrics without tracing events; see NewJSONLinesSink for a sink
 // that streams events as JSON lines.
 func NewObserver(sink EventSink) *Observer { return obs.New(obs.NewRegistry(), sink) }
+
+// NewResilientObserver is NewObserver with the sink wrapped in a panic
+// isolation boundary (see internal/resilience): a sink that panics more than
+// resilience.DefaultPanicLimit times is quarantined — after one final
+// sink_quarantined event — while detection continues. Use it whenever the
+// sink is not fully trusted (plugins, network exporters).
+func NewResilientObserver(name string, sink EventSink) *Observer {
+	return obs.New(obs.NewRegistry(), resilience.GuardSink(name, sink, 0, nil))
+}
 
 // NewJSONLinesSink returns a sink encoding each event as one JSON object per
 // line. Call Flush before closing the underlying writer.
@@ -146,6 +156,13 @@ type Options struct {
 	// it has an event sink — lifecycle trace events. Nil (the default)
 	// leaves the hot path uninstrumented.
 	Observer *Observer
+	// Strict selects the out-of-heap access policy. Nil (the default) and
+	// &true panic on any out-of-heap access — workload bugs fail loudly.
+	// Point it at false for the resilience layer's fault-tolerant mode:
+	// out-of-heap accesses become recoverable typed faults
+	// (instr.ErrOutOfHeap) counted per thread, loads return zero, stores
+	// are dropped, and detection continues.
+	Strict *bool
 }
 
 // DefaultRuntimeConfig returns the paper's default thresholds.
@@ -190,6 +207,9 @@ func New(opts Options) (*Detector, error) {
 		d.in = instr.New(h, nil, opts.Policy)
 	}
 	d.in.Observe(opts.Observer)
+	if opts.Strict != nil {
+		d.in.SetStrict(*opts.Strict)
+	}
 	return d, nil
 }
 
@@ -246,6 +266,13 @@ type Stats struct {
 	Suppressed           uint64 // events dropped by instrumentation policy
 	HeapLive             uint64 // live simulated-heap bytes
 	HeapUsed             uint64 // carved simulated-heap bytes
+
+	// Resilience accounting.
+	Faults            uint64 // out-of-heap accesses absorbed (non-strict mode)
+	DegradedLines     int    // tracked lines degraded to invalidation-counting-only
+	Evictions         uint64 // lines degraded to admit newer lines
+	VirtualRejections uint64 // virtual lines refused by MaxVirtualLines
+	Degraded          bool   // any detection detail shed under resource pressure
 }
 
 // Stats returns a snapshot of detector counters, flushing batched hot-path
@@ -258,6 +285,7 @@ func (d *Detector) Stats() Stats {
 		Suppressed: d.in.Suppressed(),
 		HeapLive:   hs.LiveBytes,
 		HeapUsed:   hs.UsedBytes,
+		Faults:     d.in.Faults(),
 	}
 	if d.rt != nil {
 		rs := d.rt.Stats()
@@ -268,6 +296,10 @@ func (d *Detector) Stats() Stats {
 		s.Invalidations = rs.Invalidations
 		s.VirtualInvalidations = rs.VirtualInvalidations
 		s.SampledAccesses = rs.SampledAccesses
+		s.DegradedLines = rs.DegradedLines
+		s.Evictions = rs.Evictions
+		s.VirtualRejections = rs.VirtualRejections
+		s.Degraded = rs.Degraded
 	}
 	return s
 }
