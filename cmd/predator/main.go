@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -19,6 +20,7 @@ import (
 	"predator/internal/fixer"
 	"predator/internal/harness"
 	"predator/internal/obs"
+	"predator/internal/obs/diag"
 	"predator/internal/resilience"
 
 	// Register every workload suite.
@@ -55,8 +57,16 @@ func main() {
 		maxTracked = flag.Int("max-tracked-lines", 0, "resource governor budget for detailed tracking (0 = unlimited)")
 		maxVirtual = flag.Int("max-virtual-lines", 0, "resource governor budget for virtual lines (0 = unlimited)")
 		strict     = flag.Bool("strict", true, "panic on out-of-heap accesses (false: absorb them as recoverable faults)")
+		diagAddr   = flag.String("diag-addr", "", "serve live diagnostics (metrics, hotlines, findings, pprof) on this host:port")
+		diagLinger = flag.Duration("diag-linger", 0, "keep the diagnostics server (and final runtime state) scrapeable this long after the run")
+		version    = flag.Bool("version", false, "print build version and exit")
 	)
 	flag.Parse()
+
+	if *version {
+		fmt.Println("predator " + obs.GetBuildInfo().String())
+		return
+	}
 
 	if *list {
 		fmt.Println("Available workloads:")
@@ -117,13 +127,14 @@ func main() {
 		}
 	}
 
-	// Observability: attach an observer when any exporter is requested.
+	// Observability: attach an observer when any exporter (or the live
+	// diagnostics server) is requested.
 	var (
 		observer *obs.Observer
 		evSink   *obs.JSONLines
 		evFile   *os.File
 	)
-	if *metricsOut != "" || *eventsOut != "" {
+	if *metricsOut != "" || *eventsOut != "" || *diagAddr != "" {
 		var sink obs.Sink
 		if *eventsOut != "" {
 			f, err := os.Create(*eventsOut)
@@ -139,6 +150,32 @@ func main() {
 		}
 		observer = obs.New(obs.NewRegistry(), sink)
 		opts.Observer = observer
+	}
+
+	// Live diagnostics server (opt-in): self-profiling on, build info
+	// exported, runtime attached as the scrape source as soon as the
+	// harness constructs it.
+	var diagSrv *diag.Server
+	if *diagAddr != "" {
+		observer.EnableSelfProfile()
+		build := obs.RegisterBuildInfo(observer.Metrics(), "predator")
+		diagSrv = diag.New(observer.Metrics(), "predator", build)
+		bound, err := diagSrv.Start(context.Background(), *diagAddr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "predator: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("diagnostics: http://%s (metrics, hotlines, findings, debug/pprof)\n", bound)
+		opts.OnRuntime = diagSrv.SetRuntime
+		defer func() {
+			if *diagLinger > 0 {
+				fmt.Printf("diagnostics: lingering %s for final scrapes\n", *diagLinger)
+				time.Sleep(*diagLinger)
+			}
+			sctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			defer cancel()
+			_ = diagSrv.Shutdown(sctx)
+		}()
 	}
 	hb := obs.StartHeartbeat(observer, *heartbeat, *metricsOut)
 

@@ -7,13 +7,16 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"predator/internal/eval"
 	"predator/internal/obs"
+	"predator/internal/obs/diag"
 	"predator/internal/resilience"
 
 	_ "predator/internal/workloads/apps"
@@ -32,8 +35,17 @@ func main() {
 		metricsOut = flag.String("metrics-out", "", "write metrics aggregated across all runs in Prometheus text format to this file")
 		eventsOut  = flag.String("events-out", "", "stream lifecycle trace events from every run as JSON lines to this file")
 		heartbeat  = flag.Duration("heartbeat", 0, "heartbeat interval for periodic metric snapshots (0 = off)")
+		benchJSON  = flag.String("bench-json", "", "write machine-readable benchmark results (workload x mode medians, throughput, detector stats) to this file")
+		benchWork  = flag.String("bench-workloads", "", "comma-separated workloads for -bench-json (default: all evaluated workloads)")
+		diagAddr   = flag.String("diag-addr", "", "serve live diagnostics on this host:port; the scrape source follows each run the experiments perform")
+		version    = flag.Bool("version", false, "print build version and exit")
 	)
 	flag.Parse()
+
+	if *version {
+		fmt.Println("predbench " + obs.GetBuildInfo().String())
+		return
+	}
 
 	cfg := eval.Default()
 	cfg.Threads = *threads
@@ -42,7 +54,7 @@ func main() {
 
 	// Observability: one observer aggregates every run the experiments do.
 	var evSink *obs.JSONLines
-	if *metricsOut != "" || *eventsOut != "" {
+	if *metricsOut != "" || *eventsOut != "" || *diagAddr != "" {
 		var sink obs.Sink
 		if *eventsOut != "" {
 			f, err := os.Create(*eventsOut)
@@ -57,6 +69,26 @@ func main() {
 			sink = resilience.GuardSink("events-jsonl", evSink, 0, nil)
 		}
 		cfg.Observer = obs.New(obs.NewRegistry(), sink)
+	}
+
+	// Live diagnostics: the experiments run many successive runtimes; the
+	// OnRuntime hook re-points the server's scrape source at each one.
+	if *diagAddr != "" {
+		cfg.Observer.EnableSelfProfile()
+		build := obs.RegisterBuildInfo(cfg.Observer.Metrics(), "predbench")
+		diagSrv := diag.New(cfg.Observer.Metrics(), "predbench", build)
+		bound, err := diagSrv.Start(context.Background(), *diagAddr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "predbench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("diagnostics: http://%s\n", bound)
+		cfg.OnRuntime = diagSrv.SetRuntime
+		defer func() {
+			sctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			defer cancel()
+			_ = diagSrv.Shutdown(sctx)
+		}()
 	}
 	hb := obs.StartHeartbeat(cfg.Observer, *heartbeat, *metricsOut)
 	defer func() {
@@ -85,8 +117,40 @@ func main() {
 		fmt.Println()
 	}
 
+	// -bench-json alone runs only the bench sweep; an explicit -experiment
+	// keeps its usual meaning alongside it.
+	expSet := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "experiment" {
+			expSet = true
+		}
+	})
+	if *benchJSON != "" && !expSet {
+		*experiment = "bench"
+	}
+
 	want := func(name string) bool { return *experiment == "all" || *experiment == name }
 	ran := false
+
+	if *benchJSON != "" {
+		ran = true
+		run("Bench: workload x mode sweep (machine-readable)", func() error {
+			workloads := eval.AllWorkloads()
+			if *benchWork != "" {
+				workloads = strings.Split(*benchWork, ",")
+			}
+			doc, err := eval.Bench(cfg, workloads)
+			if err != nil {
+				return err
+			}
+			if err := doc.WriteJSONFile(*benchJSON); err != nil {
+				return err
+			}
+			fmt.Printf("wrote %d records (%d workloads x %d modes) to %s\n",
+				len(doc.Records), len(workloads), 3, *benchJSON)
+			return nil
+		})
+	}
 
 	if want("table1") {
 		ran = true

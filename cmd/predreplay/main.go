@@ -14,6 +14,7 @@
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
@@ -24,6 +25,7 @@ import (
 	"predator/internal/harness"
 	"predator/internal/mem"
 	"predator/internal/obs"
+	"predator/internal/obs/diag"
 	"predator/internal/resilience"
 	"predator/internal/trace"
 
@@ -54,8 +56,15 @@ func main() {
 		salvageMax = flag.Uint64("salvage-budget", 0, "replay: max corrupt regions tolerated under -salvage (0 = unlimited); exceeding it exits nonzero after the partial report")
 		maxTracked = flag.Int("max-tracked-lines", 0, "replay: resource governor budget for detailed tracking (0 = unlimited)")
 		maxVirtual = flag.Int("max-virtual-lines", 0, "replay: resource governor budget for virtual lines (0 = unlimited)")
+		diagAddr   = flag.String("diag-addr", "", "replay: serve live diagnostics (metrics, hotlines, findings, pprof) on this host:port")
+		version    = flag.Bool("version", false, "print build version and exit")
 	)
 	flag.Parse()
+
+	if *version {
+		fmt.Println("predreplay " + obs.GetBuildInfo().String())
+		return
+	}
 
 	switch {
 	case *record != "" && *replay != "":
@@ -80,6 +89,7 @@ func main() {
 			salvageBudget: *salvageMax,
 			metricsOut:    *metricsOut,
 			eventsOut:     *eventsOut,
+			diagAddr:      *diagAddr,
 		}
 		if err := doReplay(*replay, cfg, opts); err != nil {
 			fatal(err.Error())
@@ -153,6 +163,7 @@ type replayOptions struct {
 	salvageBudget uint64 // max corrupt regions tolerated; 0 = unlimited
 	metricsOut    string
 	eventsOut     string
+	diagAddr      string // live diagnostics listen address, "" = off
 }
 
 // doReplay streams the trace through a fresh runtime and prints the report.
@@ -168,7 +179,7 @@ func doReplay(path string, cfg core.Config, opts replayOptions) error {
 	defer f.Close()
 
 	var evSink *obs.JSONLines
-	if opts.metricsOut != "" || opts.eventsOut != "" {
+	if opts.metricsOut != "" || opts.eventsOut != "" || opts.diagAddr != "" {
 		var sink obs.Sink
 		if opts.eventsOut != "" {
 			ef, err := os.Create(opts.eventsOut)
@@ -184,8 +195,26 @@ func doReplay(path string, cfg core.Config, opts replayOptions) error {
 		cfg.Observer = obs.New(obs.NewRegistry(), sink)
 	}
 
+	ropts := trace.ReplayOptions{Salvage: opts.salvage}
+	if opts.diagAddr != "" {
+		cfg.Observer.EnableSelfProfile()
+		build := obs.RegisterBuildInfo(cfg.Observer.Metrics(), "predreplay")
+		diagSrv := diag.New(cfg.Observer.Metrics(), "predreplay", build)
+		bound, err := diagSrv.Start(context.Background(), opts.diagAddr)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("diagnostics: http://%s\n", bound)
+		ropts.OnRuntime = diagSrv.SetRuntime
+		defer func() {
+			sctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			defer cancel()
+			_ = diagSrv.Shutdown(sctx)
+		}()
+	}
+
 	start := time.Now()
-	res, err := trace.ReplayWithOptions(f, cfg, trace.ReplayOptions{Salvage: opts.salvage})
+	res, err := trace.ReplayWithOptions(f, cfg, ropts)
 	if err != nil {
 		var de *trace.DecodeError
 		if errors.As(err, &de) {

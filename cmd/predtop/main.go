@@ -1,0 +1,164 @@
+// Command predtop is a live top-N viewer for a running detector: it polls a
+// diagnostics server's /hotlines endpoint (see predator -diag-addr) and
+// renders a refreshing table of the hottest cache lines — invalidations,
+// access mix, sampling-window phase, degradation, attached virtual lines,
+// and a per-word ownership heatmap.
+//
+//	predator -workload mysql -diag-addr 127.0.0.1:9142 &
+//	predtop -addr 127.0.0.1:9142
+//	predtop -addr 127.0.0.1:9142 -n 20 -interval 500ms
+//	predtop -addr 127.0.0.1:9142 -once          # one frame, no screen clear
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"time"
+
+	"predator/internal/core"
+	"predator/internal/detect"
+	"predator/internal/obs"
+	"predator/internal/obs/diag"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", "127.0.0.1:9142", "diagnostics server address (predator -diag-addr)")
+		n        = flag.Int("n", 10, "how many hot lines to show")
+		interval = flag.Duration("interval", time.Second, "refresh interval")
+		once     = flag.Bool("once", false, "render a single frame and exit (no screen clearing)")
+		version  = flag.Bool("version", false, "print build version and exit")
+	)
+	flag.Parse()
+
+	if *version {
+		fmt.Println("predtop " + obs.GetBuildInfo().String())
+		return
+	}
+
+	client := &http.Client{Timeout: 5 * time.Second}
+	url := fmt.Sprintf("http://%s/hotlines?n=%d", *addr, *n)
+
+	failures := 0
+	frames := 0
+	for {
+		resp, err := poll(client, url)
+		switch {
+		case err == nil:
+			failures = 0
+			frames++
+			if !*once {
+				fmt.Print("\033[2J\033[H") // clear screen, home cursor
+			}
+			render(os.Stdout, resp)
+		case frames == 0:
+			// Never connected: bad address or server not up yet.
+			fmt.Fprintf(os.Stderr, "predtop: %v\n", err)
+			os.Exit(1)
+		default:
+			// The server went away mid-session (run finished): exit clean
+			// after a couple of confirming failures.
+			failures++
+			if failures >= 2 {
+				fmt.Printf("predtop: %s stopped serving; exiting\n", *addr)
+				return
+			}
+		}
+		if *once {
+			return
+		}
+		time.Sleep(*interval)
+	}
+}
+
+// poll fetches and decodes one /hotlines snapshot.
+func poll(client *http.Client, url string) (*diag.HotLinesResponse, error) {
+	resp, err := client.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("GET %s: %s", url, resp.Status)
+	}
+	var out diag.HotLinesResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, fmt.Errorf("GET %s: %v", url, err)
+	}
+	return &out, nil
+}
+
+// render draws one frame.
+func render(w *os.File, r *diag.HotLinesResponse) {
+	st := r.Stats
+	fmt.Fprintf(w, "predtop — %s  %s\n", r.Tool,
+		time.UnixMilli(r.UnixMilli).Format("15:04:05"))
+	fmt.Fprintf(w, "accesses=%d writes=%d tracked=%d virtual=%d invalidations=%d",
+		st.Accesses, st.Writes, st.TrackedLines, st.VirtualLines, st.Invalidations)
+	if st.Degraded {
+		fmt.Fprintf(w, "  DEGRADED(lines=%d evictions=%d)", st.DegradedLines, st.Evictions)
+	}
+	fmt.Fprintln(w)
+	fmt.Fprintln(w)
+	if r.Count == 0 {
+		fmt.Fprintln(w, "(no tracked lines yet)")
+		return
+	}
+	fmt.Fprintf(w, "%-4s %-12s %10s %10s %9s %8s %-8s %-4s %4s  %s\n",
+		"#", "LINE", "INVAL", "ACCESS", "WRITES", "RECORDED", "WINDOW", "FLAG", "VIRT", "WORD OWNERS")
+	for i, ln := range r.Lines {
+		window := "-"
+		if ln.WindowLen > 0 {
+			phase := "idle"
+			if ln.Recording {
+				phase = "rec"
+			}
+			window = fmt.Sprintf("%d/%d %s", ln.WindowPos, ln.WindowLen, phase)
+		}
+		flags := ""
+		if ln.ReportWorthy {
+			flags += "R"
+		}
+		if ln.Degraded {
+			flags += "D"
+		}
+		if flags == "" {
+			flags = "-"
+		}
+		fmt.Fprintf(w, "%-4d %#-12x %10d %10d %9d %8d %-8s %-4s %4d  %s\n",
+			i+1, ln.Addr, ln.Invalidations, ln.Accesses, ln.Writes, ln.Recorded,
+			window, flags, len(ln.Virtual), heatmap(ln))
+	}
+}
+
+// heatmap compresses the per-word ownership view into one glyph per word:
+// '.' untouched, 'S' effectively shared, else the owning thread id mod 10.
+// Two different digits (or any digit next to an S) on one line is the
+// visual signature of false sharing.
+func heatmap(ln core.LineSnapshot) string {
+	if len(ln.Words) == 0 {
+		return ""
+	}
+	maxIdx := 0
+	for _, w := range ln.Words {
+		if w.Index > maxIdx {
+			maxIdx = w.Index
+		}
+	}
+	glyphs := make([]byte, maxIdx+1)
+	for i := range glyphs {
+		glyphs[i] = '.'
+	}
+	for _, w := range ln.Words {
+		switch {
+		case w.Owner == detect.OwnerShared:
+			glyphs[w.Index] = 'S'
+		case w.Owner >= 0:
+			glyphs[w.Index] = byte('0' + w.Owner%10)
+		}
+	}
+	return string(glyphs)
+}

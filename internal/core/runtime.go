@@ -16,7 +16,9 @@
 package core
 
 import (
+	"context"
 	"fmt"
+	"runtime/pprof"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -165,7 +167,8 @@ type Runtime struct {
 	// snapshot points, so attaching a metrics-only observer costs one
 	// predictable branch per access instead of atomic adds.
 	obs            *obs.Observer
-	obsInvs        atomic.Uint64 // invalidations seen while observed
+	self           *obs.SelfProfiler // sampled hot-path self-timing; usually nil
+	obsInvs        atomic.Uint64     // invalidations seen while observed
 	pushedAccesses atomic.Uint64
 	pushedWrites   atomic.Uint64
 	pushedInvs     atomic.Uint64
@@ -214,6 +217,7 @@ func NewRuntime(h *mem.Heap, cfg Config) (*Runtime, error) {
 	h.AddFreeHook(rt.onFree)
 	if o := cfg.Observer; o != nil {
 		rt.obs = o
+		rt.self = o.Self()
 		reg := o.Metrics()
 		rt.accessesC = reg.Counter("predator_accesses_total",
 			"Memory accesses delivered to the runtime.")
@@ -264,7 +268,22 @@ func (rt *Runtime) HandleAccess(tid int, addr, size uint64, isWrite bool) {
 	n := rt.totalAccesses.Add(1)
 	if n&(obs.SyncBatch-1) == 0 {
 		obs.SyncCounter(rt.accessesC, n, &rt.pushedAccesses)
+		if rt.self != nil {
+			// Self-profiling times one full access per SyncBatch: the
+			// histogram mean approximates the per-access instrumented cost
+			// while the other SyncBatch-1 accesses pay only the nil check.
+			began := time.Now()
+			rt.dispatch(tid, addr, size, isWrite)
+			rt.self.ObserveTrack(time.Since(began))
+			return
+		}
 	}
+	rt.dispatch(tid, addr, size, isWrite)
+}
+
+// dispatch routes one access through write counting, the per-line detection
+// path, and — when virtual lines are active — prediction verification.
+func (rt *Runtime) dispatch(tid int, addr, size uint64, isWrite bool) {
 	if isWrite {
 		nw := rt.totalWrites.Add(1)
 		if nw&(obs.SyncBatch-1) == 0 {
@@ -441,12 +460,24 @@ func (rt *Runtime) markPredicted(line uint64) bool {
 }
 
 // runPrediction searches the line and its neighbours for hot access pairs
-// and registers virtual lines for verification.
+// and registers virtual lines for verification. The work runs under the
+// pprof label predator_phase=prediction so CPU profiles attribute the §3.3
+// search separately from instrumentation cost.
 func (rt *Runtime) runPrediction(line uint64, track *detect.Track) {
 	var start time.Time
 	if rt.obs != nil {
 		start = time.Now()
 	}
+	pprof.Do(context.Background(), pprof.Labels("predator_phase", "prediction"),
+		func(context.Context) { rt.predictLine(line, track) })
+	if rt.obs != nil {
+		rt.predictH.Observe(time.Since(start).Seconds())
+	}
+}
+
+// predictLine is runPrediction's body: the §3.3 hot-pair search over the
+// line and its neighbours.
+func (rt *Runtime) predictLine(line uint64, track *detect.Track) {
 	registered := false
 	for _, adj := range []uint64{line - 1, line + 1} {
 		if adj >= rt.mapping.Lines() { // also catches line-1 underflow at line 0
@@ -467,9 +498,6 @@ func (rt *Runtime) runPrediction(line uint64, track *detect.Track) {
 	}
 	if registered {
 		rt.vactive.Store(true)
-	}
-	if rt.obs != nil {
-		rt.predictH.Observe(time.Since(start).Seconds())
 	}
 }
 
@@ -549,18 +577,48 @@ func (rt *Runtime) wordsForSpan(span cacheline.Virtual) []report.WordDetail {
 
 // Report distills the runtime's state into a ranked report. Objects named
 // in false sharing findings are flagged in the heap so their memory is
-// never reused.
+// never reused. The distillation runs under the pprof label
+// predator_phase=report so CPU profiles attribute report generation
+// separately from instrumentation cost.
 func (rt *Runtime) Report() *report.Report {
 	var began time.Time
 	if rt.obs != nil {
 		began = time.Now()
 	}
+	var rep *report.Report
+	pprof.Do(context.Background(), pprof.Labels("predator_phase", "report"),
+		func(context.Context) { rep = rt.collectReport(true) })
+	if rt.obs != nil {
+		rt.reportH.Observe(time.Since(began).Seconds())
+		if rt.obs.Tracing() {
+			rt.obs.Emit(obs.Event{Type: obs.EvReport, Count: uint64(len(rep.Findings))})
+		}
+	}
+	return rep
+}
+
+// Provisional builds the same ranked report as Report but without side
+// effects: no objects are quarantined, no verification or report events are
+// emitted, and no report-time histograms are observed. It is safe to call
+// repeatedly during a live run — the diagnostics server serves it from
+// /findings — and leaves the eventual final Report unchanged.
+func (rt *Runtime) Provisional() *report.Report {
+	return rt.collectReport(false)
+}
+
+// collectReport walks the tracked and virtual lines and distills findings.
+// final gates the mutating and emitting behaviour reserved for the one
+// end-of-run Report: quarantining falsely-shared objects, verification
+// events, and the line-invalidation histogram.
+func (rt *Runtime) collectReport(final bool) *report.Report {
 	rt.flushMetrics()
 	rep := &report.Report{Geometry: rt.geom}
 
 	// Observed findings: tracked physical lines above the threshold.
 	rt.sh.ForEachTracked(func(line uint64, t *detect.Track) {
-		rt.lineInvH.Observe(float64(t.Invalidations()))
+		if final {
+			rt.lineInvH.Observe(float64(t.Invalidations()))
+		}
 		if t.Invalidations() < rt.cfg.ReportThreshold {
 			return
 		}
@@ -582,7 +640,7 @@ func (rt *Runtime) Report() *report.Report {
 
 	// Predicted findings: verified virtual lines above the threshold.
 	for _, v := range rt.vreg.Tracks() {
-		if rt.obs.Tracing() {
+		if final && rt.obs.Tracing() {
 			phase := "rejected"
 			if v.Invalidations() >= rt.cfg.ReportThreshold {
 				phase = "verified"
@@ -612,18 +670,14 @@ func (rt *Runtime) Report() *report.Report {
 	rep.Degraded = rt.degradedLines.Load() > 0 || rt.vreg.Rejected() > 0
 	rep.Rank()
 
-	// Quarantine falsely-shared objects against reuse.
-	for _, f := range rep.FalseSharing() {
-		for _, o := range f.Objects {
-			if !o.Global {
-				rt.heap.FlagObject(o.Start)
+	if final {
+		// Quarantine falsely-shared objects against reuse.
+		for _, f := range rep.FalseSharing() {
+			for _, o := range f.Objects {
+				if !o.Global {
+					rt.heap.FlagObject(o.Start)
+				}
 			}
-		}
-	}
-	if rt.obs != nil {
-		rt.reportH.Observe(time.Since(began).Seconds())
-		if rt.obs.Tracing() {
-			rt.obs.Emit(obs.Event{Type: obs.EvReport, Count: uint64(len(rep.Findings))})
 		}
 	}
 	return rep

@@ -282,6 +282,22 @@ func (t *Track) noteWindowPhase(phase, n uint64) {
 	}
 }
 
+// WindowPhase reports where the line currently sits in its sampling window
+// (§2.4.3): pos is the 0-based position the line's next access would take
+// within the window, and recording whether that access would be recorded
+// (it falls inside the burst). With sampling disabled pos is 0 and recording
+// is always true. Point-in-time: concurrent accesses advance the phase.
+func (t *Track) WindowPhase() (pos uint64, recording bool) {
+	if t.sampler.Window == 0 {
+		return 0, true
+	}
+	pos = t.accesses.Load() % t.sampler.Window
+	return pos, pos < t.sampler.Burst
+}
+
+// SamplerConfig returns the track's sampling policy.
+func (t *Track) SamplerConfig() Sampler { return t.sampler }
+
 // FlushMetrics pushes the exact recorded-access total into the registry
 // counter; the hot path batches pushes to every obs.SyncBatch-th access.
 // Safe to call on an unobserved track (no-op).

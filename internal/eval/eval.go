@@ -36,6 +36,10 @@ type Config struct {
 	// Observer, when non-nil, aggregates metrics and lifecycle events
 	// across every run the evaluation performs.
 	Observer *obs.Observer
+	// OnRuntime, when non-nil, receives each detection runtime the
+	// evaluation constructs, right before its workload runs. The live
+	// diagnostics server uses it to follow the evaluation from run to run.
+	OnRuntime func(*core.Runtime)
 }
 
 // Default returns the evaluation configuration scaled for the test-sized
@@ -202,12 +206,13 @@ func detect(cfg Config, workload string, mode harness.Mode, buggy bool, offset u
 	}
 	rc := cfg.Runtime
 	return harness.Execute(w, harness.Options{
-		Mode:     mode,
-		Threads:  cfg.Threads,
-		Scale:    cfg.Scale,
-		Buggy:    buggy,
-		Offset:   offset,
-		Runtime:  &rc,
-		Observer: cfg.Observer,
+		Mode:      mode,
+		Threads:   cfg.Threads,
+		Scale:     cfg.Scale,
+		Buggy:     buggy,
+		Offset:    offset,
+		Runtime:   &rc,
+		Observer:  cfg.Observer,
+		OnRuntime: cfg.OnRuntime,
 	})
 }

@@ -198,7 +198,7 @@ func Figure8(cfg Config, workloads []string) ([]Fig8Row, error) {
 			res, err := harness.Execute(w, harness.Options{
 				Mode: mode, Threads: cfg.Threads, Scale: cfg.Scale,
 				Buggy: true, Runtime: &rc, MeasureMemory: true,
-				Observer: cfg.Observer,
+				Observer: cfg.Observer, OnRuntime: cfg.OnRuntime,
 			})
 			if err != nil {
 				return 0, err
@@ -306,7 +306,7 @@ func Figure10(cfg Config) ([]Fig10Row, error) {
 				res, err := harness.Execute(w, harness.Options{
 					Mode: harness.ModePredict, Threads: cfg.Threads, Scale: cfg.Scale,
 					Buggy: true, Offset: offset, Runtime: &rc,
-					Observer: cfg.Observer,
+					Observer: cfg.Observer, OnRuntime: cfg.OnRuntime,
 				})
 				if err != nil {
 					return 0, err
@@ -319,7 +319,7 @@ func Figure10(cfg Config) ([]Fig10Row, error) {
 			res, err := harness.Execute(w, harness.Options{
 				Mode: harness.ModePredict, Threads: cfg.Threads, Scale: cfg.Scale,
 				Buggy: true, Offset: offset, Runtime: &rc,
-				Observer: cfg.Observer,
+				Observer: cfg.Observer, OnRuntime: cfg.OnRuntime,
 			})
 			if err != nil {
 				return nil, err

@@ -8,9 +8,11 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"runtime"
+	"runtime/pprof"
 	"sort"
 	"sync"
 	"time"
@@ -121,7 +123,12 @@ func (c *Ctx) Parallel(n int, name string, body func(t *instr.Thread, id int)) {
 			if slot != nil {
 				slot.WaitTurn()
 			}
-			body(th, id)
+			// Workload goroutines carry pprof labels so CPU profiles from
+			// the diagnostics server split workload time (and the
+			// instrumentation cost it pays inline) from detector phases.
+			pprof.Do(context.Background(),
+				pprof.Labels("predator_phase", "workload", "predator_worker", th.Name()),
+				func(context.Context) { body(th, id) })
 		}(th, slot, i)
 	}
 	close(start)
@@ -228,6 +235,11 @@ type Options struct {
 	// false for the resilience layer's fault-tolerant mode (recoverable
 	// instr.ErrOutOfHeap faults).
 	Strict *bool
+	// OnRuntime, when non-nil, receives the detection runtime right after
+	// construction, before the workload runs. The live diagnostics server
+	// uses it to attach the runtime as its scrape source; it is never
+	// called in ModeNative (no runtime exists).
+	OnRuntime func(*core.Runtime)
 }
 
 // normalized fills defaults.
@@ -374,6 +386,9 @@ func execute(w Workload, opts Options, heap *mem.Heap, sinkOverride instr.Sink) 
 		rt, err = core.NewRuntime(h, cfg)
 		if err != nil {
 			return nil, err
+		}
+		if opts.OnRuntime != nil {
+			opts.OnRuntime(rt)
 		}
 		sink = rt
 	}

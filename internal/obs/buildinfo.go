@@ -1,0 +1,83 @@
+package obs
+
+import (
+	"fmt"
+	"runtime"
+	"runtime/debug"
+)
+
+// BuildInfo identifies the running binary: module version, Go toolchain, and
+// (when the binary was built inside a git checkout) the VCS revision. Every
+// CLI's -version flag prints it, and RegisterBuildInfo exports it as the
+// predator_build_info gauge so scrapes can correlate metrics with builds.
+type BuildInfo struct {
+	Version   string // module version ("(devel)" for source builds)
+	GoVersion string // toolchain, e.g. "go1.22.1"
+	Revision  string // VCS revision hash ("" when unstamped)
+	Time      string // VCS commit time ("" when unstamped)
+	Dirty     bool   // VCS working tree had local modifications
+}
+
+// GetBuildInfo reads the binary's embedded build information. It degrades
+// gracefully: binaries without embedded info (some test builds) still get
+// the toolchain version and a "(devel)" module version.
+func GetBuildInfo() BuildInfo {
+	b := BuildInfo{Version: "(devel)", GoVersion: runtime.Version()}
+	info, ok := debug.ReadBuildInfo()
+	if !ok {
+		return b
+	}
+	if info.Main.Version != "" {
+		b.Version = info.Main.Version
+	}
+	for _, s := range info.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			b.Revision = s.Value
+		case "vcs.time":
+			b.Time = s.Value
+		case "vcs.modified":
+			b.Dirty = s.Value == "true"
+		}
+	}
+	return b
+}
+
+// ShortRevision returns the first 12 characters of the VCS revision, or ""
+// when the build is unstamped.
+func (b BuildInfo) ShortRevision() string {
+	if len(b.Revision) > 12 {
+		return b.Revision[:12]
+	}
+	return b.Revision
+}
+
+// String renders the build info the way -version prints it.
+func (b BuildInfo) String() string {
+	s := fmt.Sprintf("%s (%s)", b.Version, b.GoVersion)
+	if rev := b.ShortRevision(); rev != "" {
+		s += " rev " + rev
+		if b.Dirty {
+			s += "+dirty"
+		}
+	}
+	return s
+}
+
+// RegisterBuildInfo exports the binary's identity as the predator_build_info
+// info gauge (constant 1, payload in labels) and returns the info so CLIs
+// can also print it. Safe on a nil registry.
+func RegisterBuildInfo(reg *Registry, tool string) BuildInfo {
+	b := GetBuildInfo()
+	labels := map[string]string{
+		"tool":       tool,
+		"version":    b.Version,
+		"go_version": b.GoVersion,
+	}
+	if rev := b.ShortRevision(); rev != "" {
+		labels["revision"] = rev
+	}
+	reg.Info("predator_build_info",
+		"Build identity of the running binary (constant 1; payload in labels).", labels)
+	return b
+}

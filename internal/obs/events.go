@@ -115,6 +115,7 @@ type Observer struct {
 	sink    Sink
 	seq     atomic.Uint64
 	emitted *Counter
+	self    *SelfProfiler // nil unless EnableSelfProfile was called
 }
 
 // New builds an Observer over a registry and an event sink (either or both
@@ -127,6 +128,31 @@ func New(reg *Registry, sink Sink) *Observer {
 			"Lifecycle events delivered to the attached sink.")
 	}
 	return o
+}
+
+// EnableSelfProfile attaches a runtime self-profiler to the observer:
+// sampled track-path latency, the raw-vs-instrumented overhead meter, and Go
+// runtime health gauges, all registered on the observer's registry. Call
+// before the observer is handed to a runtime (the runtime captures the
+// profiler at construction); calling again returns the existing profiler.
+// Nil-safe: a nil observer (or one without a registry) returns nil.
+func (o *Observer) EnableSelfProfile() *SelfProfiler {
+	if o == nil || o.reg == nil {
+		return nil
+	}
+	if o.self == nil {
+		o.self = NewSelfProfiler(o.reg)
+	}
+	return o.self
+}
+
+// Self returns the observer's self-profiler, or nil when self-profiling was
+// never enabled (the default). Nil-safe.
+func (o *Observer) Self() *SelfProfiler {
+	if o == nil {
+		return nil
+	}
+	return o.self
 }
 
 // Metrics returns the observer's registry (nil on a nil observer).

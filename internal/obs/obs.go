@@ -18,6 +18,7 @@ import (
 	"math"
 	"regexp"
 	"sort"
+	"strconv"
 	"sync"
 	"sync/atomic"
 )
@@ -188,6 +189,7 @@ type metric struct {
 	gauge   *Gauge
 	hist    *Histogram
 	fn      func() float64 // gauge collector; nil for direct instruments
+	labels  string         // pre-rendered {k="v",...} for info gauges; "" otherwise
 }
 
 // validName matches the Prometheus metric name grammar.
@@ -267,6 +269,33 @@ func (r *Registry) Histogram(name, help string, bounds []float64) *Histogram {
 		m.hist = &Histogram{bounds: b, counts: make([]atomic.Uint64, len(b)+1)}
 	}
 	return m.hist
+}
+
+// Info registers an info-style gauge: a constant 1 carrying its payload in
+// Prometheus labels (the `predator_build_info` idiom). Label values are
+// escaped at registration; re-registering a name replaces the label set.
+// Info metrics render as `name{k="v",...} 1` and appear in Snapshot as 1.
+func (r *Registry) Info(name, help string, labels map[string]string) {
+	if r == nil {
+		return
+	}
+	m := r.lookup(name, help, KindGauge)
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b []byte
+	for i, k := range keys {
+		if i > 0 {
+			b = append(b, ',')
+		}
+		b = append(b, k...)
+		b = append(b, '=')
+		b = strconv.AppendQuote(b, labels[k])
+	}
+	m.labels = "{" + string(b) + "}"
+	m.fn = func() float64 { return 1 }
 }
 
 // GaugeFunc registers a gauge whose value is computed at snapshot time. The

@@ -30,7 +30,7 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 		fmt.Fprintf(bw, "# TYPE %s %s\n", m.name, m.kind)
 		switch {
 		case m.fn != nil:
-			fmt.Fprintf(bw, "%s %s\n", m.name, formatFloat(m.fn()))
+			fmt.Fprintf(bw, "%s%s %s\n", m.name, m.labels, formatFloat(m.fn()))
 		case m.kind == KindCounter:
 			fmt.Fprintf(bw, "%s %d\n", m.name, m.counter.Value())
 		case m.kind == KindGauge:

@@ -376,6 +376,69 @@ func (r *Registry) Route(tid int, addr, size uint64, isWrite bool) int {
 	return inv
 }
 
+// VSnapshot is an immutable point-in-time copy of one virtual line's
+// verification state, shaped for the live diagnostics API (JSON field names
+// are part of the /hotlines schema).
+type VSnapshot struct {
+	Start         uint64 `json:"start"`            // span start address
+	End           uint64 `json:"end"`              // span end (exclusive)
+	Kind          string `json:"kind"`             // Kind.String()
+	Factor        int    `json:"factor,omitempty"` // fusion factor (doubled-line kinds)
+	Estimate      uint64 `json:"estimate"`         // conservative invalidation estimate (§3.3)
+	Accesses      uint64 `json:"accesses"`         // accesses overlapping the span
+	Recorded      uint64 `json:"recorded"`         // post-sampling recorded accesses
+	Invalidations uint64 `json:"invalidations"`    // verified invalidations (§3.4)
+}
+
+// snapshotOf copies one VTrack's counters.
+func snapshotOf(v *VTrack) VSnapshot {
+	return VSnapshot{
+		Start:         v.Pair.Span.Start,
+		End:           v.Pair.Span.End,
+		Kind:          v.Pair.Kind.String(),
+		Factor:        v.Pair.Factor,
+		Estimate:      v.Pair.Estimate,
+		Accesses:      v.Accesses(),
+		Recorded:      v.Recorded(),
+		Invalidations: v.Invalidations(),
+	}
+}
+
+// SnapshotsOverlapping returns snapshots of every virtual line overlapping
+// the address range [start, end), deduplicated (a virtual line spanning two
+// physical lines appears once). Safe for concurrent use with Route/Add.
+func (r *Registry) SnapshotsOverlapping(start, end uint64) []VSnapshot {
+	if end <= start {
+		return nil
+	}
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	var out []VSnapshot
+	seen := make(map[*VTrack]bool)
+	for l := r.geom.Index(start); l <= r.geom.Index(end-1); l++ {
+		for _, v := range r.byLine[l] {
+			if seen[v] {
+				continue
+			}
+			seen[v] = true
+			out = append(out, snapshotOf(v))
+		}
+	}
+	return out
+}
+
+// Snapshots returns snapshots of every registered virtual line in
+// registration order.
+func (r *Registry) Snapshots() []VSnapshot {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]VSnapshot, len(r.all))
+	for i, v := range r.all {
+		out[i] = snapshotOf(v)
+	}
+	return out
+}
+
 // Empty reports whether no virtual lines are registered.
 func (r *Registry) Empty() bool {
 	r.mu.RLock()

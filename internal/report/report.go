@@ -258,6 +258,32 @@ func (r *Report) Observed() []Finding {
 	return out
 }
 
+// Counts summarizes a report for dashboards and the diagnostics server:
+// total findings, how many are false/mixed sharing, and the observed vs
+// predicted split.
+type Counts struct {
+	Findings     int `json:"findings"`
+	FalseSharing int `json:"false_sharing"`
+	Observed     int `json:"observed"`
+	Predicted    int `json:"predicted"`
+}
+
+// Counts tallies the report's findings by classification and source.
+func (r *Report) Counts() Counts {
+	c := Counts{Findings: len(r.Findings)}
+	for _, f := range r.Findings {
+		if f.Sharing == SharingFalse || f.Sharing == SharingMixed {
+			c.FalseSharing++
+		}
+		if f.Source == SourceObserved {
+			c.Observed++
+		} else {
+			c.Predicted++
+		}
+	}
+	return c
+}
+
 // Predicted returns findings established only through virtual lines.
 func (r *Report) Predicted() []Finding {
 	var out []Finding

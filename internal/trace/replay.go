@@ -32,6 +32,11 @@ type ReplayOptions struct {
 	// heap errors are counted instead of aborting, so a damaged trace still
 	// yields a report.
 	Salvage bool
+	// OnRuntime, when non-nil, receives the replay runtime right after
+	// construction, before any event streams through it. The live
+	// diagnostics server uses it to attach the runtime as its scrape
+	// source.
+	OnRuntime func(*core.Runtime)
 }
 
 // Replay streams a trace through a fresh PREDATOR runtime configured with
@@ -81,6 +86,9 @@ func ReplayWithOptions(r io.Reader, cfg core.Config, opts ReplayOptions) (*Repla
 	rt, err := core.NewRuntime(h, cfg)
 	if err != nil {
 		return nil, err
+	}
+	if opts.OnRuntime != nil {
+		opts.OnRuntime(rt)
 	}
 	res := &ReplayResult{Threads: make(map[int]string)}
 	for {

@@ -62,6 +62,44 @@ func TestNoSinkObserverOverhead(t *testing.T) {
 	}
 }
 
+// TestSelfProfileOverhead extends the contract to runtime self-profiling:
+// when a diagnostics server is attached (predator -diag-addr) the runtime
+// times one access per sync batch and maintains an overhead meter. That
+// sampled instrumentation must also stay under 5% relative to the plain
+// metrics observer, so leaving -diag-addr unset never pays for it and
+// enabling it costs next to nothing.
+func TestSelfProfileOverhead(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing test")
+	}
+	const trials, maxAttempts, limit = 5, 3, 1.05
+	withSelf := func() *predator.Observer {
+		o := predator.NewObserver(nil)
+		o.EnableSelfProfile()
+		return o
+	}
+	for attempt := 1; ; attempt++ {
+		base, profiled := time.Duration(1<<62), time.Duration(1<<62)
+		for i := 0; i < trials; i++ {
+			if d := hotLoop(t, predator.NewObserver(nil)); d < base {
+				base = d
+			}
+			if d := hotLoop(t, withSelf()); d < profiled {
+				profiled = d
+			}
+		}
+		ratio := float64(profiled) / float64(base)
+		t.Logf("attempt %d: base=%v profiled=%v ratio=%.3f", attempt, base, profiled, ratio)
+		if ratio <= limit {
+			return
+		}
+		if attempt >= maxAttempts {
+			t.Fatalf("self-profile overhead %.1f%% exceeds %.0f%% (base=%v profiled=%v)",
+				(ratio-1)*100, (limit-1)*100, base, profiled)
+		}
+	}
+}
+
 // BenchmarkHotPathNilObserver and BenchmarkHotPathMetricsObserver publish
 // the absolute numbers behind the overhead contract.
 func BenchmarkHotPathNilObserver(b *testing.B) {
