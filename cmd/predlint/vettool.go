@@ -1,0 +1,145 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+
+	"predator/internal/staticfs"
+	"predator/internal/staticfs/analysis"
+	"predator/internal/staticfs/load"
+)
+
+// go vet -vettool support. cmd/go drives a vet tool with three calls:
+// `tool -V=full` (build ID handshake) and `tool -flags` (flag discovery),
+// both handled in main, and then `tool <flags> <objdir>/vet.cfg` once per
+// package, handled here: the cfg file carries the package's file set and
+// an export-data map for its dependencies, so type-checking needs no
+// go list round trips at all.
+
+// vetConfig mirrors the fields of cmd/go's per-package vet.cfg this tool
+// consumes.
+type vetConfig struct {
+	Compiler    string
+	Dir         string
+	ImportPath  string
+	GoFiles     []string
+	ImportMap   map[string]string
+	PackageFile map[string]string
+	VetxOnly    bool
+	VetxOutput  string
+
+	SucceedOnTypecheckFailure bool
+}
+
+// vetFlagSchema is the -flags handshake payload: the flags go vet may
+// forward to this tool.
+func vetFlagSchema() string {
+	schema := []struct {
+		Name  string `json:"Name"`
+		Bool  bool   `json:"Bool"`
+		Usage string `json:"Usage"`
+	}{
+		{Name: "line", Bool: false, Usage: "assumed cache line size in bytes"},
+	}
+	out, _ := json.Marshal(schema)
+	return string(out)
+}
+
+// runVet executes one vet.cfg unit of work and returns the process exit
+// code (0 clean, 1 diagnostics, 2 protocol/load failure).
+func runVet(cfgPath string, lintCfg staticfs.Config) int {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "predlint: %v\n", err)
+		return 2
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "predlint: parsing %s: %v\n", cfgPath, err)
+		return 2
+	}
+
+	// The vetx file must exist for cmd/go's caching even though this tool
+	// exchanges no facts with other vet runs.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte("predlint: no facts\n"), 0o666); err != nil {
+			fmt.Fprintf(os.Stderr, "predlint: %v\n", err)
+			return 2
+		}
+	}
+	if cfg.VetxOnly {
+		return 0
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				return 0
+			}
+			fmt.Fprintf(os.Stderr, "predlint: %v\n", err)
+			return 2
+		}
+		files = append(files, f)
+	}
+
+	// Dependencies come from the compiler's export data, exactly as the
+	// compiler saw them — no source re-checking in vet mode.
+	lookup := func(path string) (io.ReadCloser, error) {
+		if mapped, ok := cfg.ImportMap[path]; ok {
+			path = mapped
+		}
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+	compiler := cfg.Compiler
+	if compiler == "" {
+		compiler = "gc"
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	tcfg := types.Config{
+		Importer: importer.ForCompiler(fset, compiler, lookup),
+		Sizes:    load.Sizes(),
+	}
+	pkg, err := tcfg.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintf(os.Stderr, "predlint: type-checking %s: %v\n", cfg.ImportPath, err)
+		return 2
+	}
+
+	exit := 0
+	for _, a := range staticfs.Analyzers(lintCfg) {
+		diags, err := analysis.Run(a, fset, files, pkg, info, tcfg.Sizes)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "predlint: %s: %v\n", a.Name, err)
+			return 2
+		}
+		for _, d := range diags {
+			fmt.Fprintf(os.Stderr, "%s: %s\n", fset.Position(d.Pos), d.Message)
+			exit = 1
+		}
+	}
+	return exit
+}

@@ -148,7 +148,10 @@ type Runtime struct {
 	vactive       atomic.Bool     // fast-path gate: any virtual lines registered?
 	predictedBits []atomic.Uint32 // one bit per line: hot-pair search already ran
 
+	// predlint padcheck: pads keep each contended counter on its own cache line.
+	_             [32]byte
 	totalAccesses atomic.Uint64
+	_             [56]byte
 	totalWrites   atomic.Uint64
 
 	// Resource governor (tentpole: graceful degradation). trackBudget is
@@ -157,7 +160,9 @@ type Runtime struct {
 	// the coldest line under govMu.
 	trackBudget   *resilience.Budget
 	govMu         sync.Mutex
+	_             [40]byte
 	evictions     atomic.Uint64
+	_             [56]byte
 	degradedLines atomic.Int64
 
 	// Observability (nil when cfg.Observer is nil; every instrument method
@@ -168,7 +173,8 @@ type Runtime struct {
 	// predictable branch per access instead of atomic adds.
 	obs            *obs.Observer
 	self           *obs.SelfProfiler // sampled hot-path self-timing; usually nil
-	obsInvs        atomic.Uint64     // invalidations seen while observed
+	_              [40]byte
+	obsInvs        atomic.Uint64 // invalidations seen while observed
 	pushedAccesses atomic.Uint64
 	pushedWrites   atomic.Uint64
 	pushedInvs     atomic.Uint64

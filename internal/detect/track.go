@@ -33,6 +33,8 @@ const (
 // paper's permanent shared-mark: a single main-thread read of a worker's
 // result word must not reclassify megabytes of false sharing as true
 // sharing.
+//
+//predlint:ignore padcheck per-word shadow record: padding to a line per word would defeat word-granular tracking and multiply shadow memory 8x
 type Word struct {
 	reads   atomic.Uint64
 	writes  atomic.Uint64
@@ -122,6 +124,8 @@ func (s Sampler) Rate() float64 {
 }
 
 // Track is the detailed tracking state of one cache line.
+//
+//predlint:ignore padcheck dense per-line shadow state: one Track per tracked line, so line-padding every counter would blow up shadow memory
 type Track struct {
 	lineBase uint64 // first address of the tracked line
 	geom     cacheline.Geometry

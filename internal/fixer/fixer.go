@@ -105,13 +105,14 @@ func extents(p *report.Problem) []threadExtent {
 	return out
 }
 
-// padUnit is the stride quantum prescriptions round up to: twice the
+// PadUnit is the stride quantum prescriptions round up to: twice the
 // physical line size, immune to both the observed sharing and the
-// doubled-line prediction.
-const padUnit = 2 * cacheline.DefaultSize
+// doubled-line prediction (§3.3). The static analyzers (internal/staticfs)
+// prescribe the same quantum so static and dynamic fixes agree.
+const PadUnit = 2 * cacheline.DefaultSize
 
 // recommendStride returns the smallest safe per-thread stride: the largest
-// per-thread extent rounded up to a padUnit multiple.
+// per-thread extent rounded up to a PadUnit multiple.
 func recommendStride(exts []threadExtent) uint64 {
 	var maxExtent uint64
 	for _, e := range exts {
@@ -119,9 +120,9 @@ func recommendStride(exts []threadExtent) uint64 {
 			maxExtent = ext
 		}
 	}
-	stride := uint64(padUnit)
+	stride := uint64(PadUnit)
 	for stride < maxExtent {
-		stride += padUnit
+		stride += PadUnit
 	}
 	return stride
 }

@@ -2,6 +2,7 @@ package harness
 
 import (
 	"errors"
+	"sync/atomic"
 	"testing"
 
 	"predator/internal/core"
@@ -214,9 +215,11 @@ func TestExecuteSimRequiresSink(t *testing.T) {
 	}
 }
 
-type countingSink struct{ n int }
+// countingSink counts deliveries; sinks are invoked from every worker
+// goroutine concurrently (core.Runtime is one), so the counter is atomic.
+type countingSink struct{ n atomic.Uint64 }
 
-func (c *countingSink) HandleAccess(int, uint64, uint64, bool) { c.n++ }
+func (c *countingSink) HandleAccess(int, uint64, uint64, bool) { c.n.Add(1) }
 
 func TestExecuteSimDeliversAllAccesses(t *testing.T) {
 	sink := &countingSink{}
@@ -224,7 +227,7 @@ func TestExecuteSimDeliversAllAccesses(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if sink.n == 0 {
+	if sink.n.Load() == 0 {
 		t.Error("sink saw nothing")
 	}
 	if res.Report != nil {

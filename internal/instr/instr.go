@@ -95,11 +95,18 @@ type Instrumenter struct {
 	sink   Sink
 	policy Policy
 
+	// predlint padcheck: pads keep each contended counter on its own cache line.
+	_          [40]byte
 	enabled    atomic.Bool
+	_          [60]byte
 	strict     atomic.Bool // panic on out-of-heap access (default true)
+	_          [56]byte
 	nextTID    atomic.Int64
+	_          [56]byte
 	delivered  atomic.Uint64
+	_          [56]byte
 	suppressed atomic.Uint64
+	_          [56]byte
 	faults     atomic.Uint64 // out-of-heap accesses absorbed (non-strict)
 
 	// Observability (nil when unobserved; set via Observe before threads

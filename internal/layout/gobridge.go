@@ -1,0 +1,100 @@
+package layout
+
+import (
+	"fmt"
+	"go/types"
+)
+
+// This file bridges the package's C-style offset model to Go's own layout
+// authority, go/types.Sizes. The static analyzers (internal/staticfs) build
+// their fix prescriptions on layout.Struct, but the structs they inspect are
+// Go structs laid out by the gc compiler — so every conversion re-derives
+// the offsets both ways and fails loudly on divergence instead of silently
+// prescribing a fix for a layout the compiler does not produce.
+//
+// Known divergences between the two models, enforced by FromGoStruct:
+//
+//   - Zero-sized fields (struct{}, [0]T): the C model has no zero-sized
+//     members (Field.Size must be > 0), and gc additionally pads a
+//     *trailing* zero-sized field to keep past-the-end pointers inside the
+//     object — an effect the C model cannot express. Such structs are
+//     rejected.
+//   - Anonymous padding: the C model names every member, so Go blank
+//     fields ("_") are renamed _padN during conversion.
+//
+// For ordinary scalar/pointer/array/nested-struct members the two models
+// agree exactly (both place fields at the next offset aligned to the
+// member's requirement and round the total size up to the strictest member
+// alignment); the parity test locks this in for the paper's Figure 6 struct
+// and a set of mixed layouts.
+
+// FromGoStruct converts a go/types struct to the C-style layout model using
+// the given sizes (normally load.Sizes(), the gc model of the host
+// platform). The returned layout is verified field by field against
+// sizes.Offsetsof and sizes.Sizeof; any disagreement is an error.
+func FromGoStruct(name string, st *types.Struct, sizes types.Sizes) (*Struct, error) {
+	n := st.NumFields()
+	if n == 0 {
+		return nil, fmt.Errorf("layout: struct %s has no fields", name)
+	}
+	fields := make([]Field, 0, n)
+	tfields := make([]*types.Var, 0, n)
+	for i := 0; i < n; i++ {
+		f := st.Field(i)
+		tfields = append(tfields, f)
+		fname := f.Name()
+		if fname == "_" || fname == "" {
+			fname = fmt.Sprintf("_pad%d", i)
+		}
+		lf, err := fieldFromGo(fname, f.Type(), sizes)
+		if err != nil {
+			return nil, fmt.Errorf("layout: struct %s: %v", name, err)
+		}
+		fields = append(fields, lf)
+	}
+	s, err := New(name, fields...)
+	if err != nil {
+		return nil, err
+	}
+
+	// Parity check against the compiler's model.
+	goOffsets := sizes.Offsetsof(tfields)
+	for i, p := range s.Fields {
+		if uint64(goOffsets[i]) != p.Offset {
+			return nil, fmt.Errorf("layout: struct %s field %s: C model offset %d != go/types offset %d",
+				name, p.Name, p.Offset, goOffsets[i])
+		}
+	}
+	if goSize := uint64(sizes.Sizeof(st)); goSize != s.Size() {
+		return nil, fmt.Errorf("layout: struct %s: C model size %d != go/types size %d (trailing padding divergence)",
+			name, s.Size(), goSize)
+	}
+	return s, nil
+}
+
+// fieldFromGo maps one Go field type onto the C field model: arrays keep
+// their element count, everything else is an opaque (size, align) unit.
+func fieldFromGo(name string, t types.Type, sizes types.Sizes) (Field, error) {
+	if arr, ok := t.Underlying().(*types.Array); ok && arr.Len() > 0 {
+		elem := arr.Elem()
+		esz := sizes.Sizeof(elem)
+		if esz <= 0 {
+			return Field{}, fmt.Errorf("field %s: zero-sized array element %s not representable in the C model", name, elem)
+		}
+		return Field{
+			Name:  name,
+			Size:  uint64(esz),
+			Align: uint64(sizes.Alignof(elem)),
+			Count: uint64(arr.Len()),
+		}, nil
+	}
+	sz := sizes.Sizeof(t)
+	if sz <= 0 {
+		return Field{}, fmt.Errorf("field %s: zero-sized type %s not representable in the C model", name, t)
+	}
+	return Field{
+		Name:  name,
+		Size:  uint64(sz),
+		Align: uint64(sizes.Alignof(t)),
+	}, nil
+}

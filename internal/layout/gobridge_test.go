@@ -1,0 +1,198 @@
+package layout
+
+import (
+	"go/token"
+	"go/types"
+	"reflect"
+	"strings"
+	"testing"
+	"unsafe"
+)
+
+// gcSizes is the compiler's layout model for the host platform — the same
+// source of truth internal/staticfs/load.Sizes uses.
+func gcSizes(t *testing.T) types.Sizes {
+	t.Helper()
+	s := types.SizesFor("gc", "amd64")
+	if s == nil {
+		t.Fatal("no gc sizes for amd64")
+	}
+	return s
+}
+
+// mkStruct builds a go/types struct from (name, type) pairs.
+func mkStruct(fields ...*types.Var) *types.Struct {
+	return types.NewStruct(fields, nil)
+}
+
+func v(name string, t types.Type) *types.Var {
+	return types.NewVar(token.NoPos, nil, name, t)
+}
+
+// figure6Type is the paper's lreg_args struct (Figure 6) as go/types: the
+// pthread_t slot, the points pointer, the element count, and the five
+// 64-bit accumulators, packing to exactly 64 bytes on LP64 — one thread
+// slot per cache line only if the array starts line-aligned.
+func figure6Type() *types.Struct {
+	i64 := types.Typ[types.Int64]
+	return mkStruct(
+		v("tid", types.Typ[types.Uint64]),
+		v("points", types.NewPointer(types.Typ[types.Int32])),
+		v("num_elems", types.Typ[types.Int32]),
+		v("SX", i64), v("SY", i64), v("SXX", i64), v("SYY", i64), v("SXY", i64),
+	)
+}
+
+// figure6Go is the same struct as compiled Go, for the reflect leg of the
+// parity check.
+type figure6Go struct {
+	tid      uint64
+	points   *int32
+	numElems int32
+	SX       int64
+	SY       int64
+	SXX      int64
+	SYY      int64
+	SXY      int64
+}
+
+// TestParityFigure6 locks in three-way agreement on the paper's canonical
+// struct: the C offset model (layout.New), the type-checker's model
+// (types.Sizes), and the running compiler (reflect).
+func TestParityFigure6(t *testing.T) {
+	st, err := FromGoStruct("lreg_args", figure6Type(), gcSizes(t))
+	if err != nil {
+		// FromGoStruct verifies the C model against types.Sizes
+		// internally, so an error here IS a model divergence.
+		t.Fatalf("C model vs go/types diverged: %v", err)
+	}
+	if st.Size() != 64 {
+		t.Fatalf("lreg_args size = %d, want 64", st.Size())
+	}
+
+	rt := reflect.TypeOf(figure6Go{})
+	if uint64(rt.Size()) != st.Size() {
+		t.Errorf("reflect size %d != layout size %d", rt.Size(), st.Size())
+	}
+	for i := 0; i < rt.NumField(); i++ {
+		got := st.Fields[i].Offset
+		want := uint64(rt.Field(i).Offset)
+		if got != want {
+			t.Errorf("field %s: layout offset %d, compiler offset %d",
+				rt.Field(i).Name, got, want)
+		}
+	}
+}
+
+// TestParityMixedLayouts covers alignment-hole cases: small scalars, byte
+// arrays, nested structs as opaque units, and blank padding fields.
+func TestParityMixedLayouts(t *testing.T) {
+	sizes := gcSizes(t)
+
+	type mixedGo struct {
+		b bool
+		x int64
+		c int32
+		a [3]byte
+		s int16
+	}
+	mixed := mkStruct(
+		v("b", types.Typ[types.Bool]),
+		v("x", types.Typ[types.Int64]),
+		v("c", types.Typ[types.Int32]),
+		v("a", types.NewArray(types.Typ[types.Byte], 3)),
+		v("s", types.Typ[types.Int16]),
+	)
+
+	inner := mkStruct(v("a", types.Typ[types.Int32]), v("b", types.Typ[types.Byte]))
+	type innerGo struct {
+		a int32
+		b byte
+	}
+	type nestedGo struct {
+		in innerGo
+		y  int64
+	}
+	nested := mkStruct(v("in", inner), v("y", types.Typ[types.Int64]))
+
+	type paddedGo struct {
+		n int64
+		_ [56]byte
+	}
+	padded := mkStruct(
+		v("n", types.Typ[types.Int64]),
+		v("_", types.NewArray(types.Typ[types.Byte], 56)),
+	)
+
+	cases := []struct {
+		name string
+		st   *types.Struct
+		rt   reflect.Type
+	}{
+		{"mixed", mixed, reflect.TypeOf(mixedGo{})},
+		{"nested", nested, reflect.TypeOf(nestedGo{})},
+		{"padded", padded, reflect.TypeOf(paddedGo{})},
+	}
+	for _, c := range cases {
+		st, err := FromGoStruct(c.name, c.st, sizes)
+		if err != nil {
+			t.Errorf("%s: C model vs go/types diverged: %v", c.name, err)
+			continue
+		}
+		if uint64(c.rt.Size()) != st.Size() {
+			t.Errorf("%s: reflect size %d != layout size %d", c.name, c.rt.Size(), st.Size())
+		}
+		for i := 0; i < c.rt.NumField(); i++ {
+			if got, want := st.Fields[i].Offset, uint64(c.rt.Field(i).Offset); got != want {
+				t.Errorf("%s.%s: layout offset %d, compiler offset %d",
+					c.name, c.rt.Field(i).Name, got, want)
+			}
+		}
+	}
+}
+
+// TestParityZeroSizedDivergence documents the one known divergence: gc pads
+// a trailing zero-sized field (so &s.z never points past the object), which
+// the C model cannot express — FromGoStruct must refuse rather than model
+// it wrong.
+func TestParityZeroSizedDivergence(t *testing.T) {
+	zs := mkStruct(
+		v("a", types.Typ[types.Int64]),
+		v("z", mkStruct()),
+	)
+	if _, err := FromGoStruct("zs", zs, gcSizes(t)); err == nil {
+		t.Fatal("zero-sized trailing field accepted; the C model cannot represent gc's trailing pad")
+	} else if !strings.Contains(err.Error(), "zero-sized") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+
+	// The compiler effect being dodged: the zero-sized trailing field
+	// makes the struct wider than the sum of its parts.
+	type zsGo struct {
+		a int64
+		z struct{}
+	}
+	if unsafe.Sizeof(zsGo{}) == 8 {
+		t.Log("note: this toolchain does not pad trailing zero-sized fields")
+	}
+}
+
+// TestFromGoStructPadTo ties the bridge to the prescription path: a Go
+// struct converted to the C model and padded with PadTo must stop sharing
+// lines at any stride multiple of the line size.
+func TestFromGoStructPadTo(t *testing.T) {
+	st, err := FromGoStruct("lreg_args", figure6Type(), gcSizes(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	padded, err := st.PadTo(128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if padded.Size() != 128 {
+		t.Fatalf("padded size = %d, want 128", padded.Size())
+	}
+	if padded.SharedLines(geom, 0) {
+		t.Error("padded layout still shares lines at aligned placement")
+	}
+}

@@ -182,6 +182,8 @@ func FindPairsFused(cur, adj *detect.Track, geom cacheline.Geometry, fuseFactors
 // VTrack verifies one predicted virtual line (paper §3.4): it owns a history
 // table and counts real cache invalidations among the accesses that fall
 // inside the virtual line's span.
+//
+//predlint:ignore padcheck allocation-dense per-virtual-line state (one VTrack per predicted line); counters are bumped on the sampled path only
 type VTrack struct {
 	Pair HotPair // provenance: the hot pair that created this track
 

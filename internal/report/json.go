@@ -2,6 +2,8 @@ package report
 
 import (
 	"encoding/json"
+	"fmt"
+	"os"
 
 	"predator/internal/detect"
 )
@@ -123,6 +125,21 @@ func (r *Report) ToJSON() JSONReport {
 // MarshalIndentJSON renders the report as pretty-printed JSON.
 func (r *Report) MarshalIndentJSON() ([]byte, error) {
 	return json.MarshalIndent(r.ToJSON(), "", "  ")
+}
+
+// LoadJSON reads a machine-readable report back from a file, the ingestion
+// half of the schema: what the CLIs write with MarshalIndentJSON, the
+// static cross-check (predlint -report) consumes here.
+func LoadJSON(path string) (*JSONReport, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep JSONReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return nil, fmt.Errorf("report: parsing %s: %v", path, err)
+	}
+	return &rep, nil
 }
 
 // itoa avoids importing strconv for one tiny case.

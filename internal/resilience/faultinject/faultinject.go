@@ -120,9 +120,13 @@ func (in *Injector) Truncate(data []byte, minKeep int) ([]byte, int) {
 // panicEvery deliveries panics regardless of interleaving.
 type FailingSink struct {
 	panicEvery uint64
-	calls      atomic.Uint64
-	delivered  atomic.Uint64
-	panics     atomic.Uint64
+	// predlint padcheck: pads keep each contended counter on its own cache line.
+	_         [56]byte
+	calls     atomic.Uint64
+	_         [56]byte
+	delivered atomic.Uint64
+	_         [56]byte
+	panics    atomic.Uint64
 }
 
 // NewFailingSink builds a sink that panics on every n-th Emit (n >= 1; n == 1

@@ -37,9 +37,12 @@ const DefaultPanicLimit = 3
 // panics the component is quarantined: Run skips the function and returns
 // false immediately. Guard is safe for concurrent use.
 type Guard struct {
-	name         string
-	limit        uint64
+	name  string
+	limit uint64
+	// predlint padcheck: pads keep each contended counter on its own cache line.
+	_            [40]byte
 	panics       atomic.Uint64
+	_            [56]byte
 	quarantined  atomic.Bool
 	onQuarantine func(name string, panics uint64) // runs once, at quarantine
 }
@@ -160,8 +163,11 @@ func (s *SinkGuard) Quarantined() bool {
 // unlimited. Budget is safe for concurrent use.
 type Budget struct {
 	limit int64
-	used  atomic.Int64
-	full  atomic.Uint64 // rejected acquisitions
+	// predlint padcheck: pads keep each contended counter on its own cache line.
+	_    [56]byte
+	used atomic.Int64
+	_    [56]byte
+	full atomic.Uint64 // rejected acquisitions
 }
 
 // NewBudget builds a budget with the given limit; limit <= 0 is unlimited.

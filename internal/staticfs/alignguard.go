@@ -1,0 +1,31 @@
+package staticfs
+
+import (
+	"predator/internal/staticfs/analysis"
+)
+
+// alignguard is the static analogue of the paper's §3 alignment
+// prediction. The dynamic detector reports structures that are clean at
+// their observed placement but would falsely share at a different base
+// address; statically, a parallel-consumed slice whose element size is
+// not a multiple of the line size has exactly that property — some slot
+// boundary always falls mid-line, and which workers pay for it depends
+// only on where the allocator happens to place the backing array.
+
+const alignguardDoc = `report per-worker slice slots whose size makes sharing placement-dependent
+
+Elements at least one cache line large but not a line-size multiple
+straddle line boundaries: adjacent workers share the straddled line, and
+the victims change with the array's base address (the paper's §3
+alignment sensitivity). The fix pads the element to a line-size multiple.`
+
+// NewAlignguard builds the alignguard analyzer for cfg.
+func NewAlignguard(cfg Config) *analysis.Analyzer {
+	return &analysis.Analyzer{
+		Name: "alignguard",
+		Doc:  alignguardDoc,
+		Run: func(pass *analysis.Pass) (interface{}, error) {
+			return runParallelSlots(pass, cfg, "alignguard")
+		},
+	}
+}

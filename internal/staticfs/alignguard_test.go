@@ -1,0 +1,31 @@
+package staticfs
+
+import (
+	"strings"
+	"testing"
+
+	"predator/internal/staticfs/analysis/analysistest"
+)
+
+func TestAlignguardGolden(t *testing.T) {
+	results := analysistest.Run(t, "testdata", "alignguard", Padcheck, Sharedindex, Alignguard)
+
+	var found bool
+	for _, d := range results[2].Diagnostics {
+		if d.Category != "out" {
+			continue
+		}
+		found = true
+		// stats (72 bytes) pads to the 128-byte stride with 56 bytes.
+		if len(d.SuggestedFixes) != 1 {
+			t.Fatalf("out: got %d fixes, want 1", len(d.SuggestedFixes))
+		}
+		fix := d.SuggestedFixes[0]
+		if len(fix.TextEdits) != 1 || !strings.Contains(string(fix.TextEdits[0].NewText), "[56]byte") {
+			t.Errorf("out fix edits = %+v, want one 56-byte pad", fix.TextEdits)
+		}
+	}
+	if !found {
+		t.Error("no alignguard diagnostic for out")
+	}
+}

@@ -1,0 +1,119 @@
+// Package analysistest runs analyzers over golden packages and checks their
+// diagnostics against expectations written in the source, mirroring
+// golang.org/x/tools/go/analysis/analysistest. An expectation is a comment
+// of the form
+//
+//	// want `regexp`
+//
+// on the line the diagnostic must land on; several backquoted regexps in one
+// comment expect several diagnostics on that line. Every diagnostic must be
+// wanted and every want must be matched, so golden packages double as both
+// positive and "must stay clean" fixtures.
+package analysistest
+
+import (
+	"go/token"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+
+	"predator/internal/staticfs/analysis"
+	"predator/internal/staticfs/load"
+)
+
+// Result is one analyzer's outcome over one golden package.
+type Result struct {
+	Pkg         *load.Package
+	Diagnostics []analysis.Diagnostic
+}
+
+// wantRe extracts the backquoted patterns of a want comment.
+var wantRe = regexp.MustCompile("`([^`]*)`")
+
+// expectation is one want: a pattern awaiting a diagnostic on its line.
+type expectation struct {
+	file    string
+	line    int
+	pattern *regexp.Regexp
+	matched bool
+}
+
+// Run loads testdata/src/<pkgname>, applies each analyzer, and reports any
+// mismatch between produced diagnostics and the package's want comments.
+// It returns the per-analyzer results so tests can further inspect
+// suggested fixes.
+func Run(t *testing.T, testdata string, pkgname string, analyzers ...*analysis.Analyzer) []Result {
+	t.Helper()
+	dir := filepath.Join(testdata, "src", pkgname)
+	pkg, err := load.Dir(dir)
+	if err != nil {
+		t.Fatalf("loading %s: %v", dir, err)
+	}
+	wants := collectWants(t, pkg)
+
+	var out []Result
+	for _, a := range analyzers {
+		diags, err := analysis.Run(a, pkg.Fset, pkg.Files, pkg.Types, pkg.Info, pkg.Sizes)
+		if err != nil {
+			t.Fatalf("%s on %s: %v", a.Name, pkgname, err)
+		}
+		for _, d := range diags {
+			pos := pkg.Fset.Position(d.Pos)
+			if !consume(wants, pos.Filename, pos.Line, d.Message) {
+				t.Errorf("%s: unexpected diagnostic: %s: %s", a.Name, pos, d.Message)
+			}
+		}
+		out = append(out, Result{Pkg: pkg, Diagnostics: diags})
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("no diagnostic at %s:%d matching %q", w.file, w.line, w.pattern)
+		}
+	}
+	return out
+}
+
+// collectWants scans every file's comments for want expectations.
+func collectWants(t *testing.T, pkg *load.Package) []*expectation {
+	t.Helper()
+	var wants []*expectation
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				idx := strings.Index(text, "want ")
+				if idx < 0 {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				for _, m := range wantRe.FindAllStringSubmatch(text[idx:], -1) {
+					re, err := regexp.Compile(m[1])
+					if err != nil {
+						t.Fatalf("%s:%d: bad want pattern %q: %v", pos.Filename, pos.Line, m[1], err)
+					}
+					wants = append(wants, &expectation{file: pos.Filename, line: pos.Line, pattern: re})
+				}
+			}
+		}
+	}
+	return wants
+}
+
+// consume marks the first unmatched expectation on (file, line) whose
+// pattern matches msg.
+func consume(wants []*expectation, file string, line int, msg string) bool {
+	for _, w := range wants {
+		if !w.matched && w.file == file && w.line == line && w.pattern.MatchString(msg) {
+			w.matched = true
+			return true
+		}
+	}
+	return false
+}
+
+// Position is a convenience re-export so analyzer tests can format
+// diagnostic positions without importing go/token themselves.
+func Position(pkg *load.Package, pos token.Pos) token.Position {
+	return pkg.Fset.Position(pos)
+}

@@ -1,0 +1,31 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// Run applies one analyzer to one package's syntax and type information and
+// returns the diagnostics it reported, sorted by position. It is the whole
+// driver this subset needs: no fact propagation, no inter-analyzer results.
+func Run(a *Analyzer, fset *token.FileSet, files []*ast.File, pkg *types.Package,
+	info *types.Info, sizes types.Sizes) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	pass := &Pass{
+		Analyzer:   a,
+		Fset:       fset,
+		Files:      files,
+		Pkg:        pkg,
+		TypesInfo:  info,
+		TypesSizes: sizes,
+		Report:     func(d Diagnostic) { diags = append(diags, d) },
+	}
+	if _, err := a.Run(pass); err != nil {
+		return nil, fmt.Errorf("%s: %v", a.Name, err)
+	}
+	sort.SliceStable(diags, func(i, j int) bool { return diags[i].Pos < diags[j].Pos })
+	return diags, nil
+}

@@ -1,0 +1,211 @@
+package staticfs
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"predator/internal/staticfs/analysis"
+)
+
+// This file is the suite's lightweight write-set / goroutine-attribution
+// pass: a single AST walk that records which struct fields the package
+// writes, from which goroutine context, and whether the write went through
+// sync/atomic. It is the static stand-in for the dynamic detector's
+// per-word ownership tracking (detect.Track): where the runtime learns
+// "thread 3 owns word 5", this pass learns "the function launched by this
+// go statement writes field SX".
+
+// fieldWrite is one recorded write to a named struct's field.
+type fieldWrite struct {
+	owner    *types.Named // struct type declaring the field
+	field    *types.Var   // the field written
+	root     types.Object // base variable written through (nil when unknown)
+	ctx      int          // goroutine context id; 0 = not inside a goroutine
+	atomic   bool         // write went through sync/atomic
+	compound bool         // read-modify-write (+=, ++, atomic Add/CAS)
+	pos      token.Pos
+}
+
+// atomicWriteMethods are the sync/atomic type methods that publish a store.
+var atomicWriteMethods = map[string]bool{
+	"Add": true, "Store": true, "Swap": true,
+	"CompareAndSwap": true, "Or": true, "And": true,
+}
+
+// isAtomicWriteFunc recognizes package-level sync/atomic writers
+// (AddUint64, StoreInt32, SwapPointer, CompareAndSwapUint64, ...).
+func isAtomicWriteFunc(name string) bool {
+	for _, prefix := range []string{"Add", "Store", "Swap", "CompareAndSwap", "Or", "And"} {
+		if strings.HasPrefix(name, prefix) {
+			return true
+		}
+	}
+	return false
+}
+
+// fieldTarget resolves an lvalue (or atomic-call target) of the form
+// x.f / x.a.f to the directly-selected struct field. Promoted (embedded)
+// selections are skipped: attributing those correctly needs the full path.
+func fieldTarget(info *types.Info, e ast.Expr) (owner *types.Named, field *types.Var, root types.Object, ok bool) {
+	sel, isSel := ast.Unparen(e).(*ast.SelectorExpr)
+	if !isSel {
+		return nil, nil, nil, false
+	}
+	selection := info.Selections[sel]
+	if selection == nil || selection.Kind() != types.FieldVal || len(selection.Index()) != 1 {
+		return nil, nil, nil, false
+	}
+	field, _ = selection.Obj().(*types.Var)
+	if field == nil {
+		return nil, nil, nil, false
+	}
+	owner, _ = namedStruct(selection.Recv())
+	if owner == nil {
+		return nil, nil, nil, false
+	}
+	return owner, field, rootIdentObj(info, sel.X), true
+}
+
+// fwCollector walks a package recording field writes with goroutine
+// context attribution.
+type fwCollector struct {
+	info     *types.Info
+	writes   []fieldWrite
+	nextCtx  int
+	launched map[types.Object]bool // funcs/methods started via `go f()`
+}
+
+// collectFieldWrites runs the pass over every file.
+func collectFieldWrites(pass *analysis.Pass) []fieldWrite {
+	c := &fwCollector{info: pass.TypesInfo, launched: map[types.Object]bool{}}
+
+	// Pass 1: functions launched as goroutines by name anywhere in the
+	// package; their bodies are goroutine contexts even though no go
+	// statement wraps them lexically.
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			g, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			switch fun := ast.Unparen(g.Call.Fun).(type) {
+			case *ast.Ident:
+				if obj := c.info.ObjectOf(fun); obj != nil {
+					c.launched[obj] = true
+				}
+			case *ast.SelectorExpr:
+				if obj := c.info.ObjectOf(fun.Sel); obj != nil {
+					c.launched[obj] = true
+				}
+			}
+			return true
+		})
+	}
+
+	// Pass 2: record writes with context tracking.
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				if d.Body == nil {
+					continue
+				}
+				ctx := 0
+				if c.launched[c.info.Defs[d.Name]] {
+					ctx = c.newCtx()
+				}
+				c.walk(d.Body, ctx)
+			case *ast.GenDecl:
+				c.walk(d, 0)
+			}
+		}
+	}
+	return c.writes
+}
+
+func (c *fwCollector) newCtx() int {
+	c.nextCtx++
+	return c.nextCtx
+}
+
+// walk records writes under the given goroutine context, descending into
+// `go func(){...}` literals with a fresh context.
+func (c *fwCollector) walk(n ast.Node, ctx int) {
+	ast.Inspect(n, func(node ast.Node) bool {
+		switch x := node.(type) {
+		case *ast.GoStmt:
+			for _, a := range x.Call.Args {
+				c.walk(a, ctx)
+			}
+			if lit, ok := ast.Unparen(x.Call.Fun).(*ast.FuncLit); ok {
+				c.walk(lit.Body, c.newCtx())
+			} else {
+				c.walk(x.Call.Fun, ctx)
+			}
+			return false
+		case *ast.AssignStmt:
+			if x.Tok == token.DEFINE {
+				return true
+			}
+			compound := x.Tok != token.ASSIGN
+			for _, lhs := range x.Lhs {
+				c.record(lhs, ctx, false, compound)
+			}
+		case *ast.IncDecStmt:
+			c.record(x.X, ctx, false, true)
+		case *ast.CallExpr:
+			if target, ok := atomicWriteTarget(c.info, x); ok {
+				c.record(target, ctx, true, true)
+			}
+		}
+		return true
+	})
+}
+
+// record notes one write if the lvalue is a direct struct-field selection.
+func (c *fwCollector) record(lv ast.Expr, ctx int, isAtomic, compound bool) {
+	owner, field, root, ok := fieldTarget(c.info, lv)
+	if !ok {
+		return
+	}
+	c.writes = append(c.writes, fieldWrite{
+		owner: owner, field: field, root: root,
+		ctx: ctx, atomic: isAtomic, compound: compound, pos: lv.Pos(),
+	})
+}
+
+// atomicWriteTarget returns the expression whose storage an atomic call
+// writes: x.f for x.f.Add(1) (methods of the sync/atomic types) and for
+// atomic.AddUint64(&x.f, 1) (package-level functions).
+func atomicWriteTarget(info *types.Info, call *ast.CallExpr) (ast.Expr, bool) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return nil, false
+	}
+	// Method form: receiver is a sync/atomic type value.
+	if selection := info.Selections[sel]; selection != nil && selection.Kind() == types.MethodVal {
+		m := selection.Obj()
+		if m.Pkg() != nil && m.Pkg().Path() == "sync/atomic" && atomicWriteMethods[m.Name()] {
+			return sel.X, true
+		}
+		return nil, false
+	}
+	// Function form: atomic.StoreUint64(&x.f, v).
+	pkgIdent, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return nil, false
+	}
+	pn, ok := info.ObjectOf(pkgIdent).(*types.PkgName)
+	if !ok || pn.Imported().Path() != "sync/atomic" || !isAtomicWriteFunc(sel.Sel.Name) {
+		return nil, false
+	}
+	if len(call.Args) == 0 {
+		return nil, false
+	}
+	if addr, ok := ast.Unparen(call.Args[0]).(*ast.UnaryExpr); ok && addr.Op == token.AND {
+		return addr.X, true
+	}
+	return nil, false
+}

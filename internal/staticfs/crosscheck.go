@@ -1,0 +1,105 @@
+package staticfs
+
+import (
+	"fmt"
+	"path/filepath"
+	"strings"
+
+	"predator/internal/report"
+)
+
+// Cross-checking closes the loop between the two halves of the detector:
+// the dynamic runtime proves which sharing actually happened, the static
+// suite enumerates where sharing can happen. Feeding a runtime JSON report
+// (predator/predbench -json output) into the static findings upgrades the
+// diagnostics the run confirmed and exposes the candidates no workload
+// ever exercised — the same triage the paper performs by hand when it
+// compares predicted against observed false sharing.
+
+// CrossResult is one static finding annotated with its runtime fate.
+type CrossResult struct {
+	Finding   Finding
+	Confirmed bool
+	Evidence  string // the runtime label or callsite that matched
+}
+
+// CrossSummary is the full reconciliation of a static run against one
+// runtime report.
+type CrossSummary struct {
+	Results     []CrossResult
+	Confirmed   int      // static findings the runtime observed
+	Unexercised int      // static findings no runtime object matched
+	RuntimeOnly []string // runtime problem summaries no static finding covers
+}
+
+// runtimeObj is one matchable object surfaced by the runtime report.
+type runtimeObj struct {
+	label    string
+	callsite string
+	summary  string
+}
+
+// CrossCheck reconciles static findings with a runtime report. A runtime
+// object confirms a static finding when its allocation callsite lands in
+// the file the diagnostic points at, or when its label mentions the
+// diagnostic's subject (the flagged type or variable name).
+func CrossCheck(findings []Finding, rep *report.JSONReport) CrossSummary {
+	var objs []runtimeObj
+	for _, f := range rep.Findings {
+		if f.Object != nil {
+			objs = append(objs, runtimeObj{label: f.Object.Label, callsite: f.Object.Callsite,
+				summary: fmt.Sprintf("%s finding at [0x%x,0x%x)", f.Sharing, f.SpanStart, f.SpanEnd)})
+		}
+	}
+	for _, p := range rep.Problems {
+		if p.Object != nil {
+			objs = append(objs, runtimeObj{label: p.Object.Label, callsite: p.Object.Callsite, summary: p.Summary})
+		}
+	}
+
+	sum := CrossSummary{}
+	matched := make([]bool, len(objs))
+	for _, f := range findings {
+		res := CrossResult{Finding: f}
+		for i, o := range objs {
+			if ev, ok := matches(f, o); ok {
+				res.Confirmed, res.Evidence = true, ev
+				matched[i] = true
+				break
+			}
+		}
+		if res.Confirmed {
+			sum.Confirmed++
+		} else {
+			sum.Unexercised++
+		}
+		sum.Results = append(sum.Results, res)
+	}
+	seen := map[string]bool{}
+	for i, o := range objs {
+		if matched[i] || o.summary == "" || seen[o.summary] {
+			continue
+		}
+		seen[o.summary] = true
+		sum.RuntimeOnly = append(sum.RuntimeOnly, o.summary)
+	}
+	return sum
+}
+
+// matches applies the two matching rules and reports the evidence string.
+func matches(f Finding, o runtimeObj) (string, bool) {
+	if o.callsite != "" {
+		csFile := o.callsite
+		if i := strings.LastIndex(csFile, ":"); i >= 0 {
+			csFile = csFile[:i]
+		}
+		if filepath.Base(csFile) == filepath.Base(f.Pos.Filename) {
+			return "allocated at " + o.callsite, true
+		}
+	}
+	if o.label != "" && f.Subject != "" &&
+		strings.Contains(strings.ToLower(o.label), strings.ToLower(f.Subject)) {
+		return "runtime object " + o.label, true
+	}
+	return "", false
+}

@@ -1,0 +1,63 @@
+package staticfs
+
+import (
+	"go/token"
+	"testing"
+
+	"predator/internal/report"
+)
+
+func crossFinding(file, subject string) Finding {
+	return Finding{
+		Analyzer: "sharedindex",
+		Package:  "example",
+		Pos:      token.Position{Filename: file, Line: 10},
+		Subject:  subject,
+		Message:  "test finding",
+	}
+}
+
+func TestCrossCheckCallsiteMatch(t *testing.T) {
+	rep := &report.JSONReport{
+		Findings: []report.JSONFinding{{
+			Sharing: "true sharing? no: false",
+			Object:  &report.JSONObj{Callsite: "lreg.go:42", Label: ""},
+		}},
+	}
+	sum := CrossCheck([]Finding{crossFinding("/work/src/lreg.go", "args")}, rep)
+	if sum.Confirmed != 1 || sum.Unexercised != 0 {
+		t.Fatalf("confirmed=%d unexercised=%d, want 1/0", sum.Confirmed, sum.Unexercised)
+	}
+	if !sum.Results[0].Confirmed || sum.Results[0].Evidence == "" {
+		t.Errorf("result not confirmed with evidence: %+v", sum.Results[0])
+	}
+}
+
+func TestCrossCheckLabelMatch(t *testing.T) {
+	rep := &report.JSONReport{
+		Problems: []report.JSONProblem{{
+			Summary: "global lregArgsTable: 12000 invalidations",
+			Object:  &report.JSONObj{Global: true, Label: "lregArgsTable"},
+		}},
+	}
+	sum := CrossCheck([]Finding{crossFinding("/work/src/other.go", "lregargs")}, rep)
+	if sum.Confirmed != 1 {
+		t.Fatalf("label containment did not confirm: %+v", sum.Results)
+	}
+}
+
+func TestCrossCheckUnexercisedAndRuntimeOnly(t *testing.T) {
+	rep := &report.JSONReport{
+		Problems: []report.JSONProblem{{
+			Summary: "heap object at 0x1000: 500 invalidations",
+			Object:  &report.JSONObj{Label: "workq", Callsite: "queue.go:7"},
+		}},
+	}
+	sum := CrossCheck([]Finding{crossFinding("/work/src/lreg.go", "args")}, rep)
+	if sum.Confirmed != 0 || sum.Unexercised != 1 {
+		t.Fatalf("confirmed=%d unexercised=%d, want 0/1", sum.Confirmed, sum.Unexercised)
+	}
+	if len(sum.RuntimeOnly) != 1 {
+		t.Fatalf("RuntimeOnly = %v, want the unmatched runtime problem", sum.RuntimeOnly)
+	}
+}

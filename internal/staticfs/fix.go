@@ -1,0 +1,189 @@
+package staticfs
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"predator/internal/cacheline"
+	"predator/internal/layout"
+	"predator/internal/staticfs/analysis"
+)
+
+// Fix construction. Every suggested fix here is built the same way the
+// dynamic fixer builds its prescriptions: propose a padded layout, push it
+// through internal/layout's C offset model (cross-checked against
+// go/types.Sizes by layout.FromGoStruct), and only offer the edit if the
+// padded layout provably stops sharing lines. A fix that cannot be
+// verified is silently dropped — the diagnostic still fires, just without
+// an edit.
+
+// padVar builds the `_ [n]byte` padding field used in proposed layouts.
+func padVar(n uint64) *types.Var {
+	return types.NewVar(token.NoPos, nil, "_", types.NewArray(types.Typ[types.Byte], int64(n)))
+}
+
+// structVars lists a struct's fields in declaration order.
+func structVars(st *types.Struct) []*types.Var {
+	out := make([]*types.Var, st.NumFields())
+	for i := range out {
+		out[i] = st.Field(i)
+	}
+	return out
+}
+
+// sizeofSafe is types.Sizes.Sizeof hardened against the panics the stdlib
+// sizers raise on unrepresentable types (type parameters, etc.).
+func sizeofSafe(sizes types.Sizes, t types.Type) (n int64, ok bool) {
+	defer func() {
+		if recover() != nil {
+			n, ok = 0, false
+		}
+	}()
+	n, ok = sizes.Sizeof(t), true
+	if n < 0 {
+		ok = false
+	}
+	return
+}
+
+// offsetsofSafe is types.Sizes.Offsetsof with the same hardening.
+func offsetsofSafe(sizes types.Sizes, fields []*types.Var) (offs []int64, ok bool) {
+	defer func() {
+		if recover() != nil {
+			offs, ok = nil, false
+		}
+	}()
+	offs, ok = sizes.Offsetsof(fields), true
+	return
+}
+
+// verifyPadded pushes a candidate padded struct through the C model and
+// reports whether array elements of that layout stop sharing cache lines.
+func verifyPadded(name string, padded *types.Struct, sizes types.Sizes, lineSize, wantSize uint64) bool {
+	geom, err := cacheline.NewGeometry(int(lineSize))
+	if err != nil {
+		return false
+	}
+	lst, err := layout.FromGoStruct(name, padded, sizes)
+	if err != nil {
+		return false
+	}
+	return lst.Size() == wantSize && !lst.SharedLines(geom, 0)
+}
+
+// padElemFix builds the Figure 6 fix: append `_ [stride-size]byte` to the
+// element struct so consecutive worker slots land on disjoint line groups.
+// Returns nil when the element type is not a struct declared in this
+// package or the padded layout fails verification.
+func padElemFix(pass *analysis.Pass, cfg Config, elem types.Type, stride uint64) []analysis.SuggestedFix {
+	named, st := namedStruct(elem)
+	if named == nil || named.TypeParams().Len() > 0 {
+		return nil
+	}
+	_, stLit := typeSpecOf(pass, named)
+	if stLit == nil || stLit.Fields == nil || !stLit.Fields.Closing.IsValid() {
+		return nil
+	}
+	size, ok := sizeofSafe(pass.TypesSizes, named)
+	if !ok || uint64(size) >= stride {
+		return nil
+	}
+	pad := stride - uint64(size)
+	padded := types.NewStruct(append(structVars(st), padVar(pad)), nil)
+	if !verifyPadded(named.Obj().Name()+"_padded", padded, pass.TypesSizes, cfg.lineSize(), stride) {
+		return nil
+	}
+	return []analysis.SuggestedFix{{
+		Message: fmt.Sprintf("pad %s to %d bytes so each worker's slot has its own cache lines", named.Obj().Name(), stride),
+		TextEdits: []analysis.TextEdit{{
+			Pos:     stLit.Fields.Closing,
+			End:     stLit.Fields.Closing,
+			NewText: []byte(fmt.Sprintf("\t_ [%d]byte\n", pad)),
+		}},
+	}}
+}
+
+// padFieldsFix builds padcheck's fix: insert `_ [k]byte` pads so every
+// contended field (by index into the struct) starts on a cache-line
+// boundary. Returns nil if any insertion point is unrepresentable (a
+// contended field sharing a multi-name declaration) or verification fails.
+func padFieldsFix(pass *analysis.Pass, cfg Config, named *types.Named, stLit *ast.StructType, contended map[int]bool) []analysis.SuggestedFix {
+	if named.TypeParams().Len() > 0 || stLit == nil || stLit.Fields == nil {
+		return nil
+	}
+	st, _ := named.Underlying().(*types.Struct)
+	if st == nil {
+		return nil
+	}
+	// Align the i-th struct field with its AST declaration site; a field
+	// that is not the first name of its declaration cannot take a pad
+	// line of its own without splitting the declaration.
+	type declSite struct {
+		field *ast.Field
+		first bool
+	}
+	var sites []declSite
+	for _, f := range stLit.Fields.List {
+		if len(f.Names) == 0 {
+			sites = append(sites, declSite{f, true})
+			continue
+		}
+		for j := range f.Names {
+			sites = append(sites, declSite{f, j == 0})
+		}
+	}
+	if len(sites) != st.NumFields() {
+		return nil
+	}
+
+	L := cfg.lineSize()
+	var newVars []*types.Var
+	var edits []analysis.TextEdit
+	contendedIdx := map[int]bool{} // indices into newVars
+	for i := 0; i < st.NumFields(); i++ {
+		fv := st.Field(i)
+		if contended[i] {
+			trial := append(newVars[:len(newVars):len(newVars)], fv)
+			offs, ok := offsetsofSafe(pass.TypesSizes, trial)
+			if !ok {
+				return nil
+			}
+			if off := uint64(offs[len(trial)-1]); off%L != 0 {
+				if !sites[i].first {
+					return nil
+				}
+				pad := L - off%L
+				newVars = append(newVars, padVar(pad))
+				edits = append(edits, analysis.TextEdit{
+					Pos:     sites[i].field.Pos(),
+					End:     sites[i].field.Pos(),
+					NewText: []byte(fmt.Sprintf("_ [%d]byte\n\t", pad)),
+				})
+			}
+			contendedIdx[len(newVars)] = true
+		}
+		newVars = append(newVars, fv)
+	}
+	if len(edits) == 0 {
+		return nil
+	}
+
+	// Verify: in the padded layout every contended field must begin on a
+	// line boundary, which puts each on lines of its own (the pad before
+	// the next contended field starts past the previous one's end).
+	lst, err := layout.FromGoStruct(named.Obj().Name()+"_padded", types.NewStruct(newVars, nil), pass.TypesSizes)
+	if err != nil {
+		return nil
+	}
+	for idx := range contendedIdx {
+		if lst.Fields[idx].Offset%L != 0 {
+			return nil
+		}
+	}
+	return []analysis.SuggestedFix{{
+		Message:   fmt.Sprintf("pad %s so its contended fields start on separate cache lines", named.Obj().Name()),
+		TextEdits: edits,
+	}}
+}

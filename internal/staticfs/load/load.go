@@ -1,0 +1,383 @@
+// Package load turns package patterns into type-checked syntax trees for the
+// predlint analyzers. It is the minimal stand-in for
+// golang.org/x/tools/go/packages that this hermetically-built repo can ship:
+// package discovery is delegated to the `go list` command (so build
+// constraints, module resolution and stdlib layout always match the active
+// toolchain), and type information for the analyzed packages is produced by
+// the standard library's go/parser + go/types.
+//
+// Dependencies are imported from the compiler's export data (go list
+// -export), the same way `go vet` feeds its analyzers: that keeps package
+// identities consistent across roots, costs nothing for already-built
+// packages, and handles what a source importer cannot — cgo packages like
+// net, and the stdlib's vendored golang.org/x dependencies. Source
+// type-checking (with IgnoreFuncBodies) remains as a fallback for packages
+// the build cache has no export data for.
+package load
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strings"
+)
+
+// Package is one fully type-checked package ready for analysis.
+type Package struct {
+	ImportPath string
+	Name       string
+	Dir        string
+	GoFiles    []string
+
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+	Sizes types.Sizes
+}
+
+// Sizes returns the sizeof/alignof model of the host platform's gc
+// toolchain — the same model the compiled program will use, which is what
+// makes the analyzers' cache-line arithmetic trustworthy.
+func Sizes() types.Sizes {
+	if s := types.SizesFor("gc", runtime.GOARCH); s != nil {
+		return s
+	}
+	return types.SizesFor("gc", "amd64")
+}
+
+// listInfo is the subset of `go list -json` output the loader consumes.
+type listInfo struct {
+	ImportPath string
+	Name       string
+	Dir        string
+	Standard   bool
+	Export     string // export data file (go list -export)
+	GoFiles    []string
+	CgoFiles   []string
+	Imports    []string
+	Error      *struct{ Err string }
+}
+
+// loader caches list results and type-checked packages across one Load call
+// (and, via the exported Loader, across many).
+type loader struct {
+	dir   string // working directory for go list
+	fset  *token.FileSet
+	index map[string]*listInfo
+	cache map[string]*types.Package // source-checked fallback packages
+	gc    types.ImporterFrom        // export-data importer
+	sizes types.Sizes
+}
+
+func newLoader(dir string) *loader {
+	ld := &loader{
+		dir:   dir,
+		fset:  token.NewFileSet(),
+		index: map[string]*listInfo{},
+		cache: map[string]*types.Package{},
+		sizes: Sizes(),
+	}
+	// The gc importer maintains its own package map, so every root's
+	// type-check sees one identity per dependency path.
+	ld.gc = importer.ForCompiler(ld.fset, "gc", func(path string) (io.ReadCloser, error) {
+		info, err := ld.resolve(path)
+		if err != nil {
+			return nil, err
+		}
+		if info.Export == "" {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(info.Export)
+	}).(types.ImporterFrom)
+	return ld
+}
+
+// goList runs `go list` with the given arguments in the loader's directory
+// and decodes the JSON stream.
+func (ld *loader) goList(args ...string) ([]*listInfo, error) {
+	cmd := exec.Command("go", append([]string{"list", "-json"}, args...)...)
+	cmd.Dir = ld.dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %s: %v\n%s", strings.Join(args, " "), err, stderr.String())
+	}
+	var infos []*listInfo
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		info := new(listInfo)
+		if err := dec.Decode(info); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list %s: decoding output: %v", strings.Join(args, " "), err)
+		}
+		infos = append(infos, info)
+	}
+	return infos, nil
+}
+
+// resolve returns the list entry for an import path, consulting the seeded
+// index first and falling back to a single -export query so the entry
+// carries export data.
+func (ld *loader) resolve(path string) (*listInfo, error) {
+	if info, ok := ld.index[path]; ok {
+		return info, nil
+	}
+	infos, err := ld.goList("-export", "--", path)
+	if err != nil {
+		return nil, err
+	}
+	if len(infos) != 1 {
+		return nil, fmt.Errorf("load: go list -export %q returned %d packages", path, len(infos))
+	}
+	ld.index[path] = infos[0]
+	return infos[0], nil
+}
+
+// Import implements types.Importer: export data when the build cache has
+// it, source type-checking (bodies ignored) otherwise.
+func (ld *loader) Import(path string) (*types.Package, error) {
+	return ld.ImportFrom(path, "", 0)
+}
+
+// ImportFrom implements types.ImporterFrom (vendoring is resolved by go
+// list, so srcDir is unused).
+func (ld *loader) ImportFrom(path, _ string, _ types.ImportMode) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	info, err := ld.resolve(path)
+	if err != nil {
+		return nil, err
+	}
+	if info.Export != "" {
+		return ld.gc.Import(info.ImportPath)
+	}
+
+	// Source fallback, with its own cycle guard.
+	if pkg, ok := ld.cache[path]; ok {
+		if pkg == nil {
+			return nil, fmt.Errorf("load: import cycle or prior failure importing %q", path)
+		}
+		return pkg, nil
+	}
+	ld.cache[path] = nil // cycle guard
+	pkg, _, err := ld.check(info, false, nil)
+	if err != nil {
+		return nil, fmt.Errorf("load: importing %q: %v", path, err)
+	}
+	ld.cache[path] = pkg
+	return pkg, nil
+}
+
+// check parses and type-checks one listed package. Full mode keeps comments
+// and function bodies and fills the provided *types.Info.
+func (ld *loader) check(info *listInfo, full bool, tinfo *types.Info) (*types.Package, []*ast.File, error) {
+	if info.Error != nil {
+		return nil, nil, fmt.Errorf("%s: %s", info.ImportPath, info.Error.Err)
+	}
+	if len(info.CgoFiles) > 0 {
+		return nil, nil, fmt.Errorf("%s: cgo packages are not supported by the source loader", info.ImportPath)
+	}
+	files, err := parseDir(ld.fset, info.Dir, info.GoFiles, full)
+	if err != nil {
+		return nil, nil, err
+	}
+	cfg := types.Config{
+		Importer:         ld,
+		Sizes:            ld.sizes,
+		IgnoreFuncBodies: !full,
+	}
+	var errs []error
+	cfg.Error = func(err error) { errs = append(errs, err) }
+	pkg, _ := cfg.Check(info.ImportPath, ld.fset, files, tinfo)
+	if len(errs) > 0 {
+		return nil, nil, joinErrors(info.ImportPath, errs)
+	}
+	return pkg, files, nil
+}
+
+// parseDir parses the named files of one directory.
+func parseDir(fset *token.FileSet, dir string, names []string, comments bool) ([]*ast.File, error) {
+	mode := parser.SkipObjectResolution
+	if comments {
+		mode |= parser.ParseComments
+	}
+	var files []*ast.File
+	for _, name := range names {
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, mode)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	return files, nil
+}
+
+// newInfo returns a types.Info with every map analyzers consume.
+func newInfo() *types.Info {
+	return &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+}
+
+func joinErrors(path string, errs []error) error {
+	var b strings.Builder
+	fmt.Fprintf(&b, "type-checking %s:", path)
+	max := len(errs)
+	if max > 10 {
+		max = 10
+	}
+	for _, err := range errs[:max] {
+		fmt.Fprintf(&b, "\n\t%v", err)
+	}
+	if len(errs) > max {
+		fmt.Fprintf(&b, "\n\t... and %d more", len(errs)-max)
+	}
+	return fmt.Errorf("%s", b.String())
+}
+
+// Packages expands the given go-list patterns (e.g. "./...") relative to dir
+// and returns each matched package fully type-checked. Dependencies are
+// loaded from source but not returned.
+func Packages(dir string, patterns ...string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"."}
+	}
+	ld := newLoader(dir)
+
+	// One -deps -export walk seeds the index with every dependency
+	// (including the stdlib) and its export-data file, so imports resolve
+	// without further go list calls or source re-checking; the plain
+	// listing identifies which packages were actually matched.
+	deps, err := ld.goList(append([]string{"-e", "-deps", "-export", "--"}, patterns...)...)
+	if err != nil {
+		return nil, err
+	}
+	for _, info := range deps {
+		ld.index[info.ImportPath] = info
+	}
+	roots, err := ld.goList(append([]string{"--"}, patterns...)...)
+	if err != nil {
+		return nil, err
+	}
+
+	var out []*Package
+	for _, root := range roots {
+		if root.Name == "" && root.Error != nil {
+			return nil, fmt.Errorf("%s: %s", root.ImportPath, root.Error.Err)
+		}
+		if len(root.GoFiles) == 0 {
+			continue
+		}
+		pkg, err := loadOne(ld, root)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pkg)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ImportPath < out[j].ImportPath })
+	return out, nil
+}
+
+// loadOne fully checks one root package from source. Sibling roots that
+// import it still see its export data, not this source check — identities
+// only need to be consistent within one package's analysis.
+func loadOne(ld *loader, info *listInfo) (*Package, error) {
+	tinfo := newInfo()
+	tpkg, files, err := ld.check(info, true, tinfo)
+	if err != nil {
+		return nil, err
+	}
+	return &Package{
+		ImportPath: info.ImportPath,
+		Name:       tpkg.Name(),
+		Dir:        info.Dir,
+		GoFiles:    absFiles(info),
+		Fset:       ld.fset,
+		Files:      files,
+		Types:      tpkg,
+		Info:       tinfo,
+		Sizes:      ld.sizes,
+	}, nil
+}
+
+func absFiles(info *listInfo) []string {
+	out := make([]string, len(info.GoFiles))
+	for i, name := range info.GoFiles {
+		out[i] = filepath.Join(info.Dir, name)
+	}
+	return out
+}
+
+// Dir parses and type-checks the single directory dir as one package,
+// without consulting the enclosing module — this is how analyzer golden
+// tests load testdata packages, which deliberately live outside the build.
+// Imports (stdlib only, by construction of the testdata) resolve from
+// source through go list -find.
+func Dir(dir string) (*Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		if n := e.Name(); strings.HasSuffix(n, ".go") && !strings.HasSuffix(n, "_test.go") && !e.IsDir() {
+			names = append(names, n)
+		}
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		return nil, fmt.Errorf("load: no Go files in %s", dir)
+	}
+	ld := newLoader(dir)
+	files, err := parseDir(ld.fset, dir, names, true)
+	if err != nil {
+		return nil, err
+	}
+	tinfo := newInfo()
+	cfg := types.Config{Importer: ld, Sizes: ld.sizes}
+	var errs []error
+	cfg.Error = func(err error) { errs = append(errs, err) }
+	path := filepath.Base(dir)
+	tpkg, _ := cfg.Check(path, ld.fset, files, tinfo)
+	if len(errs) > 0 {
+		return nil, joinErrors(path, errs)
+	}
+	abs := make([]string, len(names))
+	for i, n := range names {
+		abs[i] = filepath.Join(dir, n)
+	}
+	return &Package{
+		ImportPath: path,
+		Name:       tpkg.Name(),
+		Dir:        dir,
+		GoFiles:    abs,
+		Fset:       ld.fset,
+		Files:      files,
+		Types:      tpkg,
+		Info:       tinfo,
+		Sizes:      ld.sizes,
+	}, nil
+}
+
+// ensure interface satisfaction (types.ImporterFrom includes Importer).
+var _ types.ImporterFrom = (*loader)(nil)

@@ -1,0 +1,47 @@
+package load
+
+import (
+	"testing"
+)
+
+// TestPackagesModuleRoots loads two real module packages with full type
+// information through the go list + source-importer pipeline.
+func TestPackagesModuleRoots(t *testing.T) {
+	pkgs, err := Packages("../../..", "./internal/cacheline", "./internal/layout")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 2 {
+		t.Fatalf("got %d packages, want 2", len(pkgs))
+	}
+	for _, p := range pkgs {
+		if p.Types == nil || p.Info == nil || len(p.Files) == 0 {
+			t.Errorf("%s: incomplete package: %+v", p.ImportPath, p)
+		}
+	}
+	// Packages sorts by import path, so cacheline precedes layout.
+	if pkgs[0].Name != "cacheline" || pkgs[1].Name != "layout" {
+		t.Errorf("got packages %s, %s; want cacheline, layout", pkgs[0].Name, pkgs[1].Name)
+	}
+	// Full type info: the layout package's exported New must resolve.
+	if pkgs[1].Types.Scope().Lookup("New") == nil {
+		t.Error("layout.New not found in type-checked scope")
+	}
+}
+
+// TestDirTestdata loads a golden package that lives outside the module.
+func TestDirTestdata(t *testing.T) {
+	pkg, err := Dir("../testdata/src/lreg")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pkg.Name != "lreg" {
+		t.Errorf("package name = %q, want lreg", pkg.Name)
+	}
+	if pkg.Types.Scope().Lookup("lregArgs") == nil {
+		t.Error("lregArgs not found in type-checked scope")
+	}
+	if len(pkg.Info.Selections) == 0 {
+		t.Error("no selections recorded; analyzers need full type info")
+	}
+}

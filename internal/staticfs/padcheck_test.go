@@ -1,0 +1,41 @@
+package staticfs
+
+import (
+	"strings"
+	"testing"
+
+	"predator/internal/staticfs/analysis/analysistest"
+)
+
+// Every golden package runs under all three analyzers, so each fixture is
+// also a must-stay-clean check for the two analyzers it does not target.
+
+func TestPadcheckGolden(t *testing.T) {
+	results := analysistest.Run(t, "testdata", "padcheck", Padcheck, Sharedindex, Alignguard)
+
+	// The hotCounters fix must pad misses (offset 8) out to the next line.
+	var found bool
+	for _, d := range results[0].Diagnostics {
+		if d.Category != "hotCounters" {
+			continue
+		}
+		found = true
+		if len(d.SuggestedFixes) != 1 {
+			t.Fatalf("hotCounters: got %d fixes, want 1", len(d.SuggestedFixes))
+		}
+		fix := d.SuggestedFixes[0]
+		if len(fix.TextEdits) != 1 || !strings.Contains(string(fix.TextEdits[0].NewText), "[56]byte") {
+			t.Errorf("hotCounters fix edits = %+v, want one 56-byte pad", fix.TextEdits)
+		}
+	}
+	if !found {
+		t.Error("no diagnostic for hotCounters")
+	}
+
+	// The goroutine-attributed pair must carry a fix as well.
+	for _, d := range results[0].Diagnostics {
+		if d.Category == "pair" && len(d.SuggestedFixes) == 0 {
+			t.Error("pair diagnostic carries no fix")
+		}
+	}
+}

@@ -1,0 +1,375 @@
+package staticfs
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"predator/internal/staticfs/analysis"
+)
+
+// This file is the evidence pass shared by sharedindex and alignguard: it
+// finds the paper's Figure 6 shape in source. The shape is a loop spawning
+// one goroutine per worker where each goroutine writes a slot of a shared
+// slice selected by its worker id — either by indexing the slice directly
+// (sum[id] += x) or through an element pointer handed to the goroutine
+// (go work(&args[i]); a.SX += x). The two analyzers differ only in how
+// they judge the element size this pass reports.
+
+// parWrite is one recorded write to a worker-selected slot.
+type parWrite struct {
+	pos      token.Pos
+	compound bool // read-modify-write (+=, ++)
+	hot      bool // inside a loop within the goroutine body
+}
+
+// parGroup aggregates the writes one spawn site makes to one shared slice.
+type parGroup struct {
+	slice  types.Object // the indexed slice/array variable
+	elem   types.Type   // element type of the slice
+	goPos  token.Pos    // position of the spawning go statement
+	writes []parWrite
+}
+
+// hot reports whether any write is per-iteration work rather than a
+// one-shot result store (results[w] = err is fine; sum[w]++ is not).
+func (g *parGroup) hot() bool {
+	for _, w := range g.writes {
+		if w.hot || w.compound {
+			return true
+		}
+	}
+	return false
+}
+
+// firstPos returns the earliest write position, the diagnostic anchor.
+func (g *parGroup) firstPos() token.Pos {
+	pos := g.writes[0].pos
+	for _, w := range g.writes[1:] {
+		if w.pos < pos {
+			pos = w.pos
+		}
+	}
+	return pos
+}
+
+// parCollector drives the walk for one package.
+type parCollector struct {
+	info   *types.Info
+	decls  map[types.Object]*ast.FuncDecl // package funcs, for go worker(...)
+	groups map[groupKey]*parGroup
+	order  []groupKey
+}
+
+type groupKey struct {
+	slice types.Object
+	goPos token.Pos
+}
+
+// collectParallelWrites finds every loop-spawned goroutine in the package
+// and records its worker-slot writes.
+func collectParallelWrites(pass *analysis.Pass) []*parGroup {
+	c := &parCollector{
+		info:   pass.TypesInfo,
+		decls:  map[types.Object]*ast.FuncDecl{},
+		groups: map[groupKey]*parGroup{},
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				if obj := c.info.Defs[fd.Name]; obj != nil {
+					c.decls[obj] = fd
+				}
+			}
+		}
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch loop := n.(type) {
+			case *ast.ForStmt:
+				c.scanLoop(loop.Body, loopVars(c.info, loop.Init))
+			case *ast.RangeStmt:
+				c.scanLoop(loop.Body, rangeVars(c.info, loop))
+			}
+			return true
+		})
+	}
+	out := make([]*parGroup, 0, len(c.order))
+	for _, k := range c.order {
+		out = append(out, c.groups[k])
+	}
+	return out
+}
+
+// loopVars extracts the integer induction variables a for-init defines.
+func loopVars(info *types.Info, init ast.Stmt) map[types.Object]bool {
+	vars := map[types.Object]bool{}
+	as, ok := init.(*ast.AssignStmt)
+	if !ok || as.Tok != token.DEFINE {
+		return vars
+	}
+	for _, lhs := range as.Lhs {
+		if id, ok := lhs.(*ast.Ident); ok {
+			if obj := info.Defs[id]; obj != nil && isInteger(obj.Type()) {
+				vars[obj] = true
+			}
+		}
+	}
+	return vars
+}
+
+// rangeVars extracts the key variable of a range loop.
+func rangeVars(info *types.Info, r *ast.RangeStmt) map[types.Object]bool {
+	vars := map[types.Object]bool{}
+	if r.Tok != token.DEFINE {
+		return vars
+	}
+	if id, ok := r.Key.(*ast.Ident); ok {
+		if obj := info.Defs[id]; obj != nil && isInteger(obj.Type()) {
+			vars[obj] = true
+		}
+	}
+	return vars
+}
+
+func isInteger(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsInteger != 0
+}
+
+// scanLoop walks one loop body: worker-id aliases accumulate in source
+// order, and each go statement is resolved to a goroutine body with its
+// parameter bindings.
+func (c *parCollector) scanLoop(body *ast.BlockStmt, workers map[types.Object]bool) {
+	if len(workers) == 0 {
+		return
+	}
+	// elemPtrs maps pointer-typed objects to the slice whose worker slot
+	// they address (p := &s[i], or a param bound to &s[i]).
+	elemPtrs := map[types.Object]sliceRef{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.ForStmt, *ast.RangeStmt:
+			return false // inner loops have their own induction variables
+		case *ast.AssignStmt:
+			if x.Tok == token.DEFINE {
+				c.bindAliases(x, workers, elemPtrs)
+			}
+		case *ast.GoStmt:
+			c.scanGo(x, workers, elemPtrs)
+			return false
+		}
+		return true
+	})
+}
+
+type sliceRef struct {
+	slice types.Object
+	elem  types.Type
+}
+
+// bindAliases extends the worker-id and element-pointer sets from a short
+// variable declaration: id := i and p := &s[i].
+func (c *parCollector) bindAliases(as *ast.AssignStmt, workers map[types.Object]bool, elemPtrs map[types.Object]sliceRef) {
+	if len(as.Lhs) != len(as.Rhs) {
+		return
+	}
+	for k, lhs := range as.Lhs {
+		id, ok := lhs.(*ast.Ident)
+		if !ok {
+			continue
+		}
+		obj := c.info.Defs[id]
+		if obj == nil {
+			continue
+		}
+		rhs := ast.Unparen(as.Rhs[k])
+		if rid, ok := rhs.(*ast.Ident); ok && workers[c.info.ObjectOf(rid)] {
+			workers[obj] = true
+			continue
+		}
+		if ref, ok := c.elemAddr(rhs, workers); ok {
+			elemPtrs[obj] = ref
+		}
+	}
+}
+
+// elemAddr recognizes &s[i] where i is a worker id and s is slice/array
+// typed, returning the slice reference.
+func (c *parCollector) elemAddr(e ast.Expr, workers map[types.Object]bool) (sliceRef, bool) {
+	un, ok := ast.Unparen(e).(*ast.UnaryExpr)
+	if !ok || un.Op != token.AND {
+		return sliceRef{}, false
+	}
+	idx, ok := ast.Unparen(un.X).(*ast.IndexExpr)
+	if !ok {
+		return sliceRef{}, false
+	}
+	return c.slotIndex(idx, workers)
+}
+
+// slotIndex recognizes s[i] with i a worker id and s slice/array typed.
+func (c *parCollector) slotIndex(idx *ast.IndexExpr, workers map[types.Object]bool) (sliceRef, bool) {
+	iid, ok := ast.Unparen(idx.Index).(*ast.Ident)
+	if !ok || !workers[c.info.ObjectOf(iid)] {
+		return sliceRef{}, false
+	}
+	tv, ok := c.info.Types[idx.X]
+	if !ok {
+		return sliceRef{}, false
+	}
+	elem := sliceElem(tv.Type)
+	if elem == nil {
+		return sliceRef{}, false // maps and other indexables don't pack slots
+	}
+	obj := rootIdentObj(c.info, idx.X)
+	if obj == nil {
+		return sliceRef{}, false
+	}
+	return sliceRef{slice: obj, elem: elem}, true
+}
+
+// scanGo resolves the goroutine body a go statement starts — a function
+// literal or a same-package function — binds its parameters against the
+// call arguments, and records the body's slot writes.
+func (c *parCollector) scanGo(g *ast.GoStmt, workers map[types.Object]bool, elemPtrs map[types.Object]sliceRef) {
+	// The goroutine body sees the loop's bindings through its closure;
+	// parameters add bindings of their own. Copy so siblings don't mix.
+	w := map[types.Object]bool{}
+	for k := range workers {
+		w[k] = true
+	}
+	ptrs := map[types.Object]sliceRef{}
+	for k, v := range elemPtrs {
+		ptrs[k] = v
+	}
+
+	var params *ast.FieldList
+	var body *ast.BlockStmt
+	switch fun := ast.Unparen(g.Call.Fun).(type) {
+	case *ast.FuncLit:
+		params = fun.Type.Params
+		body = fun.Body
+	case *ast.Ident:
+		fd := c.decls[c.info.ObjectOf(fun)]
+		if fd == nil {
+			return
+		}
+		params = fd.Type.Params
+		body = fd.Body
+	default:
+		return
+	}
+
+	// Bind parameters positionally: a worker-id argument makes the
+	// parameter a worker id; an &s[i] argument makes it an element pointer.
+	if params != nil {
+		objs := paramObjs(c.info, params)
+		for k, arg := range g.Call.Args {
+			if k >= len(objs) || objs[k] == nil {
+				continue
+			}
+			a := ast.Unparen(arg)
+			if id, ok := a.(*ast.Ident); ok && w[c.info.ObjectOf(id)] {
+				w[objs[k]] = true
+				continue
+			}
+			if ref, ok := c.elemAddr(a, w); ok {
+				ptrs[objs[k]] = ref
+			}
+		}
+	}
+	c.scanBody(body, g.Pos(), w, ptrs)
+}
+
+// paramObjs flattens a parameter list to declared objects in order.
+func paramObjs(info *types.Info, params *ast.FieldList) []types.Object {
+	var out []types.Object
+	for _, f := range params.List {
+		for _, name := range f.Names {
+			out = append(out, info.Defs[name])
+		}
+		if len(f.Names) == 0 {
+			out = append(out, nil)
+		}
+	}
+	return out
+}
+
+// scanBody records every slot write in a goroutine body, tracking loop
+// depth for hotness and picking up further aliases defined inside.
+func (c *parCollector) scanBody(body *ast.BlockStmt, goPos token.Pos, workers map[types.Object]bool, elemPtrs map[types.Object]sliceRef) {
+	var walk func(n ast.Node, inLoop bool)
+	walk = func(n ast.Node, inLoop bool) {
+		ast.Inspect(n, func(node ast.Node) bool {
+			switch x := node.(type) {
+			case *ast.ForStmt:
+				walk(x.Body, true)
+				return false
+			case *ast.RangeStmt:
+				walk(x.Body, true)
+				return false
+			case *ast.AssignStmt:
+				if x.Tok == token.DEFINE {
+					c.bindAliases(x, workers, elemPtrs)
+					return true
+				}
+				for _, lhs := range x.Lhs {
+					if ref, ok := c.slotTarget(lhs, workers, elemPtrs); ok {
+						c.record(ref, goPos, parWrite{
+							pos: lhs.Pos(), compound: x.Tok != token.ASSIGN, hot: inLoop,
+						})
+					}
+				}
+			case *ast.IncDecStmt:
+				if ref, ok := c.slotTarget(x.X, workers, elemPtrs); ok {
+					c.record(ref, goPos, parWrite{pos: x.X.Pos(), compound: true, hot: inLoop})
+				}
+			}
+			return true
+		})
+	}
+	walk(body, false)
+}
+
+// slotTarget classifies an lvalue as a write into a worker's slot: a
+// selector/deref chain bottoming out at s[i] (s[i].f = v) or at an element
+// pointer (a.SX += x, *p = v).
+func (c *parCollector) slotTarget(e ast.Expr, workers map[types.Object]bool, elemPtrs map[types.Object]sliceRef) (sliceRef, bool) {
+	derefed := false
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.SelectorExpr:
+			e = x.X
+			derefed = true
+		case *ast.StarExpr:
+			e = x.X
+			derefed = true
+		case *ast.IndexExpr:
+			if ref, ok := c.slotIndex(x, workers); ok {
+				return ref, true
+			}
+			e = x.X
+			derefed = true
+		case *ast.Ident:
+			if ref, ok := elemPtrs[c.info.ObjectOf(x)]; ok && derefed {
+				return ref, true
+			}
+			return sliceRef{}, false
+		default:
+			return sliceRef{}, false
+		}
+	}
+}
+
+// record appends a write to its (slice, spawn-site) group.
+func (c *parCollector) record(ref sliceRef, goPos token.Pos, w parWrite) {
+	key := groupKey{slice: ref.slice, goPos: goPos}
+	g := c.groups[key]
+	if g == nil {
+		g = &parGroup{slice: ref.slice, elem: ref.elem, goPos: goPos}
+		c.groups[key] = g
+		c.order = append(c.order, key)
+	}
+	g.writes = append(g.writes, w)
+}

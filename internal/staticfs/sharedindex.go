@@ -1,0 +1,98 @@
+package staticfs
+
+import (
+	"fmt"
+	"go/types"
+
+	"predator/internal/fixer"
+	"predator/internal/staticfs/analysis"
+)
+
+// sharedindex is the static rendition of the paper's Figure 6: a slice of
+// per-worker slots whose elements are smaller than a cache line, written
+// by worker goroutines indexed with their own worker id. Several workers'
+// slots pack into each line, so every update invalidates the neighbors'
+// caches — the linear_regression false sharing PREDATOR reports at runtime.
+
+const sharedindexDoc = `report per-worker slice slots that pack several workers into one cache line
+
+A loop spawning one goroutine per index, each writing slice[id], packs
+line/elemsize workers into every cache line when the element is smaller
+than a line (the paper's Figure 6 pattern). The fix pads the element so
+each worker's slot owns whole lines.`
+
+// NewSharedindex builds the sharedindex analyzer for cfg.
+func NewSharedindex(cfg Config) *analysis.Analyzer {
+	return &analysis.Analyzer{
+		Name: "sharedindex",
+		Doc:  sharedindexDoc,
+		Run: func(pass *analysis.Pass) (interface{}, error) {
+			return runParallelSlots(pass, cfg, "sharedindex")
+		},
+	}
+}
+
+// strideFor is the element stride both parallel analyzers prescribe: the
+// element size rounded up to the dynamic fixer's pad quantum, so static
+// and runtime prescriptions for the same structure agree.
+func strideFor(elemSize uint64) uint64 {
+	return roundUp(elemSize, fixer.PadUnit)
+}
+
+// runParallelSlots runs the shared Figure 6 evidence pass and reports the
+// groups the named analyzer is responsible for: sharedindex takes elements
+// smaller than a line, alignguard takes larger elements that are not a
+// line-size multiple.
+func runParallelSlots(pass *analysis.Pass, cfg Config, which string) (interface{}, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	L := cfg.lineSize()
+	ig := newIgnorer(pass.Fset, pass.Files)
+
+	seen := map[types.Object]bool{} // one report per slice variable
+	for _, g := range collectParallelWrites(pass) {
+		if !g.hot() || seen[g.slice] {
+			continue
+		}
+		esz, ok := sizeofSafe(pass.TypesSizes, g.elem)
+		if !ok || esz <= 0 {
+			continue
+		}
+		E := uint64(esz)
+		var match bool
+		switch which {
+		case "sharedindex":
+			match = E < L
+		case "alignguard":
+			match = E >= L && E%L != 0
+		}
+		if !match {
+			continue
+		}
+		anchor := g.firstPos()
+		if ig.ignored(which, anchor) {
+			continue
+		}
+		seen[g.slice] = true
+
+		stride := strideFor(E)
+		var msg string
+		if which == "sharedindex" {
+			msg = fmt.Sprintf(
+				"worker goroutines write per-worker slots of %s, but its %d-byte elements are smaller than the %d-byte cache line, so neighboring workers' slots share lines (paper Figure 6); pad elements to %d bytes",
+				g.slice.Name(), E, L, stride)
+		} else {
+			msg = fmt.Sprintf(
+				"worker goroutines write per-worker slots of %s, whose %d-byte elements are not a multiple of the %d-byte cache line, so slots straddle lines and neighbors share the straddled line at any base address (paper §3); pad elements to %d bytes",
+				g.slice.Name(), E, L, stride)
+		}
+		pass.Report(analysis.Diagnostic{
+			Pos:            anchor,
+			Category:       g.slice.Name(),
+			Message:        msg,
+			SuggestedFixes: padElemFix(pass, cfg, g.elem, stride),
+		})
+	}
+	return nil, nil
+}

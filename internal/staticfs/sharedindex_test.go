@@ -1,0 +1,31 @@
+package staticfs
+
+import (
+	"strings"
+	"testing"
+
+	"predator/internal/staticfs/analysis/analysistest"
+)
+
+func TestSharedindexGolden(t *testing.T) {
+	results := analysistest.Run(t, "testdata", "sharedindex", Padcheck, Sharedindex, Alignguard)
+
+	for _, d := range results[1].Diagnostics {
+		switch d.Category {
+		case "sums":
+			// []uint64 has no struct element to pad: message-only.
+			if len(d.SuggestedFixes) != 0 {
+				t.Errorf("sums: unexpected fixes %+v for a non-struct element", d.SuggestedFixes)
+			}
+		case "out":
+			// counters (16 bytes) pads to the 128-byte stride.
+			if len(d.SuggestedFixes) != 1 {
+				t.Fatalf("out: got %d fixes, want 1", len(d.SuggestedFixes))
+			}
+			fix := d.SuggestedFixes[0]
+			if len(fix.TextEdits) != 1 || !strings.Contains(string(fix.TextEdits[0].NewText), "[112]byte") {
+				t.Errorf("out fix edits = %+v, want one 112-byte pad", fix.TextEdits)
+			}
+		}
+	}
+}

@@ -1,0 +1,323 @@
+// Package staticfs is PREDATOR's static half: a suite of go/analysis-style
+// analyzers that detect false-sharing-prone Go code ahead of any run. The
+// dynamic detector (internal/core) observes sharing that did happen and
+// predicts sharing that placement could cause (paper §3); these analyzers
+// find the same patterns in source, playing the role of the paper's static
+// LLVM pass (§2.5, selective instrumentation decides *where* detection is
+// worth the cost) and of its proposed source-level fix prescriptions (§6).
+//
+// The suite:
+//
+//   - padcheck: struct fields written from different goroutines (or through
+//     sync/atomic, which implies cross-goroutine use) that land within one
+//     cache line of each other, using go/types.Sizes for true field offsets.
+//   - sharedindex: the paper's canonical Figure 6 shape — slices of small
+//     elements indexed by a per-worker id inside `go func` loops, so
+//     several workers' slots pack into one line.
+//   - alignguard: parallel-consumed slices whose element size is not a
+//     multiple of the cache line size, the static analogue of §3's
+//     alignment-sensitivity prediction (sharing appears or vanishes with
+//     the array's base address).
+//
+// Every diagnostic carries an analysis.SuggestedFix that pads the offending
+// declaration; the pad arithmetic is computed and re-verified through
+// internal/layout, the same machinery the dynamic fixer uses.
+//
+// A finding can be silenced with a directive on, or immediately above, the
+// reported line:
+//
+//	//predlint:ignore <analyzer> <reason>
+//
+// The reason is mandatory: suppressions without a rationale do not count.
+package staticfs
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"predator/internal/cacheline"
+	"predator/internal/staticfs/analysis"
+	"predator/internal/staticfs/load"
+)
+
+// DefaultLineSize is the cache line size the analyzers assume unless
+// configured otherwise — the paper's 64-byte evaluation geometry.
+const DefaultLineSize = cacheline.DefaultSize
+
+// Config parameterizes the suite.
+type Config struct {
+	// LineSize is the assumed cache line size in bytes (power of two).
+	// Zero means DefaultLineSize.
+	LineSize uint64
+}
+
+func (c Config) lineSize() uint64 {
+	if c.LineSize == 0 {
+		return DefaultLineSize
+	}
+	return c.LineSize
+}
+
+// Validate rejects non-power-of-two line sizes.
+func (c Config) Validate() error {
+	l := c.lineSize()
+	if l < cacheline.WordSize || l&(l-1) != 0 {
+		return fmt.Errorf("staticfs: line size %d is not a power of two >= %d", l, cacheline.WordSize)
+	}
+	return nil
+}
+
+// Analyzers returns the full suite configured for cfg.
+func Analyzers(cfg Config) []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		NewPadcheck(cfg),
+		NewSharedindex(cfg),
+		NewAlignguard(cfg),
+	}
+}
+
+// The default-configured suite, for tests and vet-style single-analyzer use.
+var (
+	Padcheck    = NewPadcheck(Config{})
+	Sharedindex = NewSharedindex(Config{})
+	Alignguard  = NewAlignguard(Config{})
+)
+
+// Finding is one diagnostic tied back to its analyzer and package — the
+// unit the CLI prints, the JSON output serializes, and the runtime
+// cross-check matches against.
+type Finding struct {
+	Analyzer string
+	Package  string
+	Pos      token.Position
+	End      token.Position
+	Subject  string // the flagged identifier (struct type or slice name)
+	Message  string
+	Fixes    []Fix
+}
+
+// Fix is a suggested fix with its edits resolved to file offsets, so it
+// survives without the FileSet that produced it.
+type Fix struct {
+	Message string `json:"message"`
+	Edits   []Edit `json:"edits"`
+}
+
+// Edit is one textual insertion/replacement in byte-offset terms.
+type Edit struct {
+	File    string `json:"file"`
+	Offset  int    `json:"offset"`
+	End     int    `json:"end"`
+	NewText string `json:"new_text"`
+}
+
+// resolveFixes rewrites an analyzer's pos-based fixes into offset form.
+func resolveFixes(fset *token.FileSet, fixes []analysis.SuggestedFix) []Fix {
+	out := make([]Fix, 0, len(fixes))
+	for _, sf := range fixes {
+		fix := Fix{Message: sf.Message}
+		for _, e := range sf.TextEdits {
+			pos := fset.Position(e.Pos)
+			end := pos
+			if e.End.IsValid() {
+				end = fset.Position(e.End)
+			}
+			fix.Edits = append(fix.Edits, Edit{
+				File:    pos.Filename,
+				Offset:  pos.Offset,
+				End:     end.Offset,
+				NewText: string(e.NewText),
+			})
+		}
+		out = append(out, fix)
+	}
+	return out
+}
+
+// RunAll applies every analyzer to every package and returns the combined
+// findings in (package, position) order.
+func RunAll(pkgs []*load.Package, analyzers []*analysis.Analyzer) ([]Finding, error) {
+	var out []Finding
+	for _, pkg := range pkgs {
+		for _, a := range analyzers {
+			diags, err := analysis.Run(a, pkg.Fset, pkg.Files, pkg.Types, pkg.Info, pkg.Sizes)
+			if err != nil {
+				return nil, fmt.Errorf("%s: %v", pkg.ImportPath, err)
+			}
+			for _, d := range diags {
+				f := Finding{
+					Analyzer: a.Name,
+					Package:  pkg.ImportPath,
+					Pos:      pkg.Fset.Position(d.Pos),
+					Subject:  d.Category,
+					Message:  d.Message,
+					Fixes:    resolveFixes(pkg.Fset, d.SuggestedFixes),
+				}
+				if d.End.IsValid() {
+					f.End = pkg.Fset.Position(d.End)
+				}
+				out = append(out, f)
+			}
+		}
+	}
+	return out, nil
+}
+
+// --- suppression directives ---
+
+const directivePrefix = "//predlint:ignore"
+
+// ignorer indexes predlint:ignore directives by file and line.
+type ignorer struct {
+	fset *token.FileSet
+	// byLine maps filename -> line -> analyzer names suppressed there.
+	byLine map[string]map[int][]string
+}
+
+// newIgnorer scans the files' comments for directives. A directive with no
+// reason after the analyzer name is ignored (and so does not suppress).
+func newIgnorer(fset *token.FileSet, files []*ast.File) *ignorer {
+	ig := &ignorer{fset: fset, byLine: map[string]map[int][]string{}}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, directivePrefix) {
+					continue
+				}
+				rest := strings.TrimSpace(strings.TrimPrefix(c.Text, directivePrefix))
+				parts := strings.SplitN(rest, " ", 2)
+				if len(parts) < 2 || strings.TrimSpace(parts[1]) == "" {
+					continue // no reason given: directive does not count
+				}
+				pos := fset.Position(c.Pos())
+				lines := ig.byLine[pos.Filename]
+				if lines == nil {
+					lines = map[int][]string{}
+					ig.byLine[pos.Filename] = lines
+				}
+				lines[pos.Line] = append(lines[pos.Line], parts[0])
+			}
+		}
+	}
+	return ig
+}
+
+// ignored reports whether a diagnostic from the named analyzer at pos is
+// suppressed: a directive on the same line or the line directly above.
+func (ig *ignorer) ignored(name string, pos token.Pos) bool {
+	p := ig.fset.Position(pos)
+	lines := ig.byLine[p.Filename]
+	if lines == nil {
+		return false
+	}
+	for _, l := range []int{p.Line, p.Line - 1} {
+		for _, a := range lines[l] {
+			if a == name || a == "all" {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// --- shared type helpers ---
+
+// namedStruct unwraps t (through pointers and aliases) to a named type
+// whose underlying type is a struct, or nil.
+func namedStruct(t types.Type) (*types.Named, *types.Struct) {
+	for {
+		switch u := t.(type) {
+		case *types.Pointer:
+			t = u.Elem()
+			continue
+		case *types.Alias:
+			t = types.Unalias(t)
+			continue
+		}
+		break
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return nil, nil
+	}
+	st, ok := named.Underlying().(*types.Struct)
+	if !ok {
+		return nil, nil
+	}
+	return named, st
+}
+
+// rootIdentObj walks selector/index/star/paren chains down to the base
+// identifier and returns its object (nil when the base is not a plain
+// identifier, e.g. a function call).
+func rootIdentObj(info *types.Info, e ast.Expr) types.Object {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return info.ObjectOf(x)
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// sliceElem returns the element type of a slice, array, or pointer-to-array
+// type, or nil.
+func sliceElem(t types.Type) types.Type {
+	switch u := t.Underlying().(type) {
+	case *types.Slice:
+		return u.Elem()
+	case *types.Array:
+		return u.Elem()
+	case *types.Pointer:
+		if arr, ok := u.Elem().Underlying().(*types.Array); ok {
+			return arr.Elem()
+		}
+	}
+	return nil
+}
+
+// typeSpecOf finds the declaration site of a named type within the pass's
+// files, returning the TypeSpec and the struct type literal (nil, nil when
+// the type is declared elsewhere, e.g. another package).
+func typeSpecOf(pass *analysis.Pass, named *types.Named) (*ast.TypeSpec, *ast.StructType) {
+	obj := named.Obj()
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.TYPE {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				if pass.TypesInfo.Defs[ts.Name] == obj {
+					stLit, _ := ts.Type.(*ast.StructType)
+					return ts, stLit
+				}
+			}
+		}
+	}
+	return nil, nil
+}
+
+// roundUp rounds n up to the next multiple of unit.
+func roundUp(n, unit uint64) uint64 {
+	if unit == 0 {
+		return n
+	}
+	return (n + unit - 1) / unit * unit
+}

@@ -1,0 +1,108 @@
+package staticfs
+
+import (
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"testing"
+
+	"predator/internal/cacheline"
+	"predator/internal/layout"
+	"predator/internal/staticfs/analysis"
+	"predator/internal/staticfs/analysis/analysistest"
+	"predator/internal/staticfs/load"
+)
+
+// TestLregFixVerifiedByLayout is the suite's acceptance check: the Figure 6
+// golden package must produce exactly one sharedindex diagnostic whose
+// suggested fix, applied to the source and re-type-checked, yields an
+// element layout that internal/layout certifies free of cross-worker line
+// sharing — and on which the whole suite then stays silent.
+func TestLregFixVerifiedByLayout(t *testing.T) {
+	results := analysistest.Run(t, "testdata", "lreg", Padcheck, Sharedindex, Alignguard)
+	shared := results[1]
+	if len(shared.Diagnostics) != 1 {
+		t.Fatalf("lreg: got %d sharedindex diagnostics, want 1", len(shared.Diagnostics))
+	}
+	d := shared.Diagnostics[0]
+	if len(d.SuggestedFixes) != 1 {
+		t.Fatalf("lreg: got %d suggested fixes, want 1", len(d.SuggestedFixes))
+	}
+
+	// Apply the fix and reload the patched package.
+	pkg := shared.Pkg
+	src, err := os.ReadFile(pkg.GoFiles[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	patched := applyEdits(t, pkg, src, d.SuggestedFixes[0].TextEdits)
+	dir := filepath.Join(t.TempDir(), "lreg")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "lreg.go"), patched, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	ppkg, err := load.Dir(dir)
+	if err != nil {
+		t.Fatalf("patched lreg does not type-check: %v\n%s", err, patched)
+	}
+
+	// Layout certification: 128-byte element, zero cross-worker words per
+	// line at aligned placement.
+	obj := ppkg.Types.Scope().Lookup("lregArgs")
+	if obj == nil {
+		t.Fatal("patched lreg lost the lregArgs type")
+	}
+	st, _ := obj.Type().(*types.Named).Underlying().(*types.Struct)
+	lst, err := layout.FromGoStruct("lregArgs", st, ppkg.Sizes)
+	if err != nil {
+		t.Fatalf("padded lregArgs rejected by the C model: %v", err)
+	}
+	if lst.Size() != 128 {
+		t.Fatalf("padded lregArgs size = %d, want 128", lst.Size())
+	}
+	if lst.SharedLines(cacheline.MustGeometry(int(DefaultLineSize)), 0) {
+		t.Error("padded lregArgs still shares cache lines between consecutive elements")
+	}
+
+	// The whole suite must be silent on the patched package.
+	for _, a := range Analyzers(Config{}) {
+		diags, err := analysis.Run(a, ppkg.Fset, ppkg.Files, ppkg.Types, ppkg.Info, ppkg.Sizes)
+		if err != nil {
+			t.Fatalf("%s on patched lreg: %v", a.Name, err)
+		}
+		for _, d := range diags {
+			t.Errorf("patched lreg: %s still reports: %s", a.Name, d.Message)
+		}
+	}
+}
+
+// TestLregPaddedGolden locks in that the pre-padded rendition reports
+// clean under the entire suite (it has no want comments).
+func TestLregPaddedGolden(t *testing.T) {
+	analysistest.Run(t, "testdata", "lreg_padded", Padcheck, Sharedindex, Alignguard)
+}
+
+// applyEdits splices insert-only text edits into src by file offset.
+func applyEdits(t *testing.T, pkg *load.Package, src []byte, edits []analysis.TextEdit) []byte {
+	t.Helper()
+	type insert struct {
+		off  int
+		text []byte
+	}
+	ins := make([]insert, 0, len(edits))
+	for _, e := range edits {
+		if e.End.IsValid() && e.End != e.Pos {
+			t.Fatalf("non-insert edit %+v", e)
+		}
+		ins = append(ins, insert{pkg.Fset.Position(e.Pos).Offset, e.NewText})
+	}
+	sort.Slice(ins, func(i, j int) bool { return ins[i].off > ins[j].off })
+	out := append([]byte(nil), src...)
+	for _, i := range ins {
+		out = append(out[:i.off], append(append([]byte(nil), i.text...), out[i.off:]...)...)
+	}
+	return out
+}

@@ -1,0 +1,54 @@
+// Package alignguard exercises the alignguard analyzer: per-worker slots
+// at least a cache line large but not a line-size multiple, so every slot
+// boundary straddles a line and the victims depend on the backing array's
+// base address — the paper's §3 alignment sensitivity, decided statically.
+package alignguard
+
+import "sync"
+
+// stats is 72 bytes: wider than a 64-byte line but not a multiple of it.
+type stats struct {
+	n       int64
+	buckets [8]int64
+}
+
+// histogram hands each worker a pointer to its own slot.
+func histogram(vals []int64, workers int) []stats {
+	out := make([]stats, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(s *stats) {
+			defer wg.Done()
+			for _, v := range vals {
+				s.n++ // want `worker goroutines write per-worker slots of out, whose 72-byte elements .* \(paper §3\); pad elements to 128 bytes`
+				s.buckets[v&7]++
+			}
+		}(&out[w])
+	}
+	wg.Wait()
+	return out
+}
+
+// wide slots are already a line-size multiple: clean at any base address
+// the allocator's size classes produce.
+type wide struct {
+	n int64
+	_ [120]byte
+}
+
+func fill(workers int) []wide {
+	out := make([]wide, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(s *wide) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				s.n++
+			}
+		}(&out[w])
+	}
+	wg.Wait()
+	return out
+}

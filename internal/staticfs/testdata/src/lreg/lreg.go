@@ -1,0 +1,49 @@
+// Package lreg reproduces the paper's Figure 6 false sharing
+// (linear_regression from the Phoenix suite): one accumulator block per
+// worker, allocated contiguously, so adjacent workers' blocks share cache
+// lines and every update invalidates the neighbors.
+package lreg
+
+import "sync"
+
+type point struct{ x, y int64 }
+
+// lregArgs is the per-worker accumulator block: 48 bytes, so adjacent
+// workers' blocks pack into the same 64-byte cache line.
+type lregArgs struct {
+	n                     int64
+	SX, SY, SXX, SYY, SXY int64
+}
+
+// regress spawns one goroutine per worker, each folding its share of the
+// points into its own args slot — the exact shape PREDATOR reports.
+func regress(points []point, workers int) lregArgs {
+	args := make([]lregArgs, workers)
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func(a *lregArgs) {
+			defer wg.Done()
+			for _, p := range points {
+				a.n++ // want `worker goroutines write per-worker slots of args, but its 48-byte elements .* \(paper Figure 6\); pad elements to 128 bytes`
+				a.SX += p.x
+				a.SY += p.y
+				a.SXX += p.x * p.x
+				a.SYY += p.y * p.y
+				a.SXY += p.x * p.y
+			}
+		}(&args[i])
+	}
+	wg.Wait()
+
+	var total lregArgs
+	for i := range args {
+		total.n += args[i].n
+		total.SX += args[i].SX
+		total.SY += args[i].SY
+		total.SXX += args[i].SXX
+		total.SYY += args[i].SYY
+		total.SXY += args[i].SXY
+	}
+	return total
+}

@@ -1,0 +1,48 @@
+// Package lreg_padded is the fixed rendition of the lreg golden package:
+// the accumulator block carries the pad the analyzers prescribe, so every
+// worker's slot owns whole cache lines and the whole suite must stay
+// silent on it.
+package lreg_padded
+
+import "sync"
+
+type point struct{ x, y int64 }
+
+// lregArgs is padded to 128 bytes — one slot per doubled cache line, the
+// same stride the dynamic fixer prescribes.
+type lregArgs struct {
+	n                     int64
+	SX, SY, SXX, SYY, SXY int64
+	_                     [80]byte
+}
+
+func regress(points []point, workers int) lregArgs {
+	args := make([]lregArgs, workers)
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func(a *lregArgs) {
+			defer wg.Done()
+			for _, p := range points {
+				a.n++
+				a.SX += p.x
+				a.SY += p.y
+				a.SXX += p.x * p.x
+				a.SYY += p.y * p.y
+				a.SXY += p.x * p.y
+			}
+		}(&args[i])
+	}
+	wg.Wait()
+
+	var total lregArgs
+	for i := range args {
+		total.n += args[i].n
+		total.SX += args[i].SX
+		total.SY += args[i].SY
+		total.SXX += args[i].SXX
+		total.SYY += args[i].SYY
+		total.SXY += args[i].SXY
+	}
+	return total
+}

@@ -1,0 +1,100 @@
+// Package padcheck exercises the padcheck analyzer: concurrently-written
+// struct fields that share a cache line, in both the atomic-counter and
+// the goroutine-attributed form, plus layouts that must stay clean.
+package padcheck
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// hotCounters holds two atomically-bumped counters eight bytes apart:
+// every hit invalidates the misses line and vice versa.
+type hotCounters struct { // want `concurrently-written fields hits, misses of hotCounters share a 64-byte cache line`
+	hits   atomic.Uint64
+	misses atomic.Uint64
+}
+
+func bump(c *hotCounters, hit bool) {
+	if hit {
+		c.hits.Add(1)
+	} else {
+		c.misses.Add(1)
+	}
+}
+
+// pair is written through one shared object from two different goroutines,
+// one field each — private writes, shared line.
+type pair struct { // want `concurrently-written fields a, b of pair share a 64-byte cache line`
+	a uint64
+	b uint64
+}
+
+func race(p *pair, n int) {
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < n; i++ {
+			p.a++
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 0; i < n; i++ {
+			p.b++
+		}
+	}()
+	wg.Wait()
+}
+
+// separated keeps its contended counters a full line apart: clean.
+type separated struct {
+	a uint64
+	_ [56]byte
+	b uint64
+	_ [56]byte
+}
+
+func raceSeparated(p *separated, n int) {
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < n; i++ {
+			p.a++
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 0; i < n; i++ {
+			p.b++
+		}
+	}()
+	wg.Wait()
+}
+
+// sequential is written by one goroutine only — adjacency is free then.
+type sequential struct {
+	x uint64
+	y uint64
+}
+
+func fill(s *sequential) {
+	s.x = 1
+	s.y = 2
+}
+
+// shadow mirrors per-word bookkeeping where padding would multiply the
+// footprint and defeat the point; the directive must silence the report.
+//
+//predlint:ignore padcheck per-word shadow records are size-critical by design
+type shadow struct {
+	r atomic.Uint64
+	w atomic.Uint64
+}
+
+func mark(s *shadow) {
+	s.r.Add(1)
+	s.w.Add(1)
+}

@@ -1,0 +1,90 @@
+// Package sharedindex exercises the sharedindex analyzer: per-worker
+// slice slots smaller than a cache line, hot-written by worker goroutines
+// that select their slot with their own id (the paper's Figure 6 shape),
+// plus variants that must stay clean.
+package sharedindex
+
+import "sync"
+
+// tally packs one uint64 accumulator per worker: eight workers' slots per
+// 64-byte line, each increment invalidating seven neighbors.
+func tally(items [][]uint64, workers int) []uint64 {
+	sums := make([]uint64, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			for _, v := range items[id] {
+				sums[id] += v // want `worker goroutines write per-worker slots of sums, but its 8-byte elements`
+			}
+		}(w)
+	}
+	wg.Wait()
+	return sums
+}
+
+// counters is a 16-byte per-worker block: four workers per line.
+type counters struct {
+	hits, misses uint64
+}
+
+// classify reaches its slot through an alias of the loop variable
+// captured by the closure.
+func classify(vals []int, workers int) []counters {
+	out := make([]counters, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		id := w
+		go func() {
+			defer wg.Done()
+			for _, v := range vals {
+				if v > 0 {
+					out[id].hits++ // want `worker goroutines write per-worker slots of out, but its 16-byte elements`
+				} else {
+					out[id].misses++
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return out
+}
+
+// collect stores one final error per worker: a single cold write per slot
+// is not the hot Figure 6 pattern and must not be reported.
+func collect(workers int) []error {
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			errs[id] = work(id)
+		}(w)
+	}
+	wg.Wait()
+	return errs
+}
+
+func work(int) error { return nil }
+
+// deliberate shares slots on purpose (the harness measures exactly this
+// contention); the directive with its reason must silence the report.
+func deliberate(workers int) []uint64 {
+	acc := make([]uint64, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				//predlint:ignore sharedindex benchmark measures this exact sharing
+				acc[id]++
+			}
+		}(w)
+	}
+	wg.Wait()
+	return acc
+}

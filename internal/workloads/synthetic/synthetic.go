@@ -9,6 +9,8 @@
 package synthetic
 
 import (
+	"sync"
+
 	"predator/internal/harness"
 	"predator/internal/instr"
 	"predator/internal/workloads/wlutil"
@@ -114,11 +116,15 @@ func runTrue(c *harness.Ctx) (uint64, error) {
 		return 0, err
 	}
 	n := iters(c)
+	// The lock keeps the simulated-heap bytes race-free for `go test -race`;
+	// the detector never sees it and still observes every thread writing the
+	// same word — the access PATTERN is the subject, not the sum.
+	var mu sync.Mutex
 	c.Parallel(c.Threads, "true", func(t *instr.Thread, id int) {
 		for i := 0; i < n; i++ {
-			// Racy increment: the data race is intentional — the
-			// access PATTERN is the subject, not the sum.
+			mu.Lock()
 			t.Store64(addr, t.Load64(addr)+1)
+			mu.Unlock()
 			c.MaybeYield(i)
 		}
 	})
