@@ -21,6 +21,7 @@ import (
 	"predator/internal/harness"
 	"predator/internal/obs"
 	"predator/internal/obs/diag"
+	"predator/internal/obs/traceout"
 	"predator/internal/resilience"
 
 	// Register every workload suite.
@@ -53,6 +54,8 @@ func main() {
 		quiet      = flag.Bool("quiet", false, "print only the summary line")
 		metricsOut = flag.String("metrics-out", "", "write runtime metrics in Prometheus text format to this file")
 		eventsOut  = flag.String("events-out", "", "stream lifecycle trace events as JSON lines to this file")
+		timeline   = flag.String("timeline-out", "", "write the flight-recorder timeline as Perfetto/Chrome trace-event JSON to this file")
+		flightN    = flag.Int("flight-depth", 0, "flight recorder ring depth per tracked line (0 = default, -1 = disable)")
 		heartbeat  = flag.Duration("heartbeat", 0, "heartbeat interval for periodic metric snapshots (0 = off)")
 		maxTracked = flag.Int("max-tracked-lines", 0, "resource governor budget for detailed tracking (0 = unlimited)")
 		maxVirtual = flag.Int("max-virtual-lines", 0, "resource governor budget for virtual lines (0 = unlimited)")
@@ -108,6 +111,7 @@ func main() {
 		Prediction:          m == harness.ModePredict,
 		MaxTrackedLines:     *maxTracked,
 		MaxVirtualLines:     *maxVirtual,
+		FlightDepth:         *flightN,
 	}
 	opts := harness.Options{
 		Mode:               m,
@@ -165,8 +169,7 @@ func main() {
 			fmt.Fprintf(os.Stderr, "predator: %v\n", err)
 			os.Exit(1)
 		}
-		fmt.Printf("diagnostics: http://%s (metrics, hotlines, findings, debug/pprof)\n", bound)
-		opts.OnRuntime = diagSrv.SetRuntime
+		fmt.Printf("diagnostics: http://%s (metrics, hotlines, findings, timeline, debug/pprof)\n", bound)
 		defer func() {
 			if *diagLinger > 0 {
 				fmt.Printf("diagnostics: lingering %s for final scrapes\n", *diagLinger)
@@ -179,6 +182,29 @@ func main() {
 	}
 	hb := obs.StartHeartbeat(observer, *heartbeat, *metricsOut)
 
+	// Keep a handle on the runtime the harness constructs: the timeline dump
+	// reads its flight recorders after the run (and the diagnostics server
+	// scrapes it live).
+	var rtRef *core.Runtime
+	opts.OnRuntime = func(rt *core.Runtime) {
+		rtRef = rt
+		if diagSrv != nil {
+			diagSrv.SetRuntime(rt)
+		}
+	}
+
+	// Interrupted runs still produce valid output files: flush the buffered
+	// event sink and write a final metrics snapshot before dying with the
+	// conventional 130/143 exit code.
+	stopOnInt := obs.FlushOnInterrupt(func() {
+		if observer != nil && *metricsOut != "" {
+			_ = observer.Metrics().WriteSnapshotFile(*metricsOut)
+		}
+		if evSink != nil {
+			_ = evSink.Flush()
+		}
+	}, nil)
+
 	start := time.Now()
 	res, err := harness.Execute(w, opts)
 	if err != nil {
@@ -186,6 +212,23 @@ func main() {
 		os.Exit(1)
 	}
 	hb.Stop()
+	stopOnInt()
+
+	if *timeline != "" {
+		switch {
+		case rtRef == nil:
+			fmt.Fprintln(os.Stderr, "predator: -timeline-out: no instrumented runtime (native mode has no timeline)")
+			os.Exit(1)
+		case !rtRef.FlightEnabled():
+			fmt.Fprintln(os.Stderr, "predator: -timeline-out conflicts with -flight-depth -1")
+			os.Exit(1)
+		}
+		if err := traceout.WriteTimelineFile(*timeline, rtRef.FlightDump(0, -1), res.ThreadNames); err != nil {
+			fmt.Fprintf(os.Stderr, "predator: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("timeline: %s (load in ui.perfetto.dev)\n", *timeline)
+	}
 	if observer != nil {
 		if *metricsOut != "" {
 			if err := observer.Metrics().WriteSnapshotFile(*metricsOut); err != nil {
@@ -206,19 +249,25 @@ func main() {
 	if *fixed {
 		variant = "fixed"
 	}
-	fmt.Printf("workload=%s variant=%s mode=%s threads=%d duration=%s checksum=%#x\n",
+	// With -json the summary banner moves to stderr so stdout is pure JSON
+	// (predator -json > report.json | jq must parse).
+	banner := os.Stdout
+	if *asJSON {
+		banner = os.Stderr
+	}
+	fmt.Fprintf(banner, "workload=%s variant=%s mode=%s threads=%d duration=%s checksum=%#x\n",
 		w.Name(), variant, m, *threads, res.Duration.Round(time.Microsecond), res.Checksum)
 	if res.Report == nil {
-		fmt.Println("(native mode: no instrumentation, no report)")
+		fmt.Fprintln(banner, "(native mode: no instrumentation, no report)")
 		return
 	}
 	st := res.RuntimeStats
-	fmt.Printf("accesses=%d writes=%d tracked-lines=%d virtual-lines=%d invalidations=%d virtual-invalidations=%d sampled=%d total=%s\n",
+	fmt.Fprintf(banner, "accesses=%d writes=%d tracked-lines=%d virtual-lines=%d invalidations=%d virtual-invalidations=%d sampled=%d total=%s\n",
 		st.Accesses, st.Writes, st.TrackedLines, st.VirtualLines,
 		st.Invalidations, st.VirtualInvalidations, st.SampledAccesses,
 		time.Since(start).Round(time.Millisecond))
 	if st.Degraded {
-		fmt.Printf("DEGRADED: degraded-lines=%d evictions=%d virtual-rejections=%d (findings flagged in report)\n",
+		fmt.Fprintf(banner, "DEGRADED: degraded-lines=%d evictions=%d virtual-rejections=%d (findings flagged in report)\n",
 			st.DegradedLines, st.Evictions, st.VirtualRejections)
 	}
 

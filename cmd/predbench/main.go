@@ -14,9 +14,11 @@ import (
 	"strings"
 	"time"
 
+	"predator/internal/core"
 	"predator/internal/eval"
 	"predator/internal/obs"
 	"predator/internal/obs/diag"
+	"predator/internal/obs/traceout"
 	"predator/internal/resilience"
 
 	_ "predator/internal/workloads/apps"
@@ -37,6 +39,10 @@ func main() {
 		heartbeat  = flag.Duration("heartbeat", 0, "heartbeat interval for periodic metric snapshots (0 = off)")
 		benchJSON  = flag.String("bench-json", "", "write machine-readable benchmark results (workload x mode medians, throughput, detector stats) to this file")
 		benchWork  = flag.String("bench-workloads", "", "comma-separated workloads for -bench-json (default: all evaluated workloads)")
+		benchComp  = flag.String("bench-compare", "", "re-measure the workloads in this baseline -bench-json file and fail on slowdown-ratio regression or finding-count drift")
+		benchTol   = flag.Float64("bench-tolerance", eval.DefaultBenchTolerance, "relative slowdown-ratio growth -bench-compare tolerates before failing")
+		benchDet   = flag.Bool("bench-deterministic", false, "run evaluations under the deterministic scheduler (reproducible finding counts; required for a drift-free -bench-compare gate; excludes workloads that block across threads)")
+		timeline   = flag.String("timeline-out", "", "write the last run's flight-recorder timeline as Perfetto/Chrome trace-event JSON to this file")
 		diagAddr   = flag.String("diag-addr", "", "serve live diagnostics on this host:port; the scrape source follows each run the experiments perform")
 		version    = flag.Bool("version", false, "print build version and exit")
 	)
@@ -51,6 +57,7 @@ func main() {
 	cfg.Threads = *threads
 	cfg.Scale = *scale
 	cfg.Repeats = *repeats
+	cfg.Deterministic = *benchDet
 
 	// Observability: one observer aggregates every run the experiments do.
 	var evSink *obs.JSONLines
@@ -90,9 +97,22 @@ func main() {
 			_ = diagSrv.Shutdown(sctx)
 		}()
 	}
+
+	// Keep a handle on the most recent detection runtime: -timeline-out dumps
+	// its flight recorders after the experiments finish.
+	var rtRef *core.Runtime
+	if *timeline != "" {
+		prev := cfg.OnRuntime
+		cfg.OnRuntime = func(rt *core.Runtime) {
+			rtRef = rt
+			if prev != nil {
+				prev(rt)
+			}
+		}
+	}
+
 	hb := obs.StartHeartbeat(cfg.Observer, *heartbeat, *metricsOut)
-	defer func() {
-		hb.Stop()
+	flushObs := func() {
 		if cfg.Observer == nil {
 			return
 		}
@@ -106,6 +126,13 @@ func main() {
 				fmt.Fprintf(os.Stderr, "predbench: writing %s: %v\n", *eventsOut, err)
 			}
 		}
+	}
+	// A ^C mid-sweep still leaves valid metrics/event files behind.
+	stopOnInt := obs.FlushOnInterrupt(flushObs, nil)
+	defer func() {
+		hb.Stop()
+		stopOnInt()
+		flushObs()
 	}()
 
 	run := func(name string, fn func() error) {
@@ -117,37 +144,63 @@ func main() {
 		fmt.Println()
 	}
 
-	// -bench-json alone runs only the bench sweep; an explicit -experiment
-	// keeps its usual meaning alongside it.
+	// -bench-json / -bench-compare alone run only the bench sweep; an
+	// explicit -experiment keeps its usual meaning alongside them.
 	expSet := false
 	flag.Visit(func(f *flag.Flag) {
 		if f.Name == "experiment" {
 			expSet = true
 		}
 	})
-	if *benchJSON != "" && !expSet {
+	if (*benchJSON != "" || *benchComp != "") && !expSet {
 		*experiment = "bench"
 	}
 
 	want := func(name string) bool { return *experiment == "all" || *experiment == name }
 	ran := false
 
-	if *benchJSON != "" {
+	if *benchJSON != "" || *benchComp != "" {
 		ran = true
+		var baseline *eval.BenchDoc
+		if *benchComp != "" {
+			var err error
+			baseline, err = eval.ReadBenchFile(*benchComp)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "predbench: %v\n", err)
+				os.Exit(1)
+			}
+		}
 		run("Bench: workload x mode sweep (machine-readable)", func() error {
 			workloads := eval.AllWorkloads()
-			if *benchWork != "" {
+			switch {
+			case *benchWork != "":
 				workloads = strings.Split(*benchWork, ",")
+			case baseline != nil:
+				// Re-measure exactly what the baseline covers, so the
+				// comparison never fails on coverage mismatch.
+				workloads = baseline.BenchWorkloads()
 			}
 			doc, err := eval.Bench(cfg, workloads)
 			if err != nil {
 				return err
 			}
-			if err := doc.WriteJSONFile(*benchJSON); err != nil {
-				return err
+			if *benchJSON != "" {
+				if err := doc.WriteJSONFile(*benchJSON); err != nil {
+					return err
+				}
+				fmt.Printf("wrote %d records (%d workloads x %d modes) to %s\n",
+					len(doc.Records), len(workloads), 3, *benchJSON)
 			}
-			fmt.Printf("wrote %d records (%d workloads x %d modes) to %s\n",
-				len(doc.Records), len(workloads), 3, *benchJSON)
+			if baseline != nil {
+				cmp, err := eval.CompareBench(baseline, doc, *benchTol)
+				if err != nil {
+					return err
+				}
+				fmt.Print(cmp.Render())
+				if !cmp.OK() {
+					return fmt.Errorf("benchmark gate failed against %s", *benchComp)
+				}
+			}
 			return nil
 		})
 	}
@@ -274,5 +327,24 @@ func main() {
 		fmt.Fprintf(os.Stderr, "predbench: unknown experiment %q (want %s)\n",
 			*experiment, strings.Join([]string{"table1", "fig2", "fig5", "fig7", "fig8", "fig9", "fig10", "apps", "ablation", "scaling", "all"}, " | "))
 		os.Exit(2)
+	}
+
+	if *timeline != "" {
+		// The experiments run many successive runtimes; the dump shows the
+		// last instrumented run (track names fall back to "thread N" — the
+		// evaluation loop does not surface per-run thread labels).
+		switch {
+		case rtRef == nil:
+			fmt.Fprintln(os.Stderr, "predbench: -timeline-out: no instrumented run performed")
+			os.Exit(1)
+		case !rtRef.FlightEnabled():
+			fmt.Fprintln(os.Stderr, "predbench: -timeline-out: flight recording disabled in the runtime config")
+			os.Exit(1)
+		}
+		if err := traceout.WriteTimelineFile(*timeline, rtRef.FlightDump(0, -1), nil); err != nil {
+			fmt.Fprintf(os.Stderr, "predbench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("timeline: %s (load in ui.perfetto.dev)\n", *timeline)
 	}
 }

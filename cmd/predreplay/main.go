@@ -26,6 +26,7 @@ import (
 	"predator/internal/mem"
 	"predator/internal/obs"
 	"predator/internal/obs/diag"
+	"predator/internal/obs/traceout"
 	"predator/internal/resilience"
 	"predator/internal/trace"
 
@@ -56,7 +57,9 @@ func main() {
 		salvageMax = flag.Uint64("salvage-budget", 0, "replay: max corrupt regions tolerated under -salvage (0 = unlimited); exceeding it exits nonzero after the partial report")
 		maxTracked = flag.Int("max-tracked-lines", 0, "replay: resource governor budget for detailed tracking (0 = unlimited)")
 		maxVirtual = flag.Int("max-virtual-lines", 0, "replay: resource governor budget for virtual lines (0 = unlimited)")
-		diagAddr   = flag.String("diag-addr", "", "replay: serve live diagnostics (metrics, hotlines, findings, pprof) on this host:port")
+		timeline   = flag.String("timeline-out", "", "replay: write the flight-recorder timeline as Perfetto/Chrome trace-event JSON to this file")
+		flightN    = flag.Int("flight-depth", 0, "replay: flight recorder ring depth per tracked line (0 = default, -1 = disable)")
+		diagAddr   = flag.String("diag-addr", "", "replay: serve live diagnostics (metrics, hotlines, findings, timeline, pprof) on this host:port")
 		version    = flag.Bool("version", false, "print build version and exit")
 	)
 	flag.Parse()
@@ -83,12 +86,14 @@ func main() {
 			Prediction:          !*noPredict,
 			MaxTrackedLines:     *maxTracked,
 			MaxVirtualLines:     *maxVirtual,
+			FlightDepth:         *flightN,
 		}
 		opts := replayOptions{
 			salvage:       *salvage,
 			salvageBudget: *salvageMax,
 			metricsOut:    *metricsOut,
 			eventsOut:     *eventsOut,
+			timelineOut:   *timeline,
 			diagAddr:      *diagAddr,
 		}
 		if err := doReplay(*replay, cfg, opts); err != nil {
@@ -163,6 +168,7 @@ type replayOptions struct {
 	salvageBudget uint64 // max corrupt regions tolerated; 0 = unlimited
 	metricsOut    string
 	eventsOut     string
+	timelineOut   string // Perfetto timeline destination, "" = off
 	diagAddr      string // live diagnostics listen address, "" = off
 }
 
@@ -196,6 +202,11 @@ func doReplay(path string, cfg core.Config, opts replayOptions) error {
 	}
 
 	ropts := trace.ReplayOptions{Salvage: opts.salvage}
+	// The timeline dump needs the replay runtime after the stream finishes.
+	var rtRef *core.Runtime
+	if opts.timelineOut != "" {
+		ropts.OnRuntime = func(rt *core.Runtime) { rtRef = rt }
+	}
 	if opts.diagAddr != "" {
 		cfg.Observer.EnableSelfProfile()
 		build := obs.RegisterBuildInfo(cfg.Observer.Metrics(), "predreplay")
@@ -205,13 +216,31 @@ func doReplay(path string, cfg core.Config, opts replayOptions) error {
 			return err
 		}
 		fmt.Printf("diagnostics: http://%s\n", bound)
-		ropts.OnRuntime = diagSrv.SetRuntime
+		prev := ropts.OnRuntime
+		ropts.OnRuntime = func(rt *core.Runtime) {
+			if prev != nil {
+				prev(rt)
+			}
+			diagSrv.SetRuntime(rt)
+		}
 		defer func() {
 			sctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 			defer cancel()
 			_ = diagSrv.Shutdown(sctx)
 		}()
 	}
+
+	// An interrupted replay still flushes the buffered event sink and a final
+	// metrics snapshot before dying with the conventional exit code.
+	stopOnInt := obs.FlushOnInterrupt(func() {
+		if cfg.Observer != nil && opts.metricsOut != "" {
+			_ = cfg.Observer.Metrics().WriteSnapshotFile(opts.metricsOut)
+		}
+		if evSink != nil {
+			_ = evSink.Flush()
+		}
+	}, nil)
+	defer stopOnInt()
 
 	start := time.Now()
 	res, err := trace.ReplayWithOptions(f, cfg, ropts)
@@ -244,6 +273,18 @@ func doReplay(path string, cfg core.Config, opts replayOptions) error {
 		if res.SemanticErrors > 0 {
 			fmt.Fprintf(os.Stderr, "predreplay:   %d decoded event(s) rejected by the rebuilt heap\n", res.SemanticErrors)
 		}
+	}
+	if opts.timelineOut != "" {
+		switch {
+		case rtRef == nil:
+			return fmt.Errorf("-timeline-out: no replay runtime constructed")
+		case !rtRef.FlightEnabled():
+			return fmt.Errorf("-timeline-out conflicts with -flight-depth -1")
+		}
+		if err := traceout.WriteTimelineFile(opts.timelineOut, rtRef.FlightDump(0, -1), res.Threads); err != nil {
+			return err
+		}
+		fmt.Printf("timeline: %s (load in ui.perfetto.dev)\n", opts.timelineOut)
 	}
 	fmt.Printf("replayed %d events in %s; %d threads named\n",
 		res.Events, time.Since(start).Round(time.Millisecond), len(res.Threads))

@@ -8,14 +8,20 @@
 //	predtop -addr 127.0.0.1:9142
 //	predtop -addr 127.0.0.1:9142 -n 20 -interval 500ms
 //	predtop -addr 127.0.0.1:9142 -once          # one frame, no screen clear
+//
+// While the viewer runs, 't' dumps the hottest line's flight-recorder
+// timeline (the server's /timeline endpoint) to a Perfetto-loadable JSON
+// file in -timeline-dir, and 'q' quits.
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"net/http"
 	"os"
+	"path/filepath"
 	"time"
 
 	"predator/internal/core"
@@ -30,6 +36,7 @@ func main() {
 		n        = flag.Int("n", 10, "how many hot lines to show")
 		interval = flag.Duration("interval", time.Second, "refresh interval")
 		once     = flag.Bool("once", false, "render a single frame and exit (no screen clearing)")
+		tlDir    = flag.String("timeline-dir", ".", "directory the 't' keystroke writes timeline dumps into")
 		version  = flag.Bool("version", false, "print build version and exit")
 	)
 	flag.Parse()
@@ -42,6 +49,27 @@ func main() {
 	client := &http.Client{Timeout: 5 * time.Second}
 	url := fmt.Sprintf("http://%s/hotlines?n=%d", *addr, *n)
 
+	// Keyboard: best effort. Raw mode delivers single keystrokes; when it is
+	// unavailable (stdin is a pipe) keys still arrive after Enter.
+	var keys chan byte
+	if !*once {
+		if restore, err := rawMode(os.Stdin); err == nil {
+			defer restore()
+		}
+		keys = make(chan byte)
+		go func() {
+			buf := make([]byte, 1)
+			for {
+				if _, err := os.Stdin.Read(buf); err != nil {
+					return
+				}
+				keys <- buf[0]
+			}
+		}()
+	}
+
+	var last *diag.HotLinesResponse
+	var status string // one-shot message rendered under the next frame
 	failures := 0
 	frames := 0
 	for {
@@ -50,10 +78,18 @@ func main() {
 		case err == nil:
 			failures = 0
 			frames++
+			last = resp
 			if !*once {
 				fmt.Print("\033[2J\033[H") // clear screen, home cursor
 			}
 			render(os.Stdout, resp)
+			if !*once {
+				fmt.Println("\n[t] dump hottest line timeline   [q] quit")
+				if status != "" {
+					fmt.Println(status)
+					status = ""
+				}
+			}
 		case frames == 0:
 			// Never connected: bad address or server not up yet.
 			fmt.Fprintf(os.Stderr, "predtop: %v\n", err)
@@ -70,8 +106,57 @@ func main() {
 		if *once {
 			return
 		}
-		time.Sleep(*interval)
+		// Keys interrupt the wait; the refresh timer re-renders otherwise.
+		timer := time.NewTimer(*interval)
+	wait:
+		for {
+			select {
+			case k := <-keys:
+				switch k {
+				case 'q', 'Q', 3: // q or ^C (raw mode swallows the signal)
+					timer.Stop()
+					return
+				case 't', 'T':
+					status = dumpTimeline(client, *addr, *tlDir, last)
+					timer.Stop()
+					break wait // re-render now so the status shows
+				}
+			case <-timer.C:
+				break wait
+			}
+		}
 	}
+}
+
+// dumpTimeline saves the hottest line's /timeline JSON into dir and returns
+// a status line for the viewer footer.
+func dumpTimeline(client *http.Client, addr, dir string, last *diag.HotLinesResponse) string {
+	if last == nil || last.Count == 0 {
+		return "timeline: no tracked lines yet"
+	}
+	line := last.Lines[0].Line
+	resp, err := client.Get(fmt.Sprintf("http://%s/timeline?line=%d", addr, line))
+	if err != nil {
+		return fmt.Sprintf("timeline: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 256))
+		return fmt.Sprintf("timeline: %s: %s", resp.Status, string(body))
+	}
+	path := filepath.Join(dir, fmt.Sprintf("predtop-line%d-%d.json", line, time.Now().Unix()))
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Sprintf("timeline: %v", err)
+	}
+	if _, err := io.Copy(f, resp.Body); err != nil {
+		f.Close()
+		return fmt.Sprintf("timeline: %v", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Sprintf("timeline: %v", err)
+	}
+	return fmt.Sprintf("timeline: line %d -> %s (load in ui.perfetto.dev)", line, path)
 }
 
 // poll fetches and decodes one /hotlines snapshot.

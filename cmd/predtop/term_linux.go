@@ -1,0 +1,34 @@
+//go:build linux
+
+package main
+
+import (
+	"os"
+	"syscall"
+	"unsafe"
+)
+
+// rawMode puts the terminal into character-at-a-time mode (no line
+// buffering, no echo) so single keystrokes reach the viewer, and returns a
+// restore function. Errors (stdin is a pipe, not a tty) are reported so the
+// caller can fall back to line-buffered input.
+func rawMode(f *os.File) (restore func(), err error) {
+	fd := f.Fd()
+	var old syscall.Termios
+	if _, _, errno := syscall.Syscall(syscall.SYS_IOCTL, fd,
+		syscall.TCGETS, uintptr(unsafe.Pointer(&old))); errno != 0 {
+		return nil, errno
+	}
+	raw := old
+	raw.Lflag &^= syscall.ICANON | syscall.ECHO
+	raw.Cc[syscall.VMIN] = 1
+	raw.Cc[syscall.VTIME] = 0
+	if _, _, errno := syscall.Syscall(syscall.SYS_IOCTL, fd,
+		syscall.TCSETS, uintptr(unsafe.Pointer(&raw))); errno != 0 {
+		return nil, errno
+	}
+	return func() {
+		syscall.Syscall(syscall.SYS_IOCTL, fd,
+			syscall.TCSETS, uintptr(unsafe.Pointer(&old)))
+	}, nil
+}

@@ -1,0 +1,14 @@
+//go:build !linux
+
+package main
+
+import (
+	"fmt"
+	"os"
+)
+
+// rawMode is unsupported off Linux; keystrokes then need a trailing Enter
+// (the reader still consumes them one byte at a time).
+func rawMode(*os.File) (func(), error) {
+	return nil, fmt.Errorf("raw terminal mode unsupported on this platform")
+}

@@ -27,6 +27,7 @@ import (
 	"predator/internal/detect"
 	"predator/internal/mem"
 	"predator/internal/obs"
+	"predator/internal/obs/flight"
 	"predator/internal/predict"
 	"predator/internal/report"
 	"predator/internal/resilience"
@@ -43,6 +44,11 @@ const (
 	DefaultSampleWindow        = 1_000_000
 	DefaultSampleBurst         = 10_000
 )
+
+// FlightDisabled as Config.FlightDepth turns flight recording off entirely.
+// The zero value means "enabled at the default depth" so existing Config
+// literals gain provenance and timelines without opting in.
+const FlightDisabled = -1
 
 // Config tunes the runtime. Use DefaultConfig as the baseline.
 type Config struct {
@@ -80,6 +86,13 @@ type Config struct {
 	// models; each must be a power of two > 1. Empty means {2}, the
 	// paper's doubled-line case.
 	LineSizeFactors []int
+	// FlightDepth sizes the per-tracked-line flight recorder ring (rounded
+	// up to a power of two, clamped to flight.MaxDepth). 0 (the zero value)
+	// selects flight.DefaultDepth — recorders are armed whenever a line is
+	// promoted to detailed tracking, so findings carry provenance and
+	// timelines by default. FlightDisabled (-1) turns recording off; other
+	// negative values are rejected by Validate.
+	FlightDepth int
 	// Observer, when non-nil, receives runtime metrics and — when it has
 	// an event sink — lifecycle trace events. The nil default leaves the
 	// fast path uninstrumented.
@@ -109,6 +122,9 @@ func (c Config) Validate() error {
 	}
 	if c.MaxVirtualLines < 0 {
 		return fmt.Errorf("core: MaxVirtualLines must be 0 (unlimited) or >= 1, got %d", c.MaxVirtualLines)
+	}
+	if c.FlightDepth < FlightDisabled {
+		return fmt.Errorf("core: FlightDepth must be FlightDisabled (-1), 0 (default), or a positive depth, got %d", c.FlightDepth)
 	}
 	return nil
 }
@@ -147,6 +163,17 @@ type Runtime struct {
 	vreg          *predict.Registry
 	vactive       atomic.Bool     // fast-path gate: any virtual lines registered?
 	predictedBits []atomic.Uint32 // one bit per line: hot-pair search already ran
+
+	// Flight recording (tentpole: causal timeline tracing). fclock is nil
+	// when FlightDepth == FlightDisabled; otherwise every promoted line and
+	// registered virtual line is armed with a ring of fdepth slots on this
+	// shared clock. phases is the detector-phase journal in clock time
+	// (prediction searches, report generation), mutex-appended off the hot
+	// path.
+	fclock *flight.Clock
+	fdepth int
+	phMu   sync.Mutex
+	phases []flight.PhaseSpan
 
 	// predlint padcheck: pads keep each contended counter on its own cache line.
 	_             [32]byte
@@ -219,6 +246,11 @@ func NewRuntime(h *mem.Heap, cfg Config) (*Runtime, error) {
 	}
 	if cfg.MaxVirtualLines > 0 {
 		rt.vreg.SetBudget(resilience.NewBudget(cfg.MaxVirtualLines))
+	}
+	if cfg.FlightDepth != FlightDisabled {
+		rt.fclock = &flight.Clock{}
+		rt.fdepth = flight.RoundDepth(cfg.FlightDepth)
+		rt.vreg.SetFlight(rt.fclock, rt.fdepth, cfg.ReportThreshold)
 	}
 	h.AddFreeHook(rt.onFree)
 	if o := cfg.Observer; o != nil {
@@ -367,6 +399,12 @@ func (rt *Runtime) installTrack(line uint64) *detect.Track {
 // the existing track when another goroutine got there first).
 func (rt *Runtime) installOne(line uint64) *detect.Track {
 	fresh := detect.NewTrackObserved(rt.mapping.LineBase(line), rt.geom, rt.sampler, rt.obs)
+	fresh.SetReportThreshold(rt.cfg.ReportThreshold)
+	if rt.fclock != nil {
+		// Arming rule: recorders exist only on promoted lines, created
+		// before publication so the hot path never sees a half-armed track.
+		fresh.ArmFlight(flight.NewRecorder(rt.fclock, rt.fdepth))
+	}
 	t := rt.sh.InstallTrack(line, fresh)
 	if t == fresh {
 		rt.promotionsC.Inc()
@@ -474,11 +512,41 @@ func (rt *Runtime) runPrediction(line uint64, track *detect.Track) {
 	if rt.obs != nil {
 		start = time.Now()
 	}
+	tickStart := rt.fclock.Now()
 	pprof.Do(context.Background(), pprof.Labels("predator_phase", "prediction"),
 		func(context.Context) { rt.predictLine(line, track) })
+	rt.notePhase("prediction", line, tickStart)
 	if rt.obs != nil {
 		rt.predictH.Observe(time.Since(start).Seconds())
 	}
+}
+
+// notePhase journals one detector-phase interval in access-clock time, named
+// with the same predator_phase labels the pprof integration uses so profiles
+// and timelines line up. No-op when flight recording is disabled.
+func (rt *Runtime) notePhase(name string, line, start uint64) {
+	if rt.fclock == nil {
+		return
+	}
+	span := flight.PhaseSpan{Name: name, Line: line, Start: start, End: rt.fclock.Now()}
+	rt.phMu.Lock()
+	rt.phases = append(rt.phases, span)
+	rt.phMu.Unlock()
+}
+
+// phaseSpans copies the phase journal, prefixed with the synthetic
+// whole-run workload span (tick 1 to now).
+func (rt *Runtime) phaseSpans() []flight.PhaseSpan {
+	if rt.fclock == nil {
+		return nil
+	}
+	rt.phMu.Lock()
+	defer rt.phMu.Unlock()
+	out := make([]flight.PhaseSpan, 0, len(rt.phases)+1)
+	if now := rt.fclock.Now(); now > 0 {
+		out = append(out, flight.PhaseSpan{Name: "workload", Start: 1, End: now})
+	}
+	return append(out, rt.phases...)
 }
 
 // predictLine is runPrediction's body: the §3.3 hot-pair search over the
@@ -592,8 +660,10 @@ func (rt *Runtime) Report() *report.Report {
 		began = time.Now()
 	}
 	var rep *report.Report
+	tickStart := rt.fclock.Now()
 	pprof.Do(context.Background(), pprof.Labels("predator_phase", "report"),
 		func(context.Context) { rep = rt.collectReport(true) })
+	rt.notePhase("report", 0, tickStart)
 	if rt.obs != nil {
 		rt.reportH.Observe(time.Since(began).Seconds())
 		if rt.obs.Tracing() {
@@ -641,6 +711,7 @@ func (rt *Runtime) collectReport(final bool) *report.Report {
 			Invalidations: t.Invalidations(),
 			Words:         words,
 			Degraded:      t.Degraded(),
+			Provenance:    rt.observedProvenance(t),
 		})
 	})
 
@@ -670,6 +741,7 @@ func (rt *Runtime) collectReport(final bool) *report.Report {
 			Invalidations: v.Invalidations(),
 			Estimate:      v.Pair.Estimate,
 			Words:         words,
+			Provenance:    rt.predictedProvenance(v),
 		})
 	}
 

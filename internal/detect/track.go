@@ -14,6 +14,7 @@ import (
 	"predator/internal/cacheline"
 	"predator/internal/histtable"
 	"predator/internal/obs"
+	"predator/internal/obs/flight"
 )
 
 // Owner sentinels for a word's owning thread.
@@ -156,6 +157,18 @@ type Track struct {
 	// Degradation state (cold: touched at Degrade/report time only).
 	frozen   atomic.Pointer[[]WordSnapshot]
 	degraded atomic.Bool
+
+	// Flight recorder (nil when flight recording is disabled; armed before
+	// publication only). reportThreshold is set before publication too, so
+	// the hot path reads both without synchronization beyond the track's own
+	// publish. flagSeq/flagClock capture, exactly once, the access ordinal
+	// and access-clock tick at which the line's invalidation count reached
+	// the report threshold — the moment the line became a finding.
+	rec             atomic.Pointer[flight.Recorder]
+	reportThreshold uint64
+	flagSeq         atomic.Uint64 // access ordinal n of the flagging access
+	flagClock       atomic.Uint64 // clock tick of the flagging access
+	salvage         atomic.Pointer[[]flight.Record]
 }
 
 // NewTrack creates tracking state for the line whose first address is
@@ -209,7 +222,8 @@ func (t *Track) HandleAccess(tid int, addr, size uint64, isWrite bool) (invalida
 			return false
 		}
 	}
-	if r := t.recorded.Add(1); r&(obs.SyncBatch-1) == 0 {
+	r := t.recorded.Add(1)
+	if r&(obs.SyncBatch-1) == 0 {
 		obs.SyncCounter(t.recordedC, r, &t.pushedRec)
 	}
 	if isWrite {
@@ -218,8 +232,30 @@ func (t *Track) HandleAccess(tid int, addr, size uint64, isWrite bool) (invalida
 		t.reads.Add(1)
 	}
 	invalidated = t.hist.Access(tid, isWrite)
+	var inv uint64
 	if invalidated {
-		t.invalidations.Add(1)
+		inv = t.invalidations.Add(1)
+	}
+
+	// Flight recording, decimated: every invalidation is recorded (they are
+	// the timeline's marks and the provenance evidence), but plain accesses
+	// only every flightStride-th — a Record costs three locked atomic ops
+	// (clock tick, ring cursor, slot store), and paying that on every sampled
+	// access would blow the 5% overhead envelope. The decimation counter is
+	// the recorded-ordinal already computed above, so the common path adds
+	// only a pointer load and a branch. The invalidation Add(1) return is
+	// unique per increment, so the == comparison flags the line exactly once
+	// — at the access whose invalidation reached the report threshold.
+	var tick uint64
+	if rec := t.rec.Load(); rec != nil && (invalidated || r&(flight.RecordStride-1) == 0) {
+		w := 0
+		if addr > t.lineBase {
+			w = int((addr - t.lineBase) >> cacheline.WordShift)
+		}
+		tick = rec.Record(tid, w, isWrite, invalidated)
+	}
+	if invalidated && t.reportThreshold != 0 && inv == t.reportThreshold {
+		t.markFlagged(tick, n)
 	}
 
 	// Clip the access to this line and update covered words. A degraded
@@ -264,10 +300,70 @@ func (t *Track) Degrade() {
 	snap := t.Words()
 	t.frozen.Store(&snap)
 	t.words.Store(nil)
+	// Salvage the flight recorder the same way: freeze the ring's contents
+	// so the interleaving evidence survives eviction, then disarm it so the
+	// degraded hot path stops paying for recording.
+	if rec := t.rec.Swap(nil); rec != nil {
+		recs := rec.Snapshot()
+		t.salvage.Store(&recs)
+	}
 }
 
 // Degraded reports whether the track is in invalidation-counting-only mode.
 func (t *Track) Degraded() bool { return t.degraded.Load() }
+
+// ArmFlight attaches a flight recorder to the track. Must be called before
+// the track is published (installation time — the TrackingThreshold
+// crossing), never on a live track.
+func (t *Track) ArmFlight(rec *flight.Recorder) {
+	t.rec.Store(rec)
+}
+
+// SetReportThreshold tells the track the invalidation count at which the
+// reporting phase will flag it, so the flagging instant can be captured as
+// it happens. Must be called before publication. 0 disables flag capture.
+func (t *Track) SetReportThreshold(th uint64) {
+	t.reportThreshold = th
+}
+
+// markFlagged captures the flagging instant exactly once: the access ordinal
+// n (always >= 1, so the CAS-from-0 is race-free) and its clock tick.
+func (t *Track) markFlagged(tick, n uint64) {
+	if t.flagSeq.CompareAndSwap(0, n) {
+		t.flagClock.Store(tick)
+	}
+}
+
+// FlagInfo returns the captured flagging instant: the access-clock tick of
+// the access whose invalidation reached the report threshold, the sampling
+// window (0-based interval index) that access fell in, and whether the line
+// has been flagged at all. Clock is 0 when flight recording was disabled.
+func (t *Track) FlagInfo() (clock, window uint64, flagged bool) {
+	n := t.flagSeq.Load()
+	if n == 0 {
+		return 0, 0, false
+	}
+	if t.sampler.Window > 0 {
+		window = (n - 1) / t.sampler.Window
+	}
+	return t.flagClock.Load(), window, true
+}
+
+// FlightRecords returns the track's recorded access tail, oldest first, and
+// whether it came from a salvaged (degradation-frozen) ring rather than a
+// live one. Nil when the track was never armed.
+func (t *Track) FlightRecords() (records []flight.Record, salvaged bool) {
+	if rec := t.rec.Load(); rec != nil {
+		return rec.Snapshot(), false
+	}
+	if s := t.salvage.Load(); s != nil {
+		return append([]flight.Record(nil), (*s)...), true
+	}
+	return nil, false
+}
+
+// FlightArmed reports whether the track currently holds a live recorder.
+func (t *Track) FlightArmed() bool { return t.rec.Load() != nil }
 
 // noteWindowPhase surfaces sampling-window transitions: the n-th access
 // opens a window when it starts a new sampling interval (phase 0), and
@@ -405,6 +501,15 @@ func (t *Track) Reset() {
 		}
 	}
 	t.frozen.Store(nil)
+	t.flagSeq.Store(0)
+	t.flagClock.Store(0)
+	t.salvage.Store(nil)
+	// A recycled track gets a fresh ring on the same shared clock: a ring's
+	// slots cannot be zeroed racelessly, but a new ring can be published with
+	// one store.
+	if rec := t.rec.Load(); rec != nil {
+		t.rec.Store(flight.NewRecorder(rec.Clock(), rec.Depth()))
+	}
 }
 
 // initWords sets every word's owner to OwnerNone: the zero value 0 is a

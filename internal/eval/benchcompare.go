@@ -1,0 +1,207 @@
+package eval
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+)
+
+// DefaultBenchTolerance is the relative slowdown-ratio drift the comparison
+// accepts before declaring a performance regression (10%, matching the CI
+// gate in the issue).
+const DefaultBenchTolerance = 0.10
+
+// BenchDelta is one workload × mode comparison between a baseline and a
+// current benchmark document. Performance is compared through slowdown
+// ratios (mode median / Original median within the same document), so the
+// verdict is machine-independent: a faster CI host speeds both numerator
+// and denominator.
+type BenchDelta struct {
+	Workload string `json:"workload"`
+	Mode     string `json:"mode"`
+
+	BaselineSlowdown float64 `json:"baseline_slowdown"`
+	CurrentSlowdown  float64 `json:"current_slowdown"`
+	// Ratio is CurrentSlowdown / BaselineSlowdown: 1.0 = unchanged,
+	// above 1+tolerance = regression.
+	Ratio float64 `json:"ratio"`
+
+	BaselineFindings     int `json:"baseline_findings"`
+	CurrentFindings      int `json:"current_findings"`
+	BaselineFalseSharing int `json:"baseline_false_sharing"`
+	CurrentFalseSharing  int `json:"current_false_sharing"`
+
+	Regressed bool `json:"regressed"`
+	Drifted   bool `json:"drifted"`
+}
+
+// BenchComparison is the full verdict of CompareBench.
+type BenchComparison struct {
+	Tolerance   float64      `json:"tolerance"`
+	Deltas      []BenchDelta `json:"deltas"`
+	Missing     []string     `json:"missing,omitempty"` // in baseline, absent from current
+	Extra       []string     `json:"extra,omitempty"`   // in current, absent from baseline
+	Regressions int          `json:"regressions"`
+	Drifts      int          `json:"drifts"`
+}
+
+// OK reports whether the comparison passes the CI gate: no performance
+// regression beyond tolerance, no finding-count drift, and every baseline
+// measurement still present.
+func (c *BenchComparison) OK() bool {
+	return c.Regressions == 0 && c.Drifts == 0 && len(c.Missing) == 0
+}
+
+// ReadBenchFile loads a -bench-json document (the committed baseline).
+func ReadBenchFile(path string) (*BenchDoc, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var doc BenchDoc
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return nil, fmt.Errorf("eval: parsing %s: %w", path, err)
+	}
+	if len(doc.Records) == 0 {
+		return nil, fmt.Errorf("eval: %s contains no benchmark records", path)
+	}
+	return &doc, nil
+}
+
+// BenchWorkloads returns the distinct workload names in the document, in
+// first-appearance order — the set -bench-compare re-measures so baseline
+// and current cover the same ground.
+func (d *BenchDoc) BenchWorkloads() []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, r := range d.Records {
+		if !seen[r.Workload] {
+			seen[r.Workload] = true
+			out = append(out, r.Workload)
+		}
+	}
+	return out
+}
+
+// slowdowns indexes a document's slowdown ratios and finding counts by
+// workload × mode. Original-mode records provide only the denominator.
+func slowdowns(d *BenchDoc) map[string]BenchRecord {
+	idx := make(map[string]BenchRecord, len(d.Records))
+	for _, r := range d.Records {
+		idx[r.Workload+"\x00"+r.Mode] = r
+	}
+	return idx
+}
+
+// CompareBench compares current against baseline. A tolerance of 0 means
+// DefaultBenchTolerance. Performance: for every instrumented mode the
+// slowdown ratio must not grow by more than tolerance. Findings: the
+// finding and false-sharing counts must match exactly — any drift means
+// the detector's behavior changed, which a perf PR must not do silently.
+func CompareBench(baseline, current *BenchDoc, tolerance float64) (*BenchComparison, error) {
+	if baseline == nil || current == nil {
+		return nil, fmt.Errorf("eval: CompareBench needs both documents")
+	}
+	if tolerance == 0 {
+		tolerance = DefaultBenchTolerance
+	}
+	if tolerance < 0 {
+		return nil, fmt.Errorf("eval: negative tolerance %v", tolerance)
+	}
+	base := slowdowns(baseline)
+	cur := slowdowns(current)
+
+	cmp := &BenchComparison{Tolerance: tolerance}
+	for _, r := range baseline.Records {
+		if r.Mode == "Original" {
+			continue
+		}
+		key := r.Workload + "\x00" + r.Mode
+		c, ok := cur[key]
+		if !ok {
+			cmp.Missing = append(cmp.Missing, r.Workload+"/"+r.Mode)
+			continue
+		}
+		baseOrig, okB := base[r.Workload+"\x00"+"Original"]
+		curOrig, okC := cur[r.Workload+"\x00"+"Original"]
+		d := BenchDelta{
+			Workload:             r.Workload,
+			Mode:                 r.Mode,
+			BaselineFindings:     r.Findings,
+			CurrentFindings:      c.Findings,
+			BaselineFalseSharing: r.FalseSharing,
+			CurrentFalseSharing:  c.FalseSharing,
+		}
+		// Prefer the fastest repeat over the median when all four records
+		// carry it: min-of-N filters scheduler noise the way the overhead
+		// contract tests do, so the 10% gate measures the code, not the CI
+		// host's mood. Older baselines without min_ns fall back to medians.
+		pick := func(rec BenchRecord) int64 { return rec.MedianNs }
+		if r.MinNs > 0 && c.MinNs > 0 && baseOrig.MinNs > 0 && curOrig.MinNs > 0 {
+			pick = func(rec BenchRecord) int64 { return rec.MinNs }
+		}
+		if okB && okC && pick(baseOrig) > 0 && pick(curOrig) > 0 && pick(r) > 0 {
+			d.BaselineSlowdown = float64(pick(r)) / float64(pick(baseOrig))
+			d.CurrentSlowdown = float64(pick(c)) / float64(pick(curOrig))
+			if d.BaselineSlowdown > 0 {
+				d.Ratio = d.CurrentSlowdown / d.BaselineSlowdown
+			}
+			d.Regressed = d.Ratio > 1+tolerance
+		}
+		d.Drifted = d.BaselineFindings != d.CurrentFindings ||
+			d.BaselineFalseSharing != d.CurrentFalseSharing
+		if d.Regressed {
+			cmp.Regressions++
+		}
+		if d.Drifted {
+			cmp.Drifts++
+		}
+		cmp.Deltas = append(cmp.Deltas, d)
+	}
+	for key := range cur {
+		if _, ok := base[key]; !ok {
+			parts := strings.SplitN(key, "\x00", 2)
+			cmp.Extra = append(cmp.Extra, parts[0]+"/"+parts[1])
+		}
+	}
+	sort.Strings(cmp.Extra)
+	return cmp, nil
+}
+
+// Render formats the comparison as the table predbench prints and CI logs.
+func (c *BenchComparison) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-20s %-12s %10s %10s %7s %9s %9s  verdict\n",
+		"workload", "mode", "base_slow", "cur_slow", "ratio", "findings", "fs")
+	for _, d := range c.Deltas {
+		verdict := "ok"
+		switch {
+		case d.Regressed && d.Drifted:
+			verdict = "REGRESSED+DRIFT"
+		case d.Regressed:
+			verdict = "REGRESSED"
+		case d.Drifted:
+			verdict = "DRIFT"
+		}
+		fmt.Fprintf(&b, "%-20s %-12s %10.3f %10.3f %7.3f %4d→%-4d %4d→%-4d  %s\n",
+			d.Workload, d.Mode, d.BaselineSlowdown, d.CurrentSlowdown, d.Ratio,
+			d.BaselineFindings, d.CurrentFindings,
+			d.BaselineFalseSharing, d.CurrentFalseSharing, verdict)
+	}
+	for _, m := range c.Missing {
+		fmt.Fprintf(&b, "%-20s MISSING from current run\n", m)
+	}
+	for _, e := range c.Extra {
+		fmt.Fprintf(&b, "%-20s new since baseline (informational)\n", e)
+	}
+	if c.OK() {
+		fmt.Fprintf(&b, "bench-compare: PASS (%d comparisons, tolerance %.0f%%)\n",
+			len(c.Deltas), c.Tolerance*100)
+	} else {
+		fmt.Fprintf(&b, "bench-compare: FAIL (%d regression(s), %d finding drift(s), %d missing)\n",
+			c.Regressions, c.Drifts, len(c.Missing))
+	}
+	return b.String()
+}

@@ -1,0 +1,177 @@
+package eval
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// benchDoc builds a two-workload document with controllable PREDATOR-mode
+// medians and finding counts. Original medians are fixed so slowdown ratios
+// are easy to reason about.
+func benchDoc(predNs int64, findings, fs int) *BenchDoc {
+	return &BenchDoc{
+		Tool: "predbench", Threads: 8, Scale: 1, Repeats: 3,
+		Records: []BenchRecord{
+			{Workload: "lr", Mode: "Original", MedianNs: 1000},
+			{Workload: "lr", Mode: "PREDATOR-NP", MedianNs: 2000, Findings: 3, FalseSharing: 1},
+			{Workload: "lr", Mode: "PREDATOR", MedianNs: predNs, Findings: findings, FalseSharing: fs},
+		},
+	}
+}
+
+func TestCompareBenchPass(t *testing.T) {
+	base := benchDoc(3000, 5, 2)
+	cur := benchDoc(3200, 5, 2) // slowdown 3.0 → 3.2, ratio 1.067 < 1.10
+	cmp, err := CompareBench(base, cur, 0.10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cmp.OK() {
+		t.Fatalf("expected pass, got %+v", cmp)
+	}
+	if len(cmp.Deltas) != 2 {
+		t.Fatalf("deltas = %d, want 2", len(cmp.Deltas))
+	}
+}
+
+func TestCompareBenchRegression(t *testing.T) {
+	base := benchDoc(3000, 5, 2)
+	cur := benchDoc(3500, 5, 2) // ratio 3.5/3.0 = 1.167 > 1.10
+	cmp, err := CompareBench(base, cur, 0.10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmp.OK() || cmp.Regressions != 1 {
+		t.Fatalf("expected 1 regression, got %+v", cmp)
+	}
+	if !strings.Contains(cmp.Render(), "REGRESSED") {
+		t.Errorf("render lacks REGRESSED:\n%s", cmp.Render())
+	}
+}
+
+// TestCompareBenchMachineIndependent: a uniformly 2x-slower host must not
+// trip the gate — only the slowdown ratio matters.
+func TestCompareBenchMachineIndependent(t *testing.T) {
+	base := benchDoc(3000, 5, 2)
+	cur := benchDoc(3000, 5, 2)
+	for i := range cur.Records {
+		cur.Records[i].MedianNs *= 2
+	}
+	cmp, err := CompareBench(base, cur, 0.10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cmp.OK() {
+		t.Fatalf("uniform slowdown tripped the gate: %+v", cmp)
+	}
+}
+
+func TestCompareBenchFindingDrift(t *testing.T) {
+	base := benchDoc(3000, 5, 2)
+	cur := benchDoc(3000, 6, 2) // one extra finding
+	cmp, err := CompareBench(base, cur, 0.10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmp.OK() || cmp.Drifts != 1 {
+		t.Fatalf("expected 1 drift, got %+v", cmp)
+	}
+	if !strings.Contains(cmp.Render(), "DRIFT") {
+		t.Errorf("render lacks DRIFT:\n%s", cmp.Render())
+	}
+}
+
+func TestCompareBenchMissing(t *testing.T) {
+	base := benchDoc(3000, 5, 2)
+	cur := benchDoc(3000, 5, 2)
+	cur.Records = cur.Records[:2] // drop PREDATOR record
+	cmp, err := CompareBench(base, cur, 0.10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmp.OK() || len(cmp.Missing) != 1 {
+		t.Fatalf("expected 1 missing, got %+v", cmp)
+	}
+}
+
+func TestCompareBenchDefaults(t *testing.T) {
+	base := benchDoc(3000, 5, 2)
+	cur := benchDoc(3250, 5, 2) // ratio 1.083: passes at default 0.10
+	cmp, err := CompareBench(base, cur, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmp.Tolerance != DefaultBenchTolerance {
+		t.Errorf("tolerance = %v, want %v", cmp.Tolerance, DefaultBenchTolerance)
+	}
+	if !cmp.OK() {
+		t.Fatalf("expected pass at default tolerance, got %+v", cmp)
+	}
+	if _, err := CompareBench(base, cur, -1); err == nil {
+		t.Error("negative tolerance accepted")
+	}
+	if _, err := CompareBench(nil, cur, 0.1); err == nil {
+		t.Error("nil baseline accepted")
+	}
+}
+
+// TestCompareBenchPrefersMin: when every involved record carries min_ns the
+// gate judges the fastest repeats, so a noisy median alone cannot fail it.
+func TestCompareBenchPrefersMin(t *testing.T) {
+	withMin := func(d *BenchDoc, mins ...int64) *BenchDoc {
+		for i := range d.Records {
+			d.Records[i].MinNs = mins[i]
+		}
+		return d
+	}
+	base := withMin(benchDoc(3000, 5, 2), 1000, 2000, 3000)
+	cur := withMin(benchDoc(9000, 5, 2), 1000, 2000, 3000) // median regressed 3x, min unchanged
+	cmp, err := CompareBench(base, cur, 0.10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cmp.OK() {
+		t.Fatalf("min-based comparison tripped on median noise: %+v", cmp)
+	}
+
+	// And a genuine min regression still fails.
+	cur2 := withMin(benchDoc(3000, 5, 2), 1000, 2000, 4000)
+	cmp2, err := CompareBench(base, cur2, 0.10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmp2.OK() || cmp2.Regressions != 1 {
+		t.Fatalf("expected min-based regression, got %+v", cmp2)
+	}
+}
+
+func TestReadBenchFileRoundTrip(t *testing.T) {
+	doc := benchDoc(3000, 5, 2)
+	path := filepath.Join(t.TempDir(), "bench.json")
+	if err := doc.WriteJSONFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadBenchFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Records) != len(doc.Records) {
+		t.Fatalf("records = %d, want %d", len(got.Records), len(doc.Records))
+	}
+	if ws := got.BenchWorkloads(); len(ws) != 1 || ws[0] != "lr" {
+		t.Errorf("BenchWorkloads = %v", ws)
+	}
+
+	if _, err := ReadBenchFile(filepath.Join(t.TempDir(), "absent.json")); err == nil {
+		t.Error("absent file accepted")
+	}
+	empty := filepath.Join(t.TempDir(), "empty.json")
+	if err := os.WriteFile(empty, []byte(`{"records":[]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadBenchFile(empty); err == nil {
+		t.Error("empty document accepted")
+	}
+}

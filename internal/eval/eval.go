@@ -40,6 +40,12 @@ type Config struct {
 	// evaluation constructs, right before its workload runs. The live
 	// diagnostics server uses it to follow the evaluation from run to run.
 	OnRuntime func(*core.Runtime)
+	// Deterministic serializes workers under the round-robin scheduler so
+	// detection counts are exactly reproducible — the mode the benchmark
+	// regression gate (predbench -bench-compare) runs in, since its
+	// finding-drift check needs run-to-run stable counts. Not usable with
+	// workloads that block across threads (boost).
+	Deterministic bool
 }
 
 // Default returns the evaluation configuration scaled for the test-sized
@@ -206,13 +212,14 @@ func detect(cfg Config, workload string, mode harness.Mode, buggy bool, offset u
 	}
 	rc := cfg.Runtime
 	return harness.Execute(w, harness.Options{
-		Mode:      mode,
-		Threads:   cfg.Threads,
-		Scale:     cfg.Scale,
-		Buggy:     buggy,
-		Offset:    offset,
-		Runtime:   &rc,
-		Observer:  cfg.Observer,
-		OnRuntime: cfg.OnRuntime,
+		Mode:          mode,
+		Threads:       cfg.Threads,
+		Scale:         cfg.Scale,
+		Buggy:         buggy,
+		Offset:        offset,
+		Runtime:       &rc,
+		Observer:      cfg.Observer,
+		OnRuntime:     cfg.OnRuntime,
+		Deterministic: cfg.Deterministic,
 	})
 }

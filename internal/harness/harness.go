@@ -285,6 +285,10 @@ type Result struct {
 	RuntimeStats core.Stats
 	HeapStats    mem.Stats
 
+	// ThreadNames maps dense thread IDs to the labels the workload gave
+	// them — the timeline exporter's track names.
+	ThreadNames map[int]string
+
 	// MemBefore/MemAfter are Go heap stats (bytes) when MeasureMemory.
 	MemBefore uint64
 	MemAfter  uint64
@@ -423,15 +427,16 @@ func execute(w Workload, opts Options, heap *mem.Heap, sinkOverride instr.Sink) 
 	}
 
 	res := &Result{
-		Workload:  w.Name(),
-		Mode:      opts.Mode,
-		Buggy:     opts.Buggy,
-		Threads:   opts.Threads,
-		Scale:     opts.Scale,
-		Checksum:  checksum,
-		Duration:  elapsed,
-		HeapStats: h.Stats(),
-		MemBefore: memBefore,
+		Workload:    w.Name(),
+		Mode:        opts.Mode,
+		Buggy:       opts.Buggy,
+		Threads:     opts.Threads,
+		Scale:       opts.Scale,
+		Checksum:    checksum,
+		Duration:    elapsed,
+		HeapStats:   h.Stats(),
+		MemBefore:   memBefore,
+		ThreadNames: in.ThreadNames(),
 	}
 	in.FlushMetrics()
 	if rt != nil {

@@ -19,6 +19,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sync"
 	"sync/atomic"
 
 	"predator/internal/mem"
@@ -94,6 +95,10 @@ type Instrumenter struct {
 	base   uint64
 	sink   Sink
 	policy Policy
+
+	// tid → label, for timeline track naming. NewThread is cold path.
+	tmu    sync.Mutex
+	tnames map[int]string
 
 	// predlint padcheck: pads keep each contended counter on its own cache line.
 	_          [40]byte
@@ -206,10 +211,28 @@ type Thread struct {
 // NewThread mints a handle with the next dense thread ID.
 func (in *Instrumenter) NewThread(name string) *Thread {
 	id := int(in.nextTID.Add(1) - 1)
+	in.tmu.Lock()
+	if in.tnames == nil {
+		in.tnames = make(map[int]string)
+	}
+	in.tnames[id] = name
+	in.tmu.Unlock()
 	if in.obs.Tracing() {
 		in.obs.Emit(obs.Event{Type: obs.EvThread, TID: id, Name: name})
 	}
 	return &Thread{in: in, id: id, name: name}
+}
+
+// ThreadNames returns a copy of the tid → label map for every thread minted
+// so far. The timeline exporter uses it to name per-thread tracks.
+func (in *Instrumenter) ThreadNames() map[int]string {
+	in.tmu.Lock()
+	defer in.tmu.Unlock()
+	m := make(map[int]string, len(in.tnames))
+	for id, n := range in.tnames {
+		m[id] = n
+	}
+	return m
 }
 
 // ID returns the thread's dense ID.

@@ -8,6 +8,10 @@
 //     sampling-window phase, degradation status, attached virtual lines).
 //   - /findings — a provisional (side-effect-free) report of what the final
 //     Report would currently contain.
+//   - /timeline?line=K — the flight recorders rendered as Chrome
+//     trace-event JSON (load in ui.perfetto.dev): per-thread access tracks,
+//     invalidation marks, detector-phase spans. Omit line for the hottest
+//     lines (?n= bounds how many).
 //   - /debug/pprof/* — the Go profiler; detector phases and workload
 //     goroutines carry pprof labels so CPU profiles split instrumentation,
 //     prediction, and report cost.
@@ -35,6 +39,7 @@ import (
 
 	"predator/internal/core"
 	"predator/internal/obs"
+	"predator/internal/obs/traceout"
 	"predator/internal/report"
 	"predator/internal/resilience"
 )
@@ -49,6 +54,16 @@ type Source interface {
 	Provisional() *report.Report
 	// Stats snapshots runtime counters.
 	Stats() core.Stats
+}
+
+// TimelineSource is the optional Source extension behind /timeline.
+// *core.Runtime implements it; sources that don't (test fakes, remote
+// mirrors) make the endpoint answer 503 rather than breaking the interface.
+type TimelineSource interface {
+	// FlightDump snapshots the flight recorders: line >= 0 restricts to one
+	// physical line, otherwise the n hottest lines (n <= 0 means all). Nil
+	// when flight recording is disabled.
+	FlightDump(n int, line int64) *core.FlightDump
 }
 
 // DefaultHotLines is how many lines /hotlines returns when ?n= is absent.
@@ -91,6 +106,7 @@ func New(reg *obs.Registry, tool string, build obs.BuildInfo) *Server {
 	s.mux.HandleFunc("/metrics", s.guarded("/metrics", s.handleMetrics))
 	s.mux.HandleFunc("/hotlines", s.guarded("/hotlines", s.handleHotLines))
 	s.mux.HandleFunc("/findings", s.guarded("/findings", s.handleFindings))
+	s.mux.HandleFunc("/timeline", s.guarded("/timeline", s.handleTimeline))
 	s.mux.HandleFunc("/debug/pprof/", s.guardRaw("/debug/pprof", httppprof.Index))
 	s.mux.HandleFunc("/debug/pprof/cmdline", s.guardRaw("/debug/pprof/cmdline", httppprof.Cmdline))
 	s.mux.HandleFunc("/debug/pprof/profile", s.guardRaw("/debug/pprof/profile", httppprof.Profile))
@@ -351,6 +367,41 @@ func (s *Server) handleFindings(_ *http.Request, buf *bytes.Buffer) (string, err
 		Report:    rep.ToJSON(),
 	}
 	return writeJSON(buf, resp)
+}
+
+func (s *Server) handleTimeline(r *http.Request, buf *bytes.Buffer) (string, error) {
+	src := s.Src()
+	if src == nil {
+		return "", &httpError{http.StatusServiceUnavailable, "no runtime attached"}
+	}
+	ts, ok := src.(TimelineSource)
+	if !ok {
+		return "", &httpError{http.StatusServiceUnavailable, "attached source does not support timelines"}
+	}
+	line := int64(-1)
+	if raw := r.URL.Query().Get("line"); raw != "" {
+		v, err := strconv.ParseInt(raw, 10, 64)
+		if err != nil || v < 0 {
+			return "", &httpError{http.StatusBadRequest, "invalid line: " + raw}
+		}
+		line = v
+	}
+	n := DefaultHotLines
+	if raw := r.URL.Query().Get("n"); raw != "" {
+		v, err := strconv.Atoi(raw)
+		if err != nil {
+			return "", &httpError{http.StatusBadRequest, "invalid n: " + raw}
+		}
+		n = v
+	}
+	d := ts.FlightDump(n, line)
+	if d == nil {
+		return "", &httpError{http.StatusServiceUnavailable, "flight recording disabled"}
+	}
+	if err := traceout.WriteTimeline(buf, d, nil); err != nil {
+		return "", err
+	}
+	return "application/json; charset=utf-8", nil
 }
 
 // writeJSON renders v into buf and returns the JSON content type.

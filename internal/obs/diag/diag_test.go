@@ -7,6 +7,7 @@ import (
 	"net"
 	"net/http"
 	"net/http/httptest"
+	"strconv"
 	"strings"
 	"sync"
 	"testing"
@@ -216,7 +217,7 @@ func TestNoSourceUnavailable(t *testing.T) {
 	srv := httptest.NewServer(s.Handler())
 	defer srv.Close()
 
-	for _, path := range []string{"/hotlines", "/findings"} {
+	for _, path := range []string{"/hotlines", "/findings", "/timeline"} {
 		resp, _ := get(t, srv, path)
 		if resp.StatusCode != http.StatusServiceUnavailable {
 			t.Errorf("%s: status = %d, want 503", path, resp.StatusCode)
@@ -234,6 +235,68 @@ func TestNoSourceUnavailable(t *testing.T) {
 		t.Error("source_active = true with no source")
 	}
 }
+
+// TestTimelineEndpoint: /timeline renders the flight recorders as
+// trace-event JSON, filters by line, rejects bad parameters, and answers 503
+// for sources without flight support.
+func TestTimelineEndpoint(t *testing.T) {
+	s, rt, h := newDetectingServer(t)
+	drive(t, rt, h, 500)
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+
+	resp, body := get(t, srv, "/timeline")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, want 200 (body: %s)", resp.StatusCode, body)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "application/json") {
+		t.Errorf("content type = %q, want application/json", ct)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(body, &doc); err != nil {
+		t.Fatalf("invalid trace JSON: %v", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Fatal("no trace events")
+	}
+
+	// Per-line filter still renders a valid document.
+	hot := rt.HotLines(1)
+	if len(hot) == 0 {
+		t.Fatal("no hot lines")
+	}
+	resp, body = get(t, srv, "/timeline?line="+strconv.FormatUint(hot[0].Line, 10))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("line filter: status = %d (body: %s)", resp.StatusCode, body)
+	}
+	if err := json.Unmarshal(body, &doc); err != nil {
+		t.Fatalf("line filter: invalid JSON: %v", err)
+	}
+
+	for _, bad := range []string{"/timeline?line=xyz", "/timeline?line=-3", "/timeline?n=zz"} {
+		resp, _ := get(t, srv, bad)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status = %d, want 400", bad, resp.StatusCode)
+		}
+	}
+
+	// A source that lacks FlightDump (the optional TimelineSource
+	// interface) degrades to 503 rather than breaking.
+	s.SetSource(plainSource{rt})
+	resp, _ = get(t, srv, "/timeline")
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("non-timeline source: status = %d, want 503", resp.StatusCode)
+	}
+}
+
+// plainSource implements Source but not TimelineSource.
+type plainSource struct{ rt *core.Runtime }
+
+func (p plainSource) HotLines(n int) []core.LineSnapshot { return p.rt.HotLines(n) }
+func (p plainSource) Provisional() *report.Report        { return p.rt.Provisional() }
+func (p plainSource) Stats() core.Stats                  { return p.rt.Stats() }
 
 // TestConcurrentScrapeDuringDetection exercises every endpoint while worker
 // goroutines hammer the runtime — the contract the race detector checks.

@@ -1,0 +1,233 @@
+package flight
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestPackUnpackRoundTrip(t *testing.T) {
+	cases := []Record{
+		{Clock: 1, TID: 0, Word: 0},
+		{Clock: 42, TID: 7, Word: 3, Write: true},
+		{Clock: 9999, TID: 13, Word: 7, Write: true, Invalidation: true},
+		{Clock: clockMask, TID: tidMask, Word: wordMask, Invalidation: true},
+	}
+	for _, want := range cases {
+		got := unpack(pack(want.Clock, want.TID, want.Word, want.Write, want.Invalidation))
+		if got != want {
+			t.Errorf("round trip %+v -> %+v", want, got)
+		}
+	}
+}
+
+func TestPackClamps(t *testing.T) {
+	// Out-of-range fields must not bleed into neighboring fields.
+	got := unpack(pack(clockMask+5, 1<<20, 300, false, false))
+	if got.Clock != 4 {
+		t.Errorf("clock wrap: got %d, want 4", got.Clock)
+	}
+	if got.TID > tidMask || got.Word > wordMask {
+		t.Errorf("field bleed: %+v", got)
+	}
+	if got.Write || got.Invalidation {
+		t.Errorf("flag bleed: %+v", got)
+	}
+	// Negative tid is clamped to 0 rather than setting all tid bits.
+	if got := unpack(pack(1, -3, 0, false, false)); got.TID != 0 {
+		t.Errorf("negative tid: got %d, want 0", got.TID)
+	}
+}
+
+func TestClockNilSafe(t *testing.T) {
+	var c *Clock
+	if c.Next() != 0 || c.Now() != 0 {
+		t.Fatal("nil clock must return 0")
+	}
+	c = &Clock{}
+	if got := c.Next(); got != 1 {
+		t.Fatalf("first tick = %d, want 1", got)
+	}
+	if got := c.Now(); got != 1 {
+		t.Fatalf("Now = %d, want 1", got)
+	}
+}
+
+func TestRoundDepth(t *testing.T) {
+	cases := map[int]int{
+		-1: DefaultDepth, 0: DefaultDepth,
+		1: 1, 2: 2, 3: 4, 64: 64, 65: 128,
+		MaxDepth: MaxDepth, MaxDepth + 1: MaxDepth,
+	}
+	for in, want := range cases {
+		if got := RoundDepth(in); got != want {
+			t.Errorf("RoundDepth(%d) = %d, want %d", in, got, want)
+		}
+	}
+}
+
+func TestRecorderNilSafe(t *testing.T) {
+	var r *Recorder
+	if r.Record(1, 2, true, true) != 0 {
+		t.Error("nil Record must return 0")
+	}
+	if r.Snapshot() != nil || r.Depth() != 0 || r.Recorded() != 0 || r.Clock() != nil {
+		t.Error("nil recorder accessors must be zero-valued")
+	}
+}
+
+func TestRecorderOrderAndWrap(t *testing.T) {
+	clk := &Clock{}
+	r := NewRecorder(clk, 4)
+	if r.Depth() != 4 {
+		t.Fatalf("depth = %d, want 4", r.Depth())
+	}
+	// Fill past capacity: 7 records into a 4-slot ring keeps the newest 4.
+	for i := 0; i < 7; i++ {
+		r.Record(i, i%8, i%2 == 0, false)
+	}
+	if r.Recorded() != 7 {
+		t.Fatalf("recorded = %d, want 7", r.Recorded())
+	}
+	snap := r.Snapshot()
+	if len(snap) != 4 {
+		t.Fatalf("snapshot len = %d, want 4", len(snap))
+	}
+	for i, rec := range snap {
+		wantClock := uint64(4 + i) // clocks 4..7 survive
+		if rec.Clock != wantClock {
+			t.Errorf("snap[%d].Clock = %d, want %d", i, rec.Clock, wantClock)
+		}
+		if rec.TID != int(wantClock)-1 {
+			t.Errorf("snap[%d].TID = %d, want %d", i, rec.TID, int(wantClock)-1)
+		}
+	}
+}
+
+func TestRecorderSharedClock(t *testing.T) {
+	clk := &Clock{}
+	a := NewRecorder(clk, 8)
+	b := NewRecorder(clk, 8)
+	a.Record(0, 0, true, false)
+	b.Record(1, 1, true, false)
+	a.Record(0, 0, true, true)
+	sa, sb := a.Snapshot(), b.Snapshot()
+	if len(sa) != 2 || len(sb) != 1 {
+		t.Fatalf("snapshot lens = %d, %d", len(sa), len(sb))
+	}
+	// One shared clock totally orders records across recorders.
+	if !(sa[0].Clock < sb[0].Clock && sb[0].Clock < sa[1].Clock) {
+		t.Errorf("clock order violated: a=%v b=%v", sa, sb)
+	}
+}
+
+// TestRecorderConcurrent hammers one ring from many goroutines while another
+// snapshots it continuously — designed to run under -race. Every record a
+// snapshot ever observes must be internally consistent: the packed payload a
+// writer stored for that clock tick.
+func TestRecorderConcurrent(t *testing.T) {
+	const (
+		writers = 8
+		perW    = 2000
+	)
+	clk := &Clock{}
+	r := NewRecorder(clk, 64)
+	stop := make(chan struct{})
+	snapDone := make(chan struct{})
+	go func() { // concurrent snapshotter
+		defer close(snapDone)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			for _, rec := range r.Snapshot() {
+				// Writers encode word = tid and write = (tid even); a torn
+				// or corrupt record breaks that invariant.
+				if rec.Word != rec.TID%8 || rec.Write != (rec.TID%2 == 0) {
+					t.Errorf("inconsistent record: %+v", rec)
+					return
+				}
+			}
+		}
+	}()
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(tid int) {
+			defer wg.Done()
+			for i := 0; i < perW; i++ {
+				r.Record(tid, tid%8, tid%2 == 0, i%17 == 0)
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(stop)
+	<-snapDone
+	if r.Recorded() != writers*perW {
+		t.Fatalf("recorded = %d, want %d", r.Recorded(), writers*perW)
+	}
+	snap := r.Snapshot()
+	if len(snap) != 64 {
+		t.Fatalf("final snapshot len = %d, want 64", len(snap))
+	}
+	for i := 1; i < len(snap); i++ {
+		if snap[i].Clock <= snap[i-1].Clock {
+			t.Fatalf("snapshot not clock-ordered at %d: %v", i, snap[i-1:i+1])
+		}
+	}
+}
+
+func TestDigest(t *testing.T) {
+	recs := []Record{
+		{Clock: 1, TID: 0}, {Clock: 2, TID: 1}, {Clock: 3, TID: 1}, {Clock: 4, TID: 0},
+	}
+	d := Digest(recs)
+	if d.Records != 4 || d.Switches != 2 {
+		t.Errorf("digest counts: %+v", d)
+	}
+	if len(d.Threads) != 2 || d.Threads[0] != 0 || d.Threads[1] != 1 {
+		t.Errorf("threads: %v", d.Threads)
+	}
+	if d.PerThread[0] != 2 || d.PerThread[1] != 2 {
+		t.Errorf("per-thread: %v", d.PerThread)
+	}
+	if d.Hash == "" {
+		t.Error("hash must be non-empty for non-empty input")
+	}
+	// Determinism: same interleaving, same hash.
+	if d2 := Digest(recs); d2.Hash != d.Hash {
+		t.Errorf("digest not deterministic: %s vs %s", d.Hash, d2.Hash)
+	}
+	// Different interleaving, different hash.
+	swapped := []Record{
+		{Clock: 1, TID: 1}, {Clock: 2, TID: 0}, {Clock: 3, TID: 0}, {Clock: 4, TID: 1},
+	}
+	if d3 := Digest(swapped); d3.Hash == d.Hash {
+		t.Error("distinct interleavings must digest differently")
+	}
+	// Empty input: no hash, zero counts.
+	if e := Digest(nil); e.Hash != "" || e.Records != 0 || e.PerThread != nil {
+		t.Errorf("empty digest: %+v", e)
+	}
+}
+
+func BenchmarkRecord(b *testing.B) {
+	clk := &Clock{}
+	r := NewRecorder(clk, DefaultDepth)
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			r.Record(i%8, i%8, i%2 == 0, false)
+			i++
+		}
+	})
+}
+
+func ExampleDigest() {
+	recs := []Record{{Clock: 1, TID: 0}, {Clock: 2, TID: 1}, {Clock: 3, TID: 0}}
+	d := Digest(recs)
+	fmt.Println(d.Records, d.Switches, len(d.Threads))
+	// Output: 3 2 2
+}

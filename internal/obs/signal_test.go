@@ -1,0 +1,45 @@
+package obs
+
+import (
+	"sync/atomic"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// TestFlushOnInterrupt delivers a real SIGINT to the process and checks the
+// handler flushes once and exits 130 — with an injected exit so the test
+// process survives.
+func TestFlushOnInterrupt(t *testing.T) {
+	var flushed atomic.Int32
+	code := make(chan int, 1)
+	stop := FlushOnInterrupt(
+		func() { flushed.Add(1) },
+		func(c int) { code <- c },
+	)
+	defer stop()
+
+	if err := syscall.Kill(syscall.Getpid(), syscall.SIGINT); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case c := <-code:
+		if c != 130 {
+			t.Errorf("exit code = %d, want 130", c)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("handler did not fire")
+	}
+	if got := flushed.Load(); got != 1 {
+		t.Errorf("flush ran %d times, want 1", got)
+	}
+}
+
+// TestFlushOnInterruptStop: after stop, the handler is uninstalled and a nil
+// flush is tolerated. (No signal is sent — the default disposition would
+// kill the test process once signal.Stop returns.)
+func TestFlushOnInterruptStop(t *testing.T) {
+	stop := FlushOnInterrupt(nil, func(int) {})
+	stop()
+	stop() // idempotent
+}

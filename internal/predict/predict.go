@@ -23,6 +23,7 @@ import (
 	"predator/internal/detect"
 	"predator/internal/histtable"
 	"predator/internal/obs"
+	"predator/internal/obs/flight"
 	"predator/internal/resilience"
 )
 
@@ -192,6 +193,17 @@ type VTrack struct {
 	recorded      atomic.Uint64
 	invalidations atomic.Uint64
 	hist          histtable.Table
+
+	// Flight recording (set at registration, before the track is routed to;
+	// nil/zero when flight is disabled). regClock is the access-clock tick
+	// the virtual line was registered at — the start of its verification
+	// chain; flagSeq/flagClock capture the instant verified invalidations
+	// reached the report threshold.
+	rec             *flight.Recorder
+	regClock        uint64
+	reportThreshold uint64
+	flagSeq         atomic.Uint64
+	flagClock       atomic.Uint64
 }
 
 // NewVTrack creates verification state for a candidate pair. Virtual lines
@@ -215,13 +227,48 @@ func (v *VTrack) HandleAccess(tid int, addr, size uint64, isWrite bool) bool {
 	if !v.sampler.ShouldRecord(n) {
 		return false
 	}
-	v.recorded.Add(1)
-	if v.hist.Access(tid, isWrite) {
-		v.invalidations.Add(1)
-		return true
+	r := v.recorded.Add(1)
+	invalidated := v.hist.Access(tid, isWrite)
+	var inv uint64
+	if invalidated {
+		inv = v.invalidations.Add(1)
 	}
-	return false
+	// Decimated like physical tracks: invalidations always land in the ring,
+	// ordinary accesses one in flight.RecordStride (see detect.Track).
+	if v.rec != nil && (invalidated || r&(flight.RecordStride-1) == 0) {
+		w := 0
+		if addr > v.Pair.Span.Start {
+			w = int((addr - v.Pair.Span.Start) >> cacheline.WordShift)
+		}
+		tick := v.rec.Record(tid, w, isWrite, invalidated)
+		if invalidated && v.reportThreshold != 0 && inv == v.reportThreshold {
+			// Add's return value is unique per increment, so exactly one
+			// access observes == threshold; the CAS keeps a replayed flag
+			// from overwriting the first capture.
+			if v.flagSeq.CompareAndSwap(0, inv) {
+				v.flagClock.Store(tick)
+			}
+		}
+	}
+	return invalidated
 }
+
+// RegClock returns the access-clock tick the virtual line was registered at
+// (0 when flight recording is disabled).
+func (v *VTrack) RegClock() uint64 { return v.regClock }
+
+// FlagInfo returns the clock tick at which verified invalidations reached
+// the report threshold and whether that happened yet.
+func (v *VTrack) FlagInfo() (clock uint64, flagged bool) {
+	if v.flagSeq.Load() == 0 {
+		return 0, false
+	}
+	return v.flagClock.Load(), true
+}
+
+// FlightRecords returns the virtual line's recorded access tail, oldest
+// first (nil when flight recording is disabled).
+func (v *VTrack) FlightRecords() []flight.Record { return v.rec.Snapshot() }
 
 // Invalidations returns verified invalidations on the virtual line.
 func (v *VTrack) Invalidations() uint64 { return v.invalidations.Load() }
@@ -248,6 +295,12 @@ type Registry struct {
 	// registered (core.Config.MaxVirtualLines); rejections are counted in
 	// the budget and surfaced as degradation events.
 	budget *resilience.Budget
+
+	// Flight recording for verification tracks (set before concurrent use;
+	// fclock nil when disabled).
+	fclock  *flight.Clock
+	fdepth  int
+	freport uint64 // report threshold captured into each VTrack
 
 	// Observability (nil when unobserved; set before concurrent use).
 	o             *obs.Observer
@@ -292,6 +345,16 @@ func (r *Registry) SetObserver(o *obs.Observer) {
 // before the registry sees concurrent traffic.
 func (r *Registry) SetBudget(b *resilience.Budget) { r.budget = b }
 
+// SetFlight arms flight recording on virtual lines registered from now on:
+// each new VTrack gets a ring of depth slots on the shared clock and flags
+// itself when verified invalidations reach reportThreshold. Call before the
+// registry sees concurrent traffic; a nil clock disables recording.
+func (r *Registry) SetFlight(clock *flight.Clock, depth int, reportThreshold uint64) {
+	r.fclock = clock
+	r.fdepth = depth
+	r.freport = reportThreshold
+}
+
 // Rejected returns how many registrations the budget has refused.
 func (r *Registry) Rejected() uint64 {
 	if r.budget == nil {
@@ -324,6 +387,11 @@ func (r *Registry) Add(pair HotPair) *VTrack {
 	}
 	r.spans[pair.Span] = true
 	v := NewVTrack(pair, r.sampler)
+	if r.fclock != nil {
+		v.rec = flight.NewRecorder(r.fclock, r.fdepth)
+		v.regClock = r.fclock.Now()
+		v.reportThreshold = r.freport
+	}
 	r.all = append(r.all, v)
 	first := r.geom.Index(pair.Span.Start)
 	last := r.geom.Index(pair.Span.End - 1)

@@ -34,6 +34,22 @@ type JSONFinding struct {
 	Degraded      bool       `json:"degraded,omitempty"`
 	Object        *JSONObj   `json:"object,omitempty"`
 	Words         []JSONWord `json:"words,omitempty"`
+
+	// Provenance is always present on runtime-produced reports (its chain
+	// is never empty); the pointer is nil only for reports built by hand.
+	Provenance *JSONProvenance `json:"provenance,omitempty"`
+}
+
+// JSONProvenance mirrors Provenance.
+type JSONProvenance struct {
+	FlaggedClock uint64   `json:"flagged_clock,omitempty"`
+	Window       uint64   `json:"window,omitempty"`
+	Digest       string   `json:"digest,omitempty"`
+	Threads      []int    `json:"threads,omitempty"`
+	Switches     int      `json:"switches,omitempty"`
+	Records      int      `json:"records,omitempty"`
+	Salvaged     bool     `json:"salvaged,omitempty"`
+	Chain        []string `json:"chain"`
 }
 
 // JSONObj mirrors the primary object of a finding.
@@ -79,6 +95,18 @@ func (r *Report) ToJSON() JSONReport {
 			Invalidations: f.Invalidations,
 			Estimate:      f.Estimate,
 			Degraded:      f.Degraded,
+		}
+		if p := f.Provenance; p != nil {
+			jf.Provenance = &JSONProvenance{
+				FlaggedClock: p.FlaggedClock,
+				Window:       p.Window,
+				Digest:       p.Digest,
+				Threads:      p.Threads,
+				Switches:     p.Switches,
+				Records:      p.Records,
+				Salvaged:     p.Salvaged,
+				Chain:        p.Chain,
+			}
 		}
 		if obj, ok := f.PrimaryObject(); ok {
 			jo := JSONObj{Start: obj.Start, Size: obj.Size, Global: obj.Global, Label: obj.Label}

@@ -141,6 +141,27 @@ type Finding struct {
 	// complete, but word detail (and hence the sharing classification) is
 	// frozen at the moment the line was degraded.
 	Degraded bool
+
+	// Provenance explains how the finding came to be flagged. Always
+	// populated by the core runtime (the causal Chain is never empty);
+	// clock-based fields are zero when flight recording was disabled.
+	Provenance *Provenance
+}
+
+// Provenance is a finding's causal record: when (in access-clock time) the
+// line crossed the report threshold, which sampling window that happened in,
+// and a digest of the thread interleaving held in the line's flight recorder
+// at report time. For predicted findings the Chain walks the §3 pipeline:
+// hot-pair estimate, virtual-line registration, verification.
+type Provenance struct {
+	FlaggedClock uint64 // access-clock tick at which invalidations reached the report threshold (0 when flight recording was off)
+	Window       uint64 // sampling-window index (0-based) of the flagging access; observed findings only
+	Digest       string // interleaving digest hash of the recorded access tail ("" when no records)
+	Threads      []int  // threads present in the recorded tail
+	Switches     int    // adjacent-record thread hand-offs in the tail
+	Records      int    // records in the tail
+	Salvaged     bool   // tail came from a ring frozen at degradation time
+	Chain        []string
 }
 
 // PrimaryObject returns the object carrying the most hot words, defaulting
@@ -184,6 +205,20 @@ func (f *Finding) Format(geom cacheline.Geometry) string {
 	if f.Source != SourceObserved {
 		fmt.Fprintf(&b, "Virtual line %s; estimated interleaved invalidations: %d.\n",
 			f.Span, f.Estimate)
+	}
+	if p := f.Provenance; p != nil {
+		b.WriteString("\nProvenance:\n")
+		for _, step := range p.Chain {
+			fmt.Fprintf(&b, "\t%s\n", step)
+		}
+		if p.Records > 0 {
+			fmt.Fprintf(&b, "\tinterleaving: %d recorded accesses by threads %v, %d hand-offs, digest %s",
+				p.Records, p.Threads, p.Switches, p.Digest)
+			if p.Salvaged {
+				b.WriteString(" (salvaged at degradation)")
+			}
+			b.WriteByte('\n')
+		}
 	}
 	if known && !obj.Global && !obj.Callsite.IsZero() {
 		b.WriteString("\nCallsite stack:\n")

@@ -11,8 +11,14 @@ import (
 // detector's full pipeline busy (tracked lines, sampling, invalidation
 // recording) and returns the per-access cost.
 func hotLoop(t testing.TB, o *predator.Observer) time.Duration {
+	return hotLoopCfg(t, o, nil)
+}
+
+// hotLoopCfg is hotLoop with a runtime-config override (the flight-recorder
+// overhead contract compares recording-on against recording-off).
+func hotLoopCfg(t testing.TB, o *predator.Observer, rc *predator.RuntimeConfig) time.Duration {
 	t.Helper()
-	d, err := predator.New(predator.Options{HeapSize: 1 << 22, Observer: o})
+	d, err := predator.New(predator.Options{HeapSize: 1 << 22, Observer: o, Runtime: rc})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -26,7 +32,11 @@ func hotLoop(t testing.TB, o *predator.Observer) time.Duration {
 	for i := 0; i < n; i++ {
 		th.Store64(addr+uint64(i%8192)*8, uint64(i))
 	}
-	return time.Since(start) / n
+	elapsed := time.Since(start) / n
+	if rc != nil && rc.FlightDepth != predator.FlightDisabled && d.Stats().TrackedLines == 0 {
+		t.Fatal("hot loop tracked no lines; the flight-overhead measurement needs armed recorders")
+	}
+	return elapsed
 }
 
 // TestNoSinkObserverOverhead is the observability subsystem's performance
@@ -96,6 +106,42 @@ func TestSelfProfileOverhead(t *testing.T) {
 		if attempt >= maxAttempts {
 			t.Fatalf("self-profile overhead %.1f%% exceeds %.0f%% (base=%v profiled=%v)",
 				(ratio-1)*100, (limit-1)*100, base, profiled)
+		}
+	}
+}
+
+// TestFlightRecorderOverhead extends the contract to the flight recorder:
+// every tracked line in the hot loop carries an armed ring recorder (the
+// default), and recording one packed word per sampled access must stay
+// within the same 5% envelope relative to recording disabled. This is the
+// arming rule's performance half: recorders only exist past
+// TrackingThreshold, and even then cost one atomic store per access.
+func TestFlightRecorderOverhead(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing test")
+	}
+	const trials, maxAttempts, limit = 5, 3, 1.05
+	off := predator.DefaultRuntimeConfig()
+	off.FlightDepth = predator.FlightDisabled
+	on := predator.DefaultRuntimeConfig() // FlightDepth 0 = recording on at default depth
+	for attempt := 1; ; attempt++ {
+		base, recording := time.Duration(1<<62), time.Duration(1<<62)
+		for i := 0; i < trials; i++ {
+			if d := hotLoopCfg(t, nil, &off); d < base {
+				base = d
+			}
+			if d := hotLoopCfg(t, nil, &on); d < recording {
+				recording = d
+			}
+		}
+		ratio := float64(recording) / float64(base)
+		t.Logf("attempt %d: base=%v recording=%v ratio=%.3f", attempt, base, recording, ratio)
+		if ratio <= limit {
+			return
+		}
+		if attempt >= maxAttempts {
+			t.Fatalf("flight recorder overhead %.1f%% exceeds %.0f%% (base=%v recording=%v)",
+				(ratio-1)*100, (limit-1)*100, base, recording)
 		}
 	}
 }

@@ -23,6 +23,7 @@
 package predator
 
 import (
+	"fmt"
 	"io"
 
 	"predator/internal/cacheline"
@@ -32,6 +33,7 @@ import (
 	"predator/internal/layout"
 	"predator/internal/mem"
 	"predator/internal/obs"
+	"predator/internal/obs/traceout"
 	"predator/internal/report"
 	"predator/internal/resilience"
 )
@@ -78,7 +80,14 @@ type (
 	Event = obs.Event
 	// EventSink receives lifecycle trace events.
 	EventSink = obs.Sink
+	// Provenance explains how a finding was established: when the line was
+	// flagged, the recorded interleaving, and the verification chain.
+	Provenance = report.Provenance
 )
+
+// FlightDisabled, assigned to RuntimeConfig.FlightDepth, turns flight
+// recording (and with it finding provenance and timeline export) off.
+const FlightDisabled = core.FlightDisabled
 
 // NewObserver builds an Observer over a fresh metrics registry. A nil sink
 // collects metrics without tracing events; see NewJSONLinesSink for a sink
@@ -225,6 +234,22 @@ func (d *Detector) WriteMetrics(w io.Writer) error {
 	}
 	d.Stats()
 	return d.obs.Metrics().WritePrometheus(w)
+}
+
+// WriteTimeline renders the detector's flight-recorder contents as Chrome
+// trace-event / Perfetto JSON (load the output in ui.perfetto.dev): one track
+// per thread with its recorded accesses and invalidation marks, plus the
+// detector's phase spans. It errors for uninstrumented detectors and when
+// flight recording was disabled (RuntimeConfig.FlightDepth = FlightDisabled).
+func (d *Detector) WriteTimeline(w io.Writer) error {
+	if d.rt == nil {
+		return fmt.Errorf("predator: uninstrumented detector has no timeline")
+	}
+	dump := d.rt.FlightDump(0, -1)
+	if dump == nil {
+		return fmt.Errorf("predator: flight recording disabled (FlightDepth = FlightDisabled)")
+	}
+	return traceout.WriteTimeline(w, dump, d.in.ThreadNames())
 }
 
 // Thread mints a handle for one logical thread. Each goroutine must use its
