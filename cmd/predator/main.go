@@ -14,14 +14,18 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sync/atomic"
 	"time"
 
 	"predator/internal/core"
 	"predator/internal/fixer"
+	"predator/internal/fleet"
 	"predator/internal/harness"
 	"predator/internal/obs"
 	"predator/internal/obs/diag"
+	"predator/internal/obs/fleetclient"
 	"predator/internal/obs/traceout"
+	"predator/internal/report"
 	"predator/internal/resilience"
 
 	// Register every workload suite.
@@ -64,6 +68,7 @@ func main() {
 		diagLinger = flag.Duration("diag-linger", 0, "keep the diagnostics server (and final runtime state) scrapeable this long after the run")
 		version    = flag.Bool("version", false, "print build version and exit")
 	)
+	fleetFlags := fleetclient.RegisterFlags(flag.CommandLine)
 	flag.Parse()
 
 	if *version {
@@ -182,12 +187,42 @@ func main() {
 	}
 	hb := obs.StartHeartbeat(observer, *heartbeat, *metricsOut)
 
+	// Fleet streaming (opt-in): findings and periodic hot-line snapshots go
+	// to a predfleet service. Server trouble never touches the run — the
+	// exporter buffers, retries with backoff, and degrades to -fleet-spool.
+	var (
+		fc      *fleetclient.Client
+		runID   string
+		rtLive  atomic.Pointer[core.Runtime]
+		stopRep func()
+	)
+	if fleetFlags.Enabled() {
+		var err error
+		fc, runID, err = fleetFlags.Client("predator")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "predator: %v\n", err)
+			os.Exit(1)
+		}
+		stopRep = fc.StartReporter(2*time.Second, func() *fleet.MetricsPayload {
+			rt := rtLive.Load()
+			if rt == nil {
+				return nil
+			}
+			mp := fleetclient.SnapshotRuntime(rt, 10, nil)
+			if mp != nil {
+				mp.Run = runID
+			}
+			return mp
+		})
+	}
+
 	// Keep a handle on the runtime the harness constructs: the timeline dump
 	// reads its flight recorders after the run (and the diagnostics server
-	// scrapes it live).
+	// and fleet reporter scrape it live).
 	var rtRef *core.Runtime
 	opts.OnRuntime = func(rt *core.Runtime) {
 		rtRef = rt
+		rtLive.Store(rt)
 		if diagSrv != nil {
 			diagSrv.SetRuntime(rt)
 		}
@@ -242,6 +277,36 @@ func main() {
 				os.Exit(1)
 			}
 			evFile.Close()
+		}
+	}
+
+	// Ship the run to the fleet: the findings report (when instrumented) plus
+	// one final hot-line snapshot, then drain the exporter.
+	if fc != nil {
+		stopRep()
+		if res.Report != nil {
+			meta := fc.RunMeta(runID, start)
+			meta.Workload = w.Name()
+			meta.Mode = m.String()
+			meta.Threads = *threads
+			meta.DurationNs = res.Duration.Nanoseconds()
+			_ = fc.SendFindings(&fleet.FindingsPayload{
+				Run:     meta,
+				Reports: map[string]report.JSONReport{w.Name(): res.Report.ToJSON()},
+			})
+		}
+		if rt := rtLive.Load(); rt != nil {
+			if mp := fleetclient.SnapshotRuntime(rt, 10, nil); mp != nil {
+				mp.Run = runID
+				_ = fc.SendMetrics(mp)
+			}
+		}
+		if err := fc.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "predator: %v\n", err)
+		} else {
+			fst := fc.Stats()
+			fmt.Fprintf(os.Stderr, "fleet: run %s -> %s (sent=%d spooled=%d)\n",
+				runID, *fleetFlags.Addr, fst.Sent, fst.Spooled)
 		}
 	}
 

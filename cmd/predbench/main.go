@@ -12,13 +12,18 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"predator/internal/core"
 	"predator/internal/eval"
+	"predator/internal/fleet"
+	"predator/internal/harness"
 	"predator/internal/obs"
 	"predator/internal/obs/diag"
+	"predator/internal/obs/fleetclient"
 	"predator/internal/obs/traceout"
+	"predator/internal/report"
 	"predator/internal/resilience"
 
 	_ "predator/internal/workloads/apps"
@@ -46,6 +51,7 @@ func main() {
 		diagAddr   = flag.String("diag-addr", "", "serve live diagnostics on this host:port; the scrape source follows each run the experiments perform")
 		version    = flag.Bool("version", false, "print build version and exit")
 	)
+	fleetFlags := fleetclient.RegisterFlags(flag.CommandLine)
 	flag.Parse()
 
 	if *version {
@@ -109,6 +115,57 @@ func main() {
 				prev(rt)
 			}
 		}
+	}
+
+	// Fleet streaming (opt-in): every detection run's report accumulates
+	// into one findings payload per sweep (prediction-mode reports win over
+	// detect-only ones for the same workload), live hot-line snapshots
+	// follow whichever runtime is currently executing, and the benchmark
+	// document rides along when -bench-json produced one.
+	var (
+		fc           *fleetclient.Client
+		runID        string
+		rtLive       atomic.Pointer[core.Runtime]
+		stopRep      func()
+		fleetReports = map[string]report.JSONReport{}
+		fleetModes   = map[string]harness.Mode{}
+		benchDoc     *eval.BenchDoc
+	)
+	if fleetFlags.Enabled() {
+		var err error
+		fc, runID, err = fleetFlags.Client("predbench")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "predbench: %v\n", err)
+			os.Exit(1)
+		}
+		prevRT := cfg.OnRuntime
+		cfg.OnRuntime = func(rt *core.Runtime) {
+			rtLive.Store(rt)
+			if prevRT != nil {
+				prevRT(rt)
+			}
+		}
+		cfg.OnResult = func(workload string, mode harness.Mode, res *harness.Result) {
+			if res == nil || res.Report == nil {
+				return
+			}
+			if prev, ok := fleetModes[workload]; ok && prev == harness.ModePredict && mode != harness.ModePredict {
+				return
+			}
+			fleetReports[workload] = res.Report.ToJSON()
+			fleetModes[workload] = mode
+		}
+		stopRep = fc.StartReporter(2*time.Second, func() *fleet.MetricsPayload {
+			rt := rtLive.Load()
+			if rt == nil {
+				return nil
+			}
+			mp := fleetclient.SnapshotRuntime(rt, 10, nil)
+			if mp != nil {
+				mp.Run = runID
+			}
+			return mp
+		})
 	}
 
 	hb := obs.StartHeartbeat(cfg.Observer, *heartbeat, *metricsOut)
@@ -184,6 +241,7 @@ func main() {
 			if err != nil {
 				return err
 			}
+			benchDoc = doc
 			if *benchJSON != "" {
 				if err := doc.WriteJSONFile(*benchJSON); err != nil {
 					return err
@@ -346,5 +404,34 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("timeline: %s (load in ui.perfetto.dev)\n", *timeline)
+	}
+
+	// Ship the sweep to the fleet: every collected report as one run (plus
+	// the benchmark document when -bench-json produced one), a final metrics
+	// snapshot, then drain the exporter.
+	if fc != nil {
+		stopRep()
+		meta := fc.RunMeta(runID, time.Now())
+		meta.Workload = *experiment
+		meta.Mode = "predict"
+		meta.Threads = *threads
+		_ = fc.SendFindings(&fleet.FindingsPayload{
+			Run:     meta,
+			Reports: fleetReports,
+			Bench:   benchDoc,
+		})
+		if rt := rtLive.Load(); rt != nil {
+			if mp := fleetclient.SnapshotRuntime(rt, 10, nil); mp != nil {
+				mp.Run = runID
+				_ = fc.SendMetrics(mp)
+			}
+		}
+		if err := fc.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "predbench: %v\n", err)
+		} else {
+			fst := fc.Stats()
+			fmt.Printf("fleet: run %s -> %s (%d workload report(s), sent=%d spooled=%d)\n",
+				runID, *fleetFlags.Addr, len(fleetReports), fst.Sent, fst.Spooled)
+		}
 	}
 }

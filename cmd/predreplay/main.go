@@ -19,14 +19,18 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"time"
 
 	"predator/internal/core"
+	"predator/internal/fleet"
 	"predator/internal/harness"
 	"predator/internal/mem"
 	"predator/internal/obs"
 	"predator/internal/obs/diag"
+	"predator/internal/obs/fleetclient"
 	"predator/internal/obs/traceout"
+	"predator/internal/report"
 	"predator/internal/resilience"
 	"predator/internal/trace"
 
@@ -62,6 +66,7 @@ func main() {
 		diagAddr   = flag.String("diag-addr", "", "replay: serve live diagnostics (metrics, hotlines, findings, timeline, pprof) on this host:port")
 		version    = flag.Bool("version", false, "print build version and exit")
 	)
+	fleetFlags := fleetclient.RegisterFlags(flag.CommandLine)
 	flag.Parse()
 
 	if *version {
@@ -95,6 +100,7 @@ func main() {
 			eventsOut:     *eventsOut,
 			timelineOut:   *timeline,
 			diagAddr:      *diagAddr,
+			fleet:         fleetFlags,
 		}
 		if err := doReplay(*replay, cfg, opts); err != nil {
 			fatal(err.Error())
@@ -170,6 +176,7 @@ type replayOptions struct {
 	eventsOut     string
 	timelineOut   string // Perfetto timeline destination, "" = off
 	diagAddr      string // live diagnostics listen address, "" = off
+	fleet         *fleetclient.Flags
 }
 
 // doReplay streams the trace through a fresh runtime and prints the report.
@@ -202,11 +209,10 @@ func doReplay(path string, cfg core.Config, opts replayOptions) error {
 	}
 
 	ropts := trace.ReplayOptions{Salvage: opts.salvage}
-	// The timeline dump needs the replay runtime after the stream finishes.
+	// The timeline dump and the fleet exporter both need the replay runtime
+	// after the stream finishes.
 	var rtRef *core.Runtime
-	if opts.timelineOut != "" {
-		ropts.OnRuntime = func(rt *core.Runtime) { rtRef = rt }
-	}
+	ropts.OnRuntime = func(rt *core.Runtime) { rtRef = rt }
 	if opts.diagAddr != "" {
 		cfg.Observer.EnableSelfProfile()
 		build := obs.RegisterBuildInfo(cfg.Observer.Metrics(), "predreplay")
@@ -304,6 +310,36 @@ func doReplay(path string, cfg core.Config, opts replayOptions) error {
 		}
 		fmt.Print(fs[i].Format(res.Report.Geometry))
 	}
+	// Ship the replay's report to the fleet: re-analyzed traces participate
+	// in run history and diffs like any live run.
+	if opts.fleet != nil && opts.fleet.Enabled() {
+		fc, runID, err := opts.fleet.Client("predreplay")
+		if err != nil {
+			return err
+		}
+		meta := fc.RunMeta(runID, start)
+		meta.Workload = filepath.Base(path)
+		meta.Mode = "replay"
+		meta.DurationNs = time.Since(start).Nanoseconds()
+		_ = fc.SendFindings(&fleet.FindingsPayload{
+			Run:     meta,
+			Reports: map[string]report.JSONReport{meta.Workload: res.Report.ToJSON()},
+		})
+		if rtRef != nil {
+			if mp := fleetclient.SnapshotRuntime(rtRef, 10, nil); mp != nil {
+				mp.Run = runID
+				_ = fc.SendMetrics(mp)
+			}
+		}
+		if err := fc.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "predreplay: %v\n", err)
+		} else {
+			fst := fc.Stats()
+			fmt.Printf("fleet: run %s -> %s (sent=%d spooled=%d)\n",
+				runID, *opts.fleet.Addr, fst.Sent, fst.Spooled)
+		}
+	}
+
 	if res.Salvage != nil && opts.salvageBudget > 0 && res.Salvage.CorruptRegions > opts.salvageBudget {
 		fmt.Fprintf(os.Stderr, "predreplay: salvage budget exceeded: %d corrupt regions > budget %d (partial report above)\n",
 			res.Salvage.CorruptRegions, opts.salvageBudget)

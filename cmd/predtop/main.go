@@ -1,38 +1,47 @@
-// Command predtop is a live top-N viewer for a running detector: it polls a
-// diagnostics server's /hotlines endpoint (see predator -diag-addr) and
-// renders a refreshing table of the hottest cache lines — invalidations,
-// access mix, sampling-window phase, degradation, attached virtual lines,
-// and a per-word ownership heatmap.
+// Command predtop is a live top-N viewer for the hottest cache lines. It has
+// two sources:
 //
-//	predator -workload mysql -diag-addr 127.0.0.1:9142 &
-//	predtop -addr 127.0.0.1:9142
-//	predtop -addr 127.0.0.1:9142 -n 20 -interval 500ms
-//	predtop -addr 127.0.0.1:9142 -once          # one frame, no screen clear
+//   - A single running detector's diagnostics server (/hotlines, see
+//     predator -diag-addr): the classic per-process view, with per-word
+//     ownership heatmaps and flight-recorder timeline dumps.
 //
-// While the viewer runs, 't' dumps the hottest line's flight-recorder
-// timeline (the server's /timeline endpoint) to a Perfetto-loadable JSON
-// file in -timeline-dir, and 'q' quits.
+//   - A predfleet service's aggregated view (/api/v1/hotlines): the hottest
+//     lines across every agent streaming into the fleet, each tagged with
+//     the project/agent it came from.
+//
+//     predator -workload mysql -diag-addr 127.0.0.1:9142 &
+//     predtop -addr 127.0.0.1:9142
+//     predtop -addr 127.0.0.1:9142 -n 20 -interval 500ms
+//     predtop -addr 127.0.0.1:9142 -once          # one frame, no screen clear
+//
+//     predtop -fleet 127.0.0.1:9177 -token s3cret             # fleet-wide
+//     predtop -fleet 127.0.0.1:9177 -token s3cret -project db # one project
+//
+// While the single-process viewer runs, 't' dumps the hottest line's
+// flight-recorder timeline (the server's /timeline endpoint) to a
+// Perfetto-loadable JSON file in -timeline-dir, and 'q' quits.
 package main
 
 import (
-	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"net/http"
+	"net/url"
 	"os"
 	"path/filepath"
 	"time"
 
-	"predator/internal/core"
-	"predator/internal/detect"
 	"predator/internal/obs"
-	"predator/internal/obs/diag"
+	"predator/internal/obs/topview"
 )
 
 func main() {
 	var (
 		addr     = flag.String("addr", "127.0.0.1:9142", "diagnostics server address (predator -diag-addr)")
+		fleetSrv = flag.String("fleet", "", "predfleet address: render the fleet-wide aggregated hot-line view instead of one process")
+		token    = flag.String("token", "", "bearer token for -fleet")
+		project  = flag.String("project", "", "restrict -fleet view to one project")
 		n        = flag.Int("n", 10, "how many hot lines to show")
 		interval = flag.Duration("interval", time.Second, "refresh interval")
 		once     = flag.Bool("once", false, "render a single frame and exit (no screen clearing)")
@@ -46,8 +55,20 @@ func main() {
 		return
 	}
 
-	client := &http.Client{Timeout: 5 * time.Second}
-	url := fmt.Sprintf("http://%s/hotlines?n=%d", *addr, *n)
+	httpc := &http.Client{Timeout: 5 * time.Second}
+	fleetMode := *fleetSrv != ""
+	client := &topview.Client{HTTP: httpc}
+	if fleetMode {
+		q := url.Values{}
+		q.Set("n", fmt.Sprint(*n))
+		if *project != "" {
+			q.Set("project", *project)
+		}
+		client.URL = fmt.Sprintf("http://%s/api/v1/hotlines?%s", *fleetSrv, q.Encode())
+		client.Token = *token
+	} else {
+		client.URL = fmt.Sprintf("http://%s/hotlines?n=%d", *addr, *n)
+	}
 
 	// Keyboard: best effort. Raw mode delivers single keystrokes; when it is
 	// unavailable (stdin is a pipe) keys still arrive after Enter.
@@ -68,69 +89,34 @@ func main() {
 		}()
 	}
 
-	var last *diag.HotLinesResponse
-	var status string // one-shot message rendered under the next frame
-	failures := 0
-	frames := 0
-	for {
-		resp, err := poll(client, url)
-		switch {
-		case err == nil:
-			failures = 0
-			frames++
-			last = resp
-			if !*once {
-				fmt.Print("\033[2J\033[H") // clear screen, home cursor
+	opts := topview.LoopOptions{
+		Interval:   *interval,
+		Once:       *once,
+		Out:        os.Stdout,
+		ShowOrigin: fleetMode,
+		Keys:       keys,
+	}
+	if fleetMode {
+		opts.Footer = "[q] quit"
+	} else {
+		// Timeline dumps only exist on the per-process diagnostics server.
+		opts.Footer = "[t] dump hottest line timeline   [q] quit"
+		opts.OnKey = func(k byte, last *topview.Frame) string {
+			if k == 't' || k == 'T' {
+				return dumpTimeline(httpc, *addr, *tlDir, last)
 			}
-			render(os.Stdout, resp)
-			if !*once {
-				fmt.Println("\n[t] dump hottest line timeline   [q] quit")
-				if status != "" {
-					fmt.Println(status)
-					status = ""
-				}
-			}
-		case frames == 0:
-			// Never connected: bad address or server not up yet.
-			fmt.Fprintf(os.Stderr, "predtop: %v\n", err)
-			os.Exit(1)
-		default:
-			// The server went away mid-session (run finished): exit clean
-			// after a couple of confirming failures.
-			failures++
-			if failures >= 2 {
-				fmt.Printf("predtop: %s stopped serving; exiting\n", *addr)
-				return
-			}
+			return ""
 		}
-		if *once {
-			return
-		}
-		// Keys interrupt the wait; the refresh timer re-renders otherwise.
-		timer := time.NewTimer(*interval)
-	wait:
-		for {
-			select {
-			case k := <-keys:
-				switch k {
-				case 'q', 'Q', 3: // q or ^C (raw mode swallows the signal)
-					timer.Stop()
-					return
-				case 't', 'T':
-					status = dumpTimeline(client, *addr, *tlDir, last)
-					timer.Stop()
-					break wait // re-render now so the status shows
-				}
-			case <-timer.C:
-				break wait
-			}
-		}
+	}
+	if err := topview.Loop(client, opts); err != nil {
+		fmt.Fprintf(os.Stderr, "predtop: %v\n", err)
+		os.Exit(1)
 	}
 }
 
 // dumpTimeline saves the hottest line's /timeline JSON into dir and returns
 // a status line for the viewer footer.
-func dumpTimeline(client *http.Client, addr, dir string, last *diag.HotLinesResponse) string {
+func dumpTimeline(client *http.Client, addr, dir string, last *topview.Frame) string {
 	if last == nil || last.Count == 0 {
 		return "timeline: no tracked lines yet"
 	}
@@ -157,93 +143,4 @@ func dumpTimeline(client *http.Client, addr, dir string, last *diag.HotLinesResp
 		return fmt.Sprintf("timeline: %v", err)
 	}
 	return fmt.Sprintf("timeline: line %d -> %s (load in ui.perfetto.dev)", line, path)
-}
-
-// poll fetches and decodes one /hotlines snapshot.
-func poll(client *http.Client, url string) (*diag.HotLinesResponse, error) {
-	resp, err := client.Get(url)
-	if err != nil {
-		return nil, err
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		return nil, fmt.Errorf("GET %s: %s", url, resp.Status)
-	}
-	var out diag.HotLinesResponse
-	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
-		return nil, fmt.Errorf("GET %s: %v", url, err)
-	}
-	return &out, nil
-}
-
-// render draws one frame.
-func render(w *os.File, r *diag.HotLinesResponse) {
-	st := r.Stats
-	fmt.Fprintf(w, "predtop — %s  %s\n", r.Tool,
-		time.UnixMilli(r.UnixMilli).Format("15:04:05"))
-	fmt.Fprintf(w, "accesses=%d writes=%d tracked=%d virtual=%d invalidations=%d",
-		st.Accesses, st.Writes, st.TrackedLines, st.VirtualLines, st.Invalidations)
-	if st.Degraded {
-		fmt.Fprintf(w, "  DEGRADED(lines=%d evictions=%d)", st.DegradedLines, st.Evictions)
-	}
-	fmt.Fprintln(w)
-	fmt.Fprintln(w)
-	if r.Count == 0 {
-		fmt.Fprintln(w, "(no tracked lines yet)")
-		return
-	}
-	fmt.Fprintf(w, "%-4s %-12s %10s %10s %9s %8s %-8s %-4s %4s  %s\n",
-		"#", "LINE", "INVAL", "ACCESS", "WRITES", "RECORDED", "WINDOW", "FLAG", "VIRT", "WORD OWNERS")
-	for i, ln := range r.Lines {
-		window := "-"
-		if ln.WindowLen > 0 {
-			phase := "idle"
-			if ln.Recording {
-				phase = "rec"
-			}
-			window = fmt.Sprintf("%d/%d %s", ln.WindowPos, ln.WindowLen, phase)
-		}
-		flags := ""
-		if ln.ReportWorthy {
-			flags += "R"
-		}
-		if ln.Degraded {
-			flags += "D"
-		}
-		if flags == "" {
-			flags = "-"
-		}
-		fmt.Fprintf(w, "%-4d %#-12x %10d %10d %9d %8d %-8s %-4s %4d  %s\n",
-			i+1, ln.Addr, ln.Invalidations, ln.Accesses, ln.Writes, ln.Recorded,
-			window, flags, len(ln.Virtual), heatmap(ln))
-	}
-}
-
-// heatmap compresses the per-word ownership view into one glyph per word:
-// '.' untouched, 'S' effectively shared, else the owning thread id mod 10.
-// Two different digits (or any digit next to an S) on one line is the
-// visual signature of false sharing.
-func heatmap(ln core.LineSnapshot) string {
-	if len(ln.Words) == 0 {
-		return ""
-	}
-	maxIdx := 0
-	for _, w := range ln.Words {
-		if w.Index > maxIdx {
-			maxIdx = w.Index
-		}
-	}
-	glyphs := make([]byte, maxIdx+1)
-	for i := range glyphs {
-		glyphs[i] = '.'
-	}
-	for _, w := range ln.Words {
-		switch {
-		case w.Owner == detect.OwnerShared:
-			glyphs[w.Index] = 'S'
-		case w.Owner >= 0:
-			glyphs[w.Index] = byte('0' + w.Owner%10)
-		}
-	}
-	return string(glyphs)
 }

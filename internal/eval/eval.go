@@ -40,6 +40,11 @@ type Config struct {
 	// evaluation constructs, right before its workload runs. The live
 	// diagnostics server uses it to follow the evaluation from run to run.
 	OnRuntime func(*core.Runtime)
+	// OnResult, when non-nil, receives every detection run's result right
+	// after the run completes. The fleet exporter hangs off this hook to
+	// stream each workload's findings report without the evaluation code
+	// knowing about the network.
+	OnResult func(workload string, mode harness.Mode, res *harness.Result)
 	// Deterministic serializes workers under the round-robin scheduler so
 	// detection counts are exactly reproducible — the mode the benchmark
 	// regression gate (predbench -bench-compare) runs in, since its
@@ -211,7 +216,7 @@ func detect(cfg Config, workload string, mode harness.Mode, buggy bool, offset u
 		return nil, fmt.Errorf("eval: unknown workload %q", workload)
 	}
 	rc := cfg.Runtime
-	return harness.Execute(w, harness.Options{
+	res, err := harness.Execute(w, harness.Options{
 		Mode:          mode,
 		Threads:       cfg.Threads,
 		Scale:         cfg.Scale,
@@ -222,4 +227,8 @@ func detect(cfg Config, workload string, mode harness.Mode, buggy bool, offset u
 		OnRuntime:     cfg.OnRuntime,
 		Deterministic: cfg.Deterministic,
 	})
+	if err == nil && cfg.OnResult != nil {
+		cfg.OnResult(workload, mode, res)
+	}
+	return res, err
 }

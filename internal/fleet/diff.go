@@ -1,0 +1,145 @@
+package fleet
+
+import (
+	"sort"
+
+	"predator/internal/eval"
+	"predator/internal/report"
+)
+
+// FindingRef names one finding in a diff: enough identity to act on
+// (workload, object, source) plus the severity signal (invalidations).
+type FindingRef struct {
+	Workload      string `json:"workload"`
+	Key           string `json:"key"`
+	Sharing       string `json:"sharing"`
+	Source        string `json:"source"`
+	Label         string `json:"label,omitempty"`
+	Invalidations uint64 `json:"invalidations"`
+}
+
+// ChangedRef is a finding present in both runs whose invalidation count
+// moved; Ratio is head/base (0 when base was 0).
+type ChangedRef struct {
+	FindingRef
+	BaseInvalidations uint64  `json:"base_invalidations"`
+	Ratio             float64 `json:"ratio,omitempty"`
+}
+
+// RunDelta is the /api/v1/diff response: the regression verdict between two
+// ingested runs of one project. New findings are regressions, resolved
+// findings are wins, and when both runs carried benchmark documents the
+// slowdown-ratio comparison (eval.CompareBench — the same machinery as the
+// CI bench gate) rides along.
+type RunDelta struct {
+	Project string `json:"project"`
+	Base    string `json:"base"`
+	Head    string `json:"head"`
+
+	BaseCounts report.Counts `json:"base_counts"`
+	HeadCounts report.Counts `json:"head_counts"`
+
+	New      []FindingRef `json:"new_findings"`
+	Resolved []FindingRef `json:"resolved_findings"`
+	Changed  []ChangedRef `json:"changed_findings,omitempty"`
+	Common   int          `json:"common"`
+
+	// Bench is present when both runs carried -bench-json documents.
+	Bench *eval.BenchComparison `json:"bench,omitempty"`
+
+	// Regressed sums the ways head is worse than base: any new finding, or
+	// any benchmark slowdown-ratio regression.
+	Regressed bool `json:"regressed"`
+}
+
+// findingSet indexes a run's findings by identity key (first occurrence
+// wins — duplicate keys within one run collapse, mirroring how a human
+// reads the report).
+func findingSet(reports map[string]report.JSONReport) map[string]FindingRef {
+	out := map[string]FindingRef{}
+	workloads := make([]string, 0, len(reports))
+	for w := range reports {
+		workloads = append(workloads, w)
+	}
+	sort.Strings(workloads)
+	for _, w := range workloads {
+		rep := reports[w]
+		for i := range rep.Findings {
+			f := &rep.Findings[i]
+			key := FindingKey(w, f)
+			if _, ok := out[key]; ok {
+				continue
+			}
+			ref := FindingRef{
+				Workload:      w,
+				Key:           key,
+				Sharing:       f.Sharing,
+				Source:        f.Source,
+				Invalidations: f.Invalidations,
+			}
+			if f.Object != nil {
+				ref.Label = f.Object.Label
+			}
+			out[key] = ref
+		}
+	}
+	return out
+}
+
+// DiffRuns computes the regression delta from base to head. tolerance
+// applies to the benchmark comparison (0 = eval.DefaultBenchTolerance).
+func DiffRuns(project string, base, head *RunEntry, tolerance float64) (*RunDelta, error) {
+	d := &RunDelta{
+		Project:    project,
+		Base:       base.Meta.ID,
+		Head:       head.Meta.ID,
+		BaseCounts: base.Counts,
+		HeadCounts: head.Counts,
+	}
+	baseSet := findingSet(base.Reports)
+	headSet := findingSet(head.Reports)
+	for key, ref := range headSet {
+		prev, ok := baseSet[key]
+		if !ok {
+			d.New = append(d.New, ref)
+			continue
+		}
+		d.Common++
+		if prev.Invalidations != ref.Invalidations {
+			c := ChangedRef{FindingRef: ref, BaseInvalidations: prev.Invalidations}
+			if prev.Invalidations > 0 {
+				c.Ratio = float64(ref.Invalidations) / float64(prev.Invalidations)
+			}
+			d.Changed = append(d.Changed, c)
+		}
+	}
+	for key, ref := range baseSet {
+		if _, ok := headSet[key]; !ok {
+			d.Resolved = append(d.Resolved, ref)
+		}
+	}
+	sortRefs(d.New)
+	sortRefs(d.Resolved)
+	sort.Slice(d.Changed, func(i, j int) bool { return d.Changed[i].Key < d.Changed[j].Key })
+
+	if base.Bench != nil && head.Bench != nil {
+		cmp, err := eval.CompareBench(base.Bench, head.Bench, tolerance)
+		if err != nil {
+			return nil, err
+		}
+		d.Bench = cmp
+	}
+	d.Regressed = len(d.New) > 0 || (d.Bench != nil && d.Bench.Regressions > 0)
+	return d, nil
+}
+
+// sortRefs orders finding refs deterministically (hottest first, key as
+// tiebreak) so diffs are stable across servers.
+func sortRefs(refs []FindingRef) {
+	sort.Slice(refs, func(i, j int) bool {
+		if refs[i].Invalidations != refs[j].Invalidations {
+			return refs[i].Invalidations > refs[j].Invalidations
+		}
+		return refs[i].Key < refs[j].Key
+	})
+}

@@ -1,0 +1,102 @@
+package fleet
+
+import (
+	"testing"
+)
+
+// entryOf builds a RunEntry the way the store index would hold it.
+func entryOf(fp *FindingsPayload) *RunEntry {
+	return &RunEntry{Meta: fp.Run, Counts: SumCounts(fp.Reports), Reports: fp.Reports, Bench: fp.Bench}
+}
+
+func TestDiffRunsFindingSets(t *testing.T) {
+	base := entryOf(mkRun("base", "db", "mysql",
+		finding("gone", "false sharing", "observed", 300),
+		finding("stays", "false sharing", "observed", 100)))
+	head := entryOf(mkRun("head", "db", "mysql",
+		finding("stays", "false sharing", "observed", 250),
+		finding("fresh", "false sharing", "predicted (offset 24)", 900)))
+
+	d, err := DiffRuns("db", base, head, 0)
+	if err != nil {
+		t.Fatalf("DiffRuns: %v", err)
+	}
+	if len(d.New) != 1 || d.New[0].Label != "fresh" {
+		t.Fatalf("New = %+v", d.New)
+	}
+	if len(d.Resolved) != 1 || d.Resolved[0].Label != "gone" {
+		t.Fatalf("Resolved = %+v", d.Resolved)
+	}
+	if d.Common != 1 || len(d.Changed) != 1 {
+		t.Fatalf("Common = %d, Changed = %+v", d.Common, d.Changed)
+	}
+	if c := d.Changed[0]; c.Label != "stays" || c.BaseInvalidations != 100 || c.Ratio != 2.5 {
+		t.Fatalf("Changed[0] = %+v", d.Changed[0])
+	}
+	if !d.Regressed {
+		t.Fatal("a new finding must mark the delta regressed")
+	}
+	if d.BaseCounts.Findings != 2 || d.HeadCounts.Findings != 2 {
+		t.Fatalf("counts = %+v / %+v", d.BaseCounts, d.HeadCounts)
+	}
+}
+
+func TestDiffRunsCleanHead(t *testing.T) {
+	base := entryOf(mkRun("base", "db", "mysql",
+		finding("fixed-now", "false sharing", "observed", 300)))
+	head := entryOf(mkRun("head", "db", "mysql"))
+
+	d, err := DiffRuns("db", base, head, 0)
+	if err != nil {
+		t.Fatalf("DiffRuns: %v", err)
+	}
+	if len(d.New) != 0 || len(d.Resolved) != 1 || d.Regressed {
+		t.Fatalf("clean head delta = %+v", d)
+	}
+}
+
+// Findings are matched by identity (workload|object|source), not by counts:
+// the same object moving between runs is "changed", not new+resolved.
+func TestDiffRunsIdentityAcrossWorkloads(t *testing.T) {
+	base := entryOf(mkRun("base", "db", "mysql",
+		finding("obj", "false sharing", "observed", 100)))
+	head := entryOf(mkRun("head", "db", "kmeans",
+		finding("obj", "false sharing", "observed", 100)))
+
+	d, err := DiffRuns("db", base, head, 0)
+	if err != nil {
+		t.Fatalf("DiffRuns: %v", err)
+	}
+	// Same label under a different workload is a different finding.
+	if len(d.New) != 1 || len(d.Resolved) != 1 || d.Common != 0 {
+		t.Fatalf("cross-workload delta = %+v", d)
+	}
+}
+
+func TestDiffRunsBenchComparison(t *testing.T) {
+	base := entryOf(mkRun("base", "db", "mysql"))
+	base.Bench = benchDocFor("mysql", 100, 500, 0) // 5x slowdown baseline
+	head := entryOf(mkRun("head", "db", "mysql"))
+	head.Bench = benchDocFor("mysql", 100, 900, 0) // 9x: an 80% regression
+
+	d, err := DiffRuns("db", base, head, 0.10)
+	if err != nil {
+		t.Fatalf("DiffRuns: %v", err)
+	}
+	if d.Bench == nil || d.Bench.Regressions != 1 {
+		t.Fatalf("Bench = %+v, want 1 regression", d.Bench)
+	}
+	if !d.Regressed {
+		t.Fatal("bench regression must mark the delta regressed")
+	}
+
+	// Within tolerance: no regression flag.
+	head.Bench = benchDocFor("mysql", 100, 520, 0)
+	d, err = DiffRuns("db", base, head, 0.10)
+	if err != nil {
+		t.Fatalf("DiffRuns: %v", err)
+	}
+	if d.Bench == nil || d.Bench.Regressions != 0 || d.Regressed {
+		t.Fatalf("in-tolerance delta = regressions %d, regressed %v", d.Bench.Regressions, d.Regressed)
+	}
+}

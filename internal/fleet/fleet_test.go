@@ -1,0 +1,71 @@
+package fleet
+
+import (
+	"sync"
+	"time"
+
+	"predator/internal/eval"
+	"predator/internal/report"
+)
+
+// fakeClock is an injectable manual clock for limiter and store tests.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func newFakeClock() *fakeClock {
+	return &fakeClock{t: time.Date(2026, 8, 8, 12, 0, 0, 0, time.UTC)}
+}
+
+func (c *fakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+// finding builds one labeled test finding.
+func finding(label, sharing, source string, inval uint64) report.JSONFinding {
+	return report.JSONFinding{
+		Source:        source,
+		Sharing:       sharing,
+		SpanStart:     0x1000,
+		SpanEnd:       0x1040,
+		Accesses:      inval * 4,
+		Writes:        inval * 2,
+		Invalidations: inval,
+		Object:        &report.JSONObj{Start: 0x1000, Size: 64, Label: label, Callsite: "main.go:42"},
+	}
+}
+
+// mkReport wraps findings into a wire report.
+func mkReport(findings ...report.JSONFinding) report.JSONReport {
+	return report.JSONReport{LineSize: 64, Findings: findings}
+}
+
+// mkRun builds a findings payload for one run of one workload.
+func mkRun(id, project, workload string, findings ...report.JSONFinding) *FindingsPayload {
+	return &FindingsPayload{
+		Run:     RunMeta{ID: id, Project: project, Agent: "agent-1", Tool: "predator", Workload: workload},
+		Reports: map[string]report.JSONReport{workload: mkReport(findings...)},
+	}
+}
+
+// benchDocFor builds a two-mode bench document whose PREDATOR slowdown ratio
+// is predNs/origNs.
+func benchDocFor(workload string, origNs, predNs int64, findings int) *eval.BenchDoc {
+	return &eval.BenchDoc{
+		Tool: "predbench", Threads: 8, Scale: 1, Repeats: 3,
+		Records: []eval.BenchRecord{
+			{Experiment: "bench", Workload: workload, Mode: "Original", MedianNs: origNs, MinNs: origNs},
+			{Experiment: "bench", Workload: workload, Mode: "PREDATOR", MedianNs: predNs, MinNs: predNs,
+				Findings: findings, FalseSharing: findings},
+		},
+	}
+}

@@ -1,0 +1,88 @@
+package fleet
+
+import (
+	"math"
+	"sync"
+	"time"
+)
+
+// RateLimiter is a per-tenant token bucket: each tenant gets Burst tokens
+// refilled at Rate tokens/second, and every ingestion request spends one.
+// An empty bucket answers with how long until the next token — the server
+// turns that into 429 + Retry-After. The clock is injectable so tests can
+// verify refill behavior without sleeping.
+type RateLimiter struct {
+	rate  float64 // tokens per second
+	burst float64
+	clock func() time.Time
+
+	mu      sync.Mutex
+	buckets map[string]*bucket
+	denied  uint64
+}
+
+// bucket is one tenant's token state.
+type bucket struct {
+	tokens float64
+	last   time.Time
+}
+
+// NewRateLimiter builds a limiter; rate <= 0 or burst <= 0 fall back to
+// permissive defaults (DefaultRate, DefaultBurst). clock nil means time.Now.
+func NewRateLimiter(rate float64, burst int, clock func() time.Time) *RateLimiter {
+	if rate <= 0 {
+		rate = DefaultRate
+	}
+	if burst <= 0 {
+		burst = DefaultBurst
+	}
+	if clock == nil {
+		clock = time.Now
+	}
+	return &RateLimiter{
+		rate:    rate,
+		burst:   float64(burst),
+		clock:   clock,
+		buckets: map[string]*bucket{},
+	}
+}
+
+// Rate limiting defaults: generous enough that a handful of agents never
+// notice, small enough that a runaway loop is shed.
+const (
+	DefaultRate  = 50.0
+	DefaultBurst = 100
+)
+
+// Allow spends one token for the tenant. When the bucket is empty it
+// returns false and the wait until one token will be available.
+func (rl *RateLimiter) Allow(tenant string) (ok bool, retryAfter time.Duration) {
+	now := rl.clock()
+	rl.mu.Lock()
+	defer rl.mu.Unlock()
+	b, exists := rl.buckets[tenant]
+	if !exists {
+		b = &bucket{tokens: rl.burst, last: now}
+		rl.buckets[tenant] = b
+	} else {
+		elapsed := now.Sub(b.last).Seconds()
+		if elapsed > 0 {
+			b.tokens = math.Min(rl.burst, b.tokens+elapsed*rl.rate)
+			b.last = now
+		}
+	}
+	if b.tokens >= 1 {
+		b.tokens--
+		return true, 0
+	}
+	rl.denied++
+	need := (1 - b.tokens) / rl.rate
+	return false, time.Duration(math.Ceil(need * float64(time.Second)))
+}
+
+// Denied returns how many requests the limiter has shed.
+func (rl *RateLimiter) Denied() uint64 {
+	rl.mu.Lock()
+	defer rl.mu.Unlock()
+	return rl.denied
+}

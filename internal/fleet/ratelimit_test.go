@@ -1,0 +1,60 @@
+package fleet
+
+import (
+	"testing"
+	"time"
+)
+
+func TestRateLimiterBurstAndRefill(t *testing.T) {
+	clock := newFakeClock()
+	rl := NewRateLimiter(1.0, 3, clock.Now)
+
+	for i := 0; i < 3; i++ {
+		if ok, _ := rl.Allow("acme"); !ok {
+			t.Fatalf("request %d inside burst denied", i+1)
+		}
+	}
+	ok, retry := rl.Allow("acme")
+	if ok {
+		t.Fatal("request past burst allowed")
+	}
+	if retry <= 0 || retry > time.Second {
+		t.Fatalf("retryAfter = %v, want (0, 1s]", retry)
+	}
+	if rl.Denied() != 1 {
+		t.Fatalf("Denied = %d, want 1", rl.Denied())
+	}
+
+	// Tenants have separate buckets: someone else's burst is untouched.
+	if ok, _ := rl.Allow("rival"); !ok {
+		t.Fatal("other tenant denied by acme's exhausted bucket")
+	}
+
+	// One token refills after one second at rate 1/s.
+	clock.Advance(time.Second)
+	if ok, _ := rl.Allow("acme"); !ok {
+		t.Fatal("request after refill denied")
+	}
+	if ok, _ := rl.Allow("acme"); ok {
+		t.Fatal("second request after a single-token refill allowed")
+	}
+
+	// A long idle period refills only to the burst cap.
+	clock.Advance(time.Hour)
+	allowed := 0
+	for i := 0; i < 10; i++ {
+		if ok, _ := rl.Allow("acme"); ok {
+			allowed++
+		}
+	}
+	if allowed != 3 {
+		t.Fatalf("allowed %d after long idle, want burst cap 3", allowed)
+	}
+}
+
+func TestRateLimiterDefaults(t *testing.T) {
+	rl := NewRateLimiter(0, 0, nil)
+	if rl.rate != DefaultRate || rl.burst != float64(DefaultBurst) {
+		t.Fatalf("defaults = rate %v burst %v", rl.rate, rl.burst)
+	}
+}
