@@ -203,7 +203,7 @@ func main() {
 			fmt.Fprintf(os.Stderr, "predator: %v\n", err)
 			os.Exit(1)
 		}
-		stopRep = fc.StartReporter(2*time.Second, func() *fleet.MetricsPayload {
+		stopRep = fc.StartReporter(fleetFlags.ReportInterval(), func() *fleet.MetricsPayload {
 			rt := rtLive.Load()
 			if rt == nil {
 				return nil

@@ -155,7 +155,7 @@ func main() {
 			fleetReports[workload] = res.Report.ToJSON()
 			fleetModes[workload] = mode
 		}
-		stopRep = fc.StartReporter(2*time.Second, func() *fleet.MetricsPayload {
+		stopRep = fc.StartReporter(fleetFlags.ReportInterval(), func() *fleet.MetricsPayload {
 			rt := rtLive.Load()
 			if rt == nil {
 				return nil

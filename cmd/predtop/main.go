@@ -45,6 +45,7 @@ func main() {
 		n        = flag.Int("n", 10, "how many hot lines to show")
 		interval = flag.Duration("interval", time.Second, "refresh interval")
 		once     = flag.Bool("once", false, "render a single frame and exit (no screen clearing)")
+		width    = flag.Int("width", 0, "clip rendered lines to this many columns (0: auto-detect the terminal, unlimited on pipes)")
 		tlDir    = flag.String("timeline-dir", ".", "directory the 't' keystroke writes timeline dumps into")
 		version  = flag.Bool("version", false, "print build version and exit")
 	)
@@ -89,11 +90,16 @@ func main() {
 		}()
 	}
 
+	cols := *width
+	if cols == 0 {
+		cols = termWidth(os.Stdout)
+	}
 	opts := topview.LoopOptions{
 		Interval:   *interval,
 		Once:       *once,
 		Out:        os.Stdout,
 		ShowOrigin: fleetMode,
+		Width:      cols,
 		Keys:       keys,
 	}
 	if fleetMode {

@@ -32,3 +32,14 @@ func rawMode(f *os.File) (restore func(), err error) {
 			syscall.TCSETS, uintptr(unsafe.Pointer(&old)))
 	}, nil
 }
+
+// termWidth reports the terminal's column count, 0 when f is not a tty (a
+// pipe or redirect renders unclipped).
+func termWidth(f *os.File) int {
+	var ws struct{ rows, cols, xpix, ypix uint16 }
+	if _, _, errno := syscall.Syscall(syscall.SYS_IOCTL, f.Fd(),
+		syscall.TIOCGWINSZ, uintptr(unsafe.Pointer(&ws))); errno != 0 {
+		return 0
+	}
+	return int(ws.cols)
+}

@@ -12,3 +12,6 @@ import (
 func rawMode(*os.File) (func(), error) {
 	return nil, fmt.Errorf("raw terminal mode unsupported on this platform")
 }
+
+// termWidth cannot be probed off Linux; 0 renders unclipped.
+func termWidth(*os.File) int { return 0 }

@@ -1,0 +1,250 @@
+package fleet
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"predator/internal/eval"
+)
+
+// Alert rules.
+const (
+	// RuleFindingDrift fires when the two most recent runs of a project
+	// report different finding or false-sharing counts — the fleet-side
+	// analogue of the CI gate's exact-drift check.
+	RuleFindingDrift = "finding_drift"
+	// RuleSlowdownRegression fires when the latest benchmark-carrying run's
+	// slowdown ratios regressed beyond tolerance against the baseline
+	// (a pinned document like BENCH_pr5.json, or the previous bench run).
+	RuleSlowdownRegression = "slowdown_regression"
+	// RuleAgentSilent fires when an agent's metrics stream has been silent
+	// past the TTL — the same TTL that expires its hotlines contribution.
+	RuleAgentSilent = "agent_silent"
+)
+
+// Alert severities.
+const (
+	SeverityWarn = "warn"
+	SeverityCrit = "crit"
+)
+
+// DefaultAgentTTL is how long an agent's metrics stream may go silent
+// before it alerts and its /api/v1/hotlines contribution expires.
+const DefaultAgentTTL = 30 * time.Second
+
+// Alert is one active anomaly, as served by /api/v1/alerts and rendered on
+// the dashboard and predtop's ALERT row.
+type Alert struct {
+	Project  string  `json:"project"`
+	Rule     string  `json:"rule"`
+	Severity string  `json:"severity"`
+	Message  string  `json:"message"`
+	Agent    string  `json:"agent,omitempty"`
+	Run      string  `json:"run,omitempty"`
+	Value    float64 `json:"value,omitempty"`
+	SinceMs  int64   `json:"since_unix_ms,omitempty"`
+}
+
+// String renders the one-line form predtop's ALERT row shows.
+func (a Alert) String() string {
+	return fmt.Sprintf("[%s] %s %s: %s", a.Severity, a.Rule, a.Project, a.Message)
+}
+
+// AlertConfig tunes the alert engine. Zero values take the defaults.
+type AlertConfig struct {
+	// AgentTTL is the silence threshold (default DefaultAgentTTL).
+	AgentTTL time.Duration
+	// Tolerance is the slowdown-ratio drift CompareBench accepts before a
+	// regression alert (0 = eval.DefaultBenchTolerance).
+	Tolerance float64
+	// Baseline, when non-nil, pins the benchmark baseline every run is
+	// compared against (predfleet -bench-baseline BENCH_pr5.json). Nil falls
+	// back to the project's previous benchmark-carrying run.
+	Baseline *eval.BenchDoc
+	// Clock substitutes time.Now (tests).
+	Clock func() time.Time
+}
+
+// Alerter evaluates alert rules over current store state. Evaluation is
+// stateless and on demand (query time, dashboard render, metrics scrape):
+// the store index is the single source of truth, so there is no background
+// goroutine to crash or fall behind.
+type Alerter struct {
+	store *Store
+	cfg   AlertConfig
+}
+
+// NewAlerter wires the engine; cfg zero values are defaulted.
+func NewAlerter(store *Store, cfg AlertConfig) *Alerter {
+	if cfg.AgentTTL <= 0 {
+		cfg.AgentTTL = DefaultAgentTTL
+	}
+	if cfg.Tolerance <= 0 {
+		cfg.Tolerance = eval.DefaultBenchTolerance
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = time.Now
+	}
+	return &Alerter{store: store, cfg: cfg}
+}
+
+// AgentTTL exposes the configured silence threshold (the hotlines filter
+// uses the same value so the two surfaces agree on "stale").
+func (a *Alerter) AgentTTL() time.Duration { return a.cfg.AgentTTL }
+
+// Alerts evaluates every rule for one tenant, across all projects
+// (project == "") or one. Results are ordered severity-first (crit before
+// warn), then project, then rule — the order the ALERT row truncates in.
+func (a *Alerter) Alerts(tenant, project string) []Alert {
+	var projects []string
+	if project != "" {
+		projects = []string{project}
+	} else {
+		for _, pi := range a.store.Projects(tenant) {
+			projects = append(projects, pi.Project)
+		}
+	}
+	now := a.cfg.Clock()
+	var out []Alert
+	for _, p := range projects {
+		out = append(out, a.evalProject(tenant, p, now)...)
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		si, sj := severityRank(out[i].Severity), severityRank(out[j].Severity)
+		if si != sj {
+			return si < sj
+		}
+		if out[i].Project != out[j].Project {
+			return out[i].Project < out[j].Project
+		}
+		return out[i].Rule < out[j].Rule
+	})
+	return out
+}
+
+func severityRank(s string) int {
+	if s == SeverityCrit {
+		return 0
+	}
+	return 1
+}
+
+// evalProject runs the three rules over one project.
+func (a *Alerter) evalProject(tenant, project string, now time.Time) []Alert {
+	var out []Alert
+
+	// Agent silence: the metrics stream ticks every couple of seconds while
+	// a run executes, so a gap past the TTL means the agent died, hung, or
+	// lost its network path.
+	for _, ag := range a.store.Agents(tenant, project) {
+		silent := now.UnixMilli() - ag.LastSeenMs
+		if silent > a.cfg.AgentTTL.Milliseconds() {
+			out = append(out, Alert{
+				Project:  project,
+				Rule:     RuleAgentSilent,
+				Severity: SeverityWarn,
+				Agent:    ag.Agent,
+				Run:      ag.Run,
+				Value:    float64(silent) / 1000.0,
+				SinceMs:  ag.LastSeenMs,
+				Message: fmt.Sprintf("agent %s silent for %ds (ttl %s)",
+					ag.Agent, silent/1000, a.cfg.AgentTTL),
+			})
+		}
+	}
+
+	runs := a.store.RunHistory(tenant, project)
+	if len(runs) >= 2 {
+		prev, head := runs[len(runs)-2], runs[len(runs)-1]
+		if prev.Counts.Findings != head.Counts.Findings ||
+			prev.Counts.FalseSharing != head.Counts.FalseSharing {
+			sev := SeverityWarn
+			if head.Counts.Findings > prev.Counts.Findings ||
+				head.Counts.FalseSharing > prev.Counts.FalseSharing {
+				sev = SeverityCrit
+			}
+			out = append(out, Alert{
+				Project:  project,
+				Rule:     RuleFindingDrift,
+				Severity: sev,
+				Run:      head.Meta.ID,
+				Value:    float64(head.Counts.Findings - prev.Counts.Findings),
+				SinceMs:  head.IngestMs,
+				Message: fmt.Sprintf("findings %d→%d, false sharing %d→%d (run %s vs %s)",
+					prev.Counts.Findings, head.Counts.Findings,
+					prev.Counts.FalseSharing, head.Counts.FalseSharing,
+					head.Meta.ID, prev.Meta.ID),
+			})
+		}
+	}
+
+	if al, ok := a.slowdownAlert(project, runs); ok {
+		out = append(out, al)
+	}
+	return out
+}
+
+// slowdownAlert compares the newest benchmark-carrying run against the
+// baseline (pinned, or the previous bench run) through eval.CompareBench —
+// the exact machinery the CI bench gate uses, so fleet alerts and CI agree
+// on what "regressed" means.
+func (a *Alerter) slowdownAlert(project string, runs []*RunEntry) (Alert, bool) {
+	var head *RunEntry
+	var prevBench *eval.BenchDoc
+	for i := len(runs) - 1; i >= 0; i-- {
+		if runs[i].Bench == nil {
+			continue
+		}
+		if head == nil {
+			head = runs[i]
+			continue
+		}
+		prevBench = runs[i].Bench
+		break
+	}
+	if head == nil {
+		return Alert{}, false
+	}
+	baseline := a.cfg.Baseline
+	if baseline == nil {
+		baseline = prevBench
+	}
+	if baseline == nil {
+		return Alert{}, false
+	}
+	cmp, err := eval.CompareBench(baseline, head.Bench, a.cfg.Tolerance)
+	if err != nil || cmp.Regressions == 0 {
+		return Alert{}, false
+	}
+	worst := 0.0
+	worstAt := ""
+	for _, d := range cmp.Deltas {
+		if d.Regressed && d.Ratio > worst {
+			worst = d.Ratio
+			worstAt = d.Workload + "/" + d.Mode
+		}
+	}
+	return Alert{
+		Project:  project,
+		Rule:     RuleSlowdownRegression,
+		Severity: SeverityCrit,
+		Run:      head.Meta.ID,
+		Value:    worst,
+		SinceMs:  head.IngestMs,
+		Message: fmt.Sprintf("%d slowdown regression(s), worst %.2fx at %s (run %s, tolerance %.0f%%)",
+			cmp.Regressions, worst, worstAt, head.Meta.ID, a.cfg.Tolerance*100),
+	}, true
+}
+
+// CountByRule tallies active alerts per rule across every tenant — the
+// Prometheus gauge feed.
+func (a *Alerter) CountByRule() map[string]int {
+	out := map[string]int{}
+	for _, tenant := range a.store.Tenants() {
+		for _, al := range a.Alerts(tenant, "") {
+			out[al.Rule]++
+		}
+	}
+	return out
+}

@@ -1,0 +1,179 @@
+package fleet
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// alertStore opens a store plus an alerter sharing one fake clock.
+func alertStore(t *testing.T, cfg AlertConfig) (*Store, *Alerter, *fakeClock) {
+	t.Helper()
+	fc := newFakeClock()
+	s, err := OpenStore(StoreConfig{Dir: t.TempDir(), NoSync: true, Clock: fc.Now})
+	if err != nil {
+		t.Fatalf("OpenStore: %v", err)
+	}
+	t.Cleanup(func() { s.Close() })
+	cfg.Clock = fc.Now
+	return s, NewAlerter(s, cfg), fc
+}
+
+func TestAlerterAgentSilent(t *testing.T) {
+	s, a, fc := alertStore(t, AlertConfig{AgentTTL: 10 * time.Second})
+	if err := s.AppendMetrics("acme", &MetricsPayload{Project: "db", Agent: "agent-1", Run: "r1"}); err != nil {
+		t.Fatal(err)
+	}
+	if got := a.Alerts("acme", ""); len(got) != 0 {
+		t.Fatalf("fresh agent alerted: %+v", got)
+	}
+	fc.Advance(11 * time.Second)
+	got := a.Alerts("acme", "")
+	if len(got) != 1 {
+		t.Fatalf("alerts = %+v, want one agent_silent", got)
+	}
+	al := got[0]
+	if al.Rule != RuleAgentSilent || al.Severity != SeverityWarn || al.Agent != "agent-1" || al.Run != "r1" {
+		t.Fatalf("alert = %+v", al)
+	}
+	if al.Value != 11 {
+		t.Fatalf("silence seconds = %v, want 11", al.Value)
+	}
+	if !strings.Contains(al.Message, "silent for 11s") {
+		t.Fatalf("message = %q", al.Message)
+	}
+	// A new snapshot clears it.
+	if err := s.AppendMetrics("acme", &MetricsPayload{Project: "db", Agent: "agent-1"}); err != nil {
+		t.Fatal(err)
+	}
+	if got := a.Alerts("acme", ""); len(got) != 0 {
+		t.Fatalf("alert survived fresh snapshot: %+v", got)
+	}
+}
+
+func TestAlerterFindingDrift(t *testing.T) {
+	s, a, _ := alertStore(t, AlertConfig{})
+	ingest := func(run *FindingsPayload) {
+		t.Helper()
+		if _, err := s.AppendFindings("acme", run); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ingest(mkRun("r1", "db", "mysql", finding("counter", "false sharing", "observed", 500)))
+	if got := a.Alerts("acme", "db"); len(got) != 0 {
+		t.Fatalf("single run alerted: %+v", got)
+	}
+	// Same counts: steady state, no drift.
+	ingest(mkRun("r2", "db", "mysql", finding("counter", "false sharing", "observed", 500)))
+	if got := a.Alerts("acme", "db"); len(got) != 0 {
+		t.Fatalf("steady counts alerted: %+v", got)
+	}
+	// Count went up: crit.
+	ingest(mkRun("r3", "db", "mysql",
+		finding("counter", "false sharing", "observed", 500),
+		finding("stats", "false sharing", "predicted", 900)))
+	got := a.Alerts("acme", "db")
+	if len(got) != 1 || got[0].Rule != RuleFindingDrift || got[0].Severity != SeverityCrit {
+		t.Fatalf("alerts after increase = %+v", got)
+	}
+	if !strings.Contains(got[0].Message, "findings 1→2") || !strings.Contains(got[0].Message, "run r3 vs r2") {
+		t.Fatalf("message = %q", got[0].Message)
+	}
+	// Count went down: warn.
+	ingest(mkRun("r4", "db", "mysql"))
+	got = a.Alerts("acme", "db")
+	if len(got) != 1 || got[0].Severity != SeverityWarn {
+		t.Fatalf("alerts after decrease = %+v", got)
+	}
+}
+
+func TestAlerterSlowdownRegressionAgainstPreviousRun(t *testing.T) {
+	s, a, _ := alertStore(t, AlertConfig{})
+	base := mkRun("r1", "db", "mysql", finding("counter", "false sharing", "observed", 1))
+	base.Bench = benchDocFor("mysql", 100, 200, 1) // 2.0x
+	if _, err := s.AppendFindings("acme", base); err != nil {
+		t.Fatal(err)
+	}
+	if got := a.Alerts("acme", "db"); len(got) != 0 {
+		t.Fatalf("single bench run alerted: %+v", got)
+	}
+	head := mkRun("r2", "db", "mysql", finding("counter", "false sharing", "observed", 1))
+	head.Bench = benchDocFor("mysql", 100, 400, 1) // 4.0x → ratio 2.0 vs prev, way over 10%
+	if _, err := s.AppendFindings("acme", head); err != nil {
+		t.Fatal(err)
+	}
+	got := a.Alerts("acme", "db")
+	if len(got) != 1 {
+		t.Fatalf("alerts = %+v, want one slowdown_regression", got)
+	}
+	al := got[0]
+	if al.Rule != RuleSlowdownRegression || al.Severity != SeverityCrit || al.Run != "r2" {
+		t.Fatalf("alert = %+v", al)
+	}
+	if al.Value != 2.0 {
+		t.Fatalf("worst ratio = %v, want 2.0", al.Value)
+	}
+	if !strings.Contains(al.Message, "mysql/PREDATOR") {
+		t.Fatalf("message = %q", al.Message)
+	}
+}
+
+func TestAlerterSlowdownRegressionAgainstPinnedBaseline(t *testing.T) {
+	baseline := benchDocFor("mysql", 100, 150, 1) // pinned 1.5x
+	s, a, _ := alertStore(t, AlertConfig{Baseline: baseline})
+	run := mkRun("r1", "db", "mysql", finding("counter", "false sharing", "observed", 1))
+	run.Bench = benchDocFor("mysql", 100, 155, 1) // within 10% of the pin
+	if _, err := s.AppendFindings("acme", run); err != nil {
+		t.Fatal(err)
+	}
+	if got := a.Alerts("acme", "db"); len(got) != 0 {
+		t.Fatalf("within-tolerance run alerted: %+v", got)
+	}
+	run2 := mkRun("r2", "db", "mysql", finding("counter", "false sharing", "observed", 1))
+	run2.Bench = benchDocFor("mysql", 100, 300, 1) // 3.0x vs 1.5x pin
+	if _, err := s.AppendFindings("acme", run2); err != nil {
+		t.Fatal(err)
+	}
+	got := a.Alerts("acme", "db")
+	if len(got) != 1 || got[0].Rule != RuleSlowdownRegression {
+		t.Fatalf("alerts = %+v", got)
+	}
+	if got[0].Value != 2.0 { // 3.0 / 1.5
+		t.Fatalf("ratio vs pin = %v, want 2.0", got[0].Value)
+	}
+}
+
+func TestAlerterOrderingAndCountByRule(t *testing.T) {
+	s, a, fc := alertStore(t, AlertConfig{AgentTTL: 5 * time.Second})
+	// Project "aa": a silent agent (warn). Project "bb": finding drift up (crit).
+	if err := s.AppendMetrics("acme", &MetricsPayload{Project: "aa", Agent: "agent-1"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.AppendFindings("acme", mkRun("r1", "bb", "w")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.AppendFindings("acme", mkRun("r2", "bb", "w",
+		finding("counter", "false sharing", "observed", 1))); err != nil {
+		t.Fatal(err)
+	}
+	fc.Advance(6 * time.Second)
+	got := a.Alerts("acme", "")
+	if len(got) != 2 {
+		t.Fatalf("alerts = %+v, want 2", got)
+	}
+	// Crit sorts before warn even though "aa" < "bb".
+	if got[0].Rule != RuleFindingDrift || got[1].Rule != RuleAgentSilent {
+		t.Fatalf("order = %s, %s", got[0].Rule, got[1].Rule)
+	}
+	if !strings.HasPrefix(got[0].String(), "[crit] finding_drift bb:") {
+		t.Fatalf("String() = %q", got[0].String())
+	}
+	counts := a.CountByRule()
+	if counts[RuleFindingDrift] != 1 || counts[RuleAgentSilent] != 1 {
+		t.Fatalf("CountByRule = %v", counts)
+	}
+	// Project filter.
+	if got := a.Alerts("acme", "aa"); len(got) != 1 || got[0].Rule != RuleAgentSilent {
+		t.Fatalf("project-filtered alerts = %+v", got)
+	}
+}

@@ -1,0 +1,137 @@
+package fleet
+
+import (
+	"sync"
+
+	"predator/internal/eval"
+	"predator/internal/fleet/tsdb"
+)
+
+// Series names the Collector records per (tenant, project) scope. Rates are
+// derived per agent from consecutive cumulative snapshots; gauges are the
+// raw values from each snapshot; run series get one point per ingested run.
+const (
+	SeriesInvalRate     = "invalidations_per_sec"
+	SeriesAccessRate    = "accesses_per_sec"
+	SeriesTrackedLines  = "tracked_lines"
+	SeriesVirtualLines  = "virtual_lines"
+	SeriesDegradedLines = "degraded_lines"
+	SeriesFindings      = "findings"
+	SeriesFalseSharing  = "false_sharing"
+	SeriesSlowdown      = "slowdown_ratio"
+)
+
+// ScopeKey is the tsdb project key for one tenant's project: tenants must
+// never observe each other's series, so the tenant is part of the key.
+func ScopeKey(tenant, project string) string { return tenant + "/" + project }
+
+// Collector folds accepted store records into the time-series DB. It is the
+// store Observer predfleet wires up: during the startup salvage scan it
+// replays history (rings rebuild crash-safe from the JSONL segments), then
+// keeps appending live. Rate series need the previous cumulative counters
+// per agent, so the collector keeps a cursor per (tenant, project, agent).
+type Collector struct {
+	db *tsdb.DB
+
+	mu   sync.Mutex
+	last map[string]agentCursor
+}
+
+// agentCursor remembers one agent's previous cumulative counters.
+type agentCursor struct {
+	unixMs        int64
+	invalidations uint64
+	accesses      uint64
+}
+
+// NewCollector builds a collector feeding db.
+func NewCollector(db *tsdb.DB) *Collector {
+	return &Collector{db: db, last: map[string]agentCursor{}}
+}
+
+// DB exposes the underlying time-series database (the query side).
+func (c *Collector) DB() *tsdb.DB { return c.db }
+
+// ObserveMetrics folds one metrics snapshot: gauge series directly, rate
+// series from the delta against the agent's previous snapshot. Counter
+// resets (agent restart) skip the rate point instead of recording a negative
+// spike. Timestamps are server receive times so replayed history lands on
+// the same timeline the live stream uses.
+func (c *Collector) ObserveMetrics(tenant string, mp *MetricsPayload, recvMs int64) {
+	scope := ScopeKey(tenant, mp.Project)
+	c.db.Append(scope, SeriesTrackedLines, recvMs, float64(mp.Stats.TrackedLines))
+	c.db.Append(scope, SeriesVirtualLines, recvMs, float64(mp.Stats.VirtualLines))
+	c.db.Append(scope, SeriesDegradedLines, recvMs, float64(mp.Stats.DegradedLines))
+
+	key := scope + "\x00" + mp.Agent
+	c.mu.Lock()
+	prev, ok := c.last[key]
+	c.last[key] = agentCursor{
+		unixMs:        recvMs,
+		invalidations: mp.Stats.Invalidations,
+		accesses:      mp.Stats.Accesses,
+	}
+	c.mu.Unlock()
+	if !ok || recvMs <= prev.unixMs {
+		return
+	}
+	if mp.Stats.Invalidations < prev.invalidations || mp.Stats.Accesses < prev.accesses {
+		return // counter reset: the agent restarted between snapshots
+	}
+	dt := float64(recvMs-prev.unixMs) / 1000.0
+	c.db.Append(scope, SeriesInvalRate, recvMs,
+		float64(mp.Stats.Invalidations-prev.invalidations)/dt)
+	c.db.Append(scope, SeriesAccessRate, recvMs,
+		float64(mp.Stats.Accesses-prev.accesses)/dt)
+}
+
+// ObserveRun folds one ingested findings run: per-run counts plus, when the
+// run shipped a benchmark document, its overall slowdown ratio.
+func (c *Collector) ObserveRun(tenant, project string, e *RunEntry) {
+	scope := ScopeKey(tenant, project)
+	c.db.Append(scope, SeriesFindings, e.IngestMs, float64(e.Counts.Findings))
+	c.db.Append(scope, SeriesFalseSharing, e.IngestMs, float64(e.Counts.FalseSharing))
+	if sd, ok := BenchSlowdown(e.Bench); ok {
+		c.db.Append(scope, SeriesSlowdown, e.IngestMs, sd)
+	}
+}
+
+// BenchSlowdown reduces a benchmark document to one number: the mean
+// slowdown ratio (instrumented time / Original time, min-of-N preferred,
+// matching eval.CompareBench's noise filtering) across every workload × mode
+// pair that has an Original denominator. ok is false when the document is
+// nil or has no comparable pair.
+func BenchSlowdown(doc *eval.BenchDoc) (float64, bool) {
+	if doc == nil {
+		return 0, false
+	}
+	pick := func(r eval.BenchRecord) int64 {
+		if r.MinNs > 0 {
+			return r.MinNs
+		}
+		return r.MedianNs
+	}
+	orig := map[string]int64{}
+	for _, r := range doc.Records {
+		if r.Mode == "Original" {
+			orig[r.Workload] = pick(r)
+		}
+	}
+	sum, n := 0.0, 0
+	for _, r := range doc.Records {
+		if r.Mode == "Original" {
+			continue
+		}
+		o := orig[r.Workload]
+		v := pick(r)
+		if o <= 0 || v <= 0 {
+			continue
+		}
+		sum += float64(v) / float64(o)
+		n++
+	}
+	if n == 0 {
+		return 0, false
+	}
+	return sum / float64(n), true
+}

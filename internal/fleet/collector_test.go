@@ -1,0 +1,160 @@
+package fleet
+
+import (
+	"testing"
+	"time"
+
+	"predator/internal/fleet/tsdb"
+)
+
+// collectorStore opens a store wired to a fresh collector and fake clock.
+func collectorStore(t *testing.T, dir string) (*Store, *Collector, *fakeClock) {
+	t.Helper()
+	fc := newFakeClock()
+	col := NewCollector(tsdb.New(tsdb.Config{}))
+	s, err := OpenStore(StoreConfig{Dir: dir, NoSync: true, Observer: col, Clock: fc.Now})
+	if err != nil {
+		t.Fatalf("OpenStore: %v", err)
+	}
+	return s, col, fc
+}
+
+func TestCollectorDerivesRatesFromSnapshots(t *testing.T) {
+	s, col, fc := collectorStore(t, t.TempDir())
+	defer s.Close()
+	scope := ScopeKey("acme", "db")
+
+	snap := func(inval, acc uint64) {
+		if err := s.AppendMetrics("acme", &MetricsPayload{
+			Project: "db", Agent: "agent-1",
+			Stats: StatsSnapshot{Invalidations: inval, Accesses: acc, TrackedLines: 3},
+		}); err != nil {
+			t.Fatalf("AppendMetrics: %v", err)
+		}
+	}
+	snap(100, 1000)
+	fc.Advance(2 * time.Second)
+	snap(300, 5000) // +200 inval, +4000 accesses over 2s
+	fc.Advance(2 * time.Second)
+	snap(300, 5000) // flat
+
+	rates := col.DB().Query(scope, SeriesInvalRate, tsdb.ResRaw, 0)
+	if len(rates) != 2 {
+		t.Fatalf("inval rate points = %+v, want 2", rates)
+	}
+	if rates[0].Sum != 100 || rates[1].Sum != 0 {
+		t.Fatalf("inval rates = %v, %v, want 100, 0", rates[0].Sum, rates[1].Sum)
+	}
+	acc := col.DB().Query(scope, SeriesAccessRate, tsdb.ResRaw, 0)
+	if acc[0].Sum != 2000 {
+		t.Fatalf("access rate = %v, want 2000", acc[0].Sum)
+	}
+	// Gauges got one point per snapshot.
+	if tracked := col.DB().Query(scope, SeriesTrackedLines, tsdb.ResRaw, 0); len(tracked) != 3 {
+		t.Fatalf("tracked gauge points = %d, want 3", len(tracked))
+	}
+}
+
+func TestCollectorSkipsCounterResets(t *testing.T) {
+	s, col, fc := collectorStore(t, t.TempDir())
+	defer s.Close()
+	for _, inval := range []uint64{500, 20, 40} { // restart between 500 and 20
+		if err := s.AppendMetrics("acme", &MetricsPayload{
+			Project: "db", Agent: "agent-1", Stats: StatsSnapshot{Invalidations: inval},
+		}); err != nil {
+			t.Fatal(err)
+		}
+		fc.Advance(2 * time.Second)
+	}
+	rates := col.DB().Query(ScopeKey("acme", "db"), SeriesInvalRate, tsdb.ResRaw, 0)
+	if len(rates) != 1 || rates[0].Sum != 10 {
+		t.Fatalf("rates across reset = %+v, want one 10/s point", rates)
+	}
+}
+
+func TestCollectorRunSeriesAndSlowdown(t *testing.T) {
+	s, col, fc := collectorStore(t, t.TempDir())
+	defer s.Close()
+	run := mkRun("r1", "db", "mysql", finding("counter", "false sharing", "observed", 500))
+	run.Bench = benchDocFor("mysql", 100, 250, 1) // slowdown 2.5
+	if _, err := s.AppendFindings("acme", run); err != nil {
+		t.Fatal(err)
+	}
+	fc.Advance(time.Minute)
+	if _, err := s.AppendFindings("acme", mkRun("r2", "db", "mysql")); err != nil {
+		t.Fatal(err)
+	}
+
+	scope := ScopeKey("acme", "db")
+	finds := col.DB().Query(scope, SeriesFindings, tsdb.ResRaw, 0)
+	if len(finds) != 2 || finds[0].Sum != 1 || finds[1].Sum != 0 {
+		t.Fatalf("findings series = %+v", finds)
+	}
+	sd := col.DB().Query(scope, SeriesSlowdown, tsdb.ResRaw, 0)
+	if len(sd) != 1 || sd[0].Sum != 2.5 {
+		t.Fatalf("slowdown series = %+v, want one 2.5 point", sd)
+	}
+}
+
+// TestCollectorRebuildsFromSegments is the crash-safety contract: a fresh
+// collector fed by the reopen salvage scan reconstructs the same series the
+// live one accumulated, including derived rates.
+func TestCollectorRebuildsFromSegments(t *testing.T) {
+	dir := t.TempDir()
+	s, col, fc := collectorStore(t, dir)
+	for i, inval := range []uint64{100, 300, 600} {
+		if err := s.AppendMetrics("acme", &MetricsPayload{
+			Project: "db", Agent: "agent-1", Stats: StatsSnapshot{Invalidations: inval},
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if i < 2 {
+			fc.Advance(2 * time.Second)
+		}
+	}
+	run := mkRun("r1", "db", "mysql", finding("counter", "false sharing", "observed", 9))
+	run.Bench = benchDocFor("mysql", 100, 300, 1)
+	if _, err := s.AppendFindings("acme", run); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+
+	col2 := NewCollector(tsdb.New(tsdb.Config{}))
+	s2, err := OpenStore(StoreConfig{Dir: dir, NoSync: true, Observer: col2})
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer s2.Close()
+
+	scope := ScopeKey("acme", "db")
+	for _, series := range []string{SeriesInvalRate, SeriesFindings, SeriesSlowdown, SeriesTrackedLines} {
+		want := col.DB().Query(scope, series, tsdb.ResRaw, 0)
+		got := col2.DB().Query(scope, series, tsdb.ResRaw, 0)
+		if len(got) != len(want) {
+			t.Fatalf("%s: rebuilt %d points, live had %d", series, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("%s[%d]: rebuilt %+v, live %+v", series, i, got[i], want[i])
+			}
+		}
+	}
+	if col2.DB().Appends() == 0 {
+		t.Fatal("rebuilt DB saw no appends")
+	}
+}
+
+func TestBenchSlowdown(t *testing.T) {
+	if _, ok := BenchSlowdown(nil); ok {
+		t.Fatal("nil doc must not produce a slowdown")
+	}
+	if sd, ok := BenchSlowdown(benchDocFor("w", 100, 420, 0)); !ok || sd != 4.2 {
+		t.Fatalf("BenchSlowdown = %v, %v, want 4.2", sd, ok)
+	}
+	// Without an Original denominator there is nothing to compare.
+	doc := benchDocFor("w", 100, 420, 0)
+	doc.Records = doc.Records[1:]
+	if _, ok := BenchSlowdown(doc); ok {
+		t.Fatal("doc without Original must not produce a slowdown")
+	}
+}

@@ -1,0 +1,227 @@
+package fleet
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"predator/internal/fleet/tsdb"
+)
+
+// newObsTestServer stands up the full observability wiring: store with a
+// collector observer feeding a tsdb, server with series/alerts/dash enabled,
+// everything on one fake clock.
+func newObsTestServer(t *testing.T, alerts AlertConfig) (*httptest.Server, *fakeClock) {
+	t.Helper()
+	fc := newFakeClock()
+	col := NewCollector(tsdb.New(tsdb.Config{}))
+	store, err := OpenStore(StoreConfig{Dir: t.TempDir(), NoSync: true, Observer: col, Clock: fc.Now})
+	if err != nil {
+		t.Fatalf("OpenStore: %v", err)
+	}
+	alerts.Clock = fc.Now
+	srv, err := NewServer(ServerConfig{
+		Store:  store,
+		Tokens: map[string]string{"s3cret": "acme"},
+		Clock:  fc.Now,
+		TSDB:   col.DB(),
+		Alerts: alerts,
+	})
+	if err != nil {
+		t.Fatalf("NewServer: %v", err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		store.Close()
+	})
+	return ts, fc
+}
+
+func postMetrics(t *testing.T, base string, mp *MetricsPayload) {
+	t.Helper()
+	body, _ := json.Marshal(mp)
+	code, data, _ := do(t, http.MethodPost, base+"/api/v1/ingest/metrics", "s3cret", body)
+	if code != http.StatusOK {
+		t.Fatalf("ingest metrics = %d (%s)", code, data)
+	}
+}
+
+func TestServerSeriesEndpoint(t *testing.T) {
+	ts, fc := newObsTestServer(t, AlertConfig{})
+	postMetrics(t, ts.URL, &MetricsPayload{Project: "db", Agent: "a1",
+		Stats: StatsSnapshot{Invalidations: 100, TrackedLines: 5}})
+	fc.Advance(2 * time.Second)
+	postMetrics(t, ts.URL, &MetricsPayload{Project: "db", Agent: "a1",
+		Stats: StatsSnapshot{Invalidations: 300, TrackedLines: 5}})
+
+	// Listing form: no ?name=.
+	code, body, _ := do(t, http.MethodGet, ts.URL+"/api/v1/series?project=db", "s3cret", nil)
+	if code != http.StatusOK {
+		t.Fatalf("series listing = %d (%s)", code, body)
+	}
+	var list SeriesResponse
+	if err := json.Unmarshal(body, &list); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	hasInval := false
+	for _, n := range list.Names {
+		if n == SeriesInvalRate {
+			hasInval = true
+		}
+	}
+	if !hasInval {
+		t.Fatalf("series names = %v, want %s present", list.Names, SeriesInvalRate)
+	}
+
+	// Point form.
+	code, body, _ = do(t, http.MethodGet,
+		ts.URL+"/api/v1/series?project=db&name="+SeriesInvalRate+"&res=raw", "s3cret", nil)
+	if code != http.StatusOK {
+		t.Fatalf("series query = %d (%s)", code, body)
+	}
+	var pts SeriesResponse
+	if err := json.Unmarshal(body, &pts); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if pts.Count != 1 || pts.Points[0].Sum != 100 {
+		t.Fatalf("points = %+v, want one 100/s sample", pts.Points)
+	}
+
+	// Validation.
+	if code, _, _ := do(t, http.MethodGet, ts.URL+"/api/v1/series", "s3cret", nil); code != http.StatusBadRequest {
+		t.Fatalf("missing project = %d, want 400", code)
+	}
+	if code, _, _ := do(t, http.MethodGet, ts.URL+"/api/v1/series?project=db&name=x&res=5s", "s3cret", nil); code != http.StatusBadRequest {
+		t.Fatalf("bad res = %d, want 400", code)
+	}
+}
+
+func TestServerSeriesDisabledWithoutTSDB(t *testing.T) {
+	_, ts := newTestServer(t, nil)
+	code, body, _ := do(t, http.MethodGet, ts.URL+"/api/v1/series?project=db", "s3cret", nil)
+	if code != http.StatusServiceUnavailable {
+		t.Fatalf("series without tsdb = %d (%s), want 503", code, body)
+	}
+}
+
+// TestServerSlowdownRegressionVisibleEverywhere is the acceptance loop: a
+// seeded bench regression must surface in /api/v1/alerts, the Prometheus
+// /metrics scrape, and the hotlines response predtop renders.
+func TestServerSlowdownRegressionVisibleEverywhere(t *testing.T) {
+	ts, fc := newObsTestServer(t, AlertConfig{})
+	base := mkRun("r1", "db", "mysql", finding("counter", "false sharing", "observed", 9))
+	base.Bench = benchDocFor("mysql", 100, 200, 1)
+	postRun(t, ts.URL, "s3cret", base, http.StatusCreated)
+	fc.Advance(time.Minute)
+	head := mkRun("r2", "db", "mysql", finding("counter", "false sharing", "observed", 9))
+	head.Bench = benchDocFor("mysql", 100, 400, 1)
+	postRun(t, ts.URL, "s3cret", head, http.StatusCreated)
+
+	// /api/v1/alerts
+	code, body, _ := do(t, http.MethodGet, ts.URL+"/api/v1/alerts?project=db", "s3cret", nil)
+	if code != http.StatusOK {
+		t.Fatalf("alerts = %d (%s)", code, body)
+	}
+	var ar AlertsResponse
+	if err := json.Unmarshal(body, &ar); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if ar.Count != 1 || ar.Alerts[0].Rule != RuleSlowdownRegression || ar.Alerts[0].Severity != SeverityCrit {
+		t.Fatalf("alerts = %+v, want one crit slowdown_regression", ar.Alerts)
+	}
+
+	// Prometheus /metrics
+	_, body, _ = do(t, http.MethodGet, ts.URL+"/metrics", "", nil)
+	if !strings.Contains(string(body), "predfleet_alerts_slowdown_regression 1") {
+		t.Fatalf("metrics missing alert gauge:\n%s", body)
+	}
+
+	// /api/v1/hotlines carries the pre-rendered ALERT rows.
+	_, body, _ = do(t, http.MethodGet, ts.URL+"/api/v1/hotlines?project=db", "s3cret", nil)
+	var hl HotLinesResponse
+	if err := json.Unmarshal(body, &hl); err != nil {
+		t.Fatalf("decode hotlines: %v", err)
+	}
+	if len(hl.Alerts) != 1 || !strings.Contains(hl.Alerts[0], "slowdown_regression") {
+		t.Fatalf("hotlines alerts = %v", hl.Alerts)
+	}
+}
+
+func TestServerHotLinesExpireSilentAgents(t *testing.T) {
+	ts, fc := newObsTestServer(t, AlertConfig{AgentTTL: 10 * time.Second})
+	postMetrics(t, ts.URL, &MetricsPayload{Project: "db", Agent: "a1",
+		Stats:    StatsSnapshot{Invalidations: 50},
+		HotLines: []HotLine{{Addr: 0x1000, Invalidations: 50}}})
+
+	fetch := func() HotLinesResponse {
+		t.Helper()
+		code, body, _ := do(t, http.MethodGet, ts.URL+"/api/v1/hotlines?project=db", "s3cret", nil)
+		if code != http.StatusOK {
+			t.Fatalf("hotlines = %d (%s)", code, body)
+		}
+		var hl HotLinesResponse
+		if err := json.Unmarshal(body, &hl); err != nil {
+			t.Fatalf("decode: %v", err)
+		}
+		return hl
+	}
+	if hl := fetch(); hl.Agents != 1 || len(hl.Lines) != 1 {
+		t.Fatalf("fresh agent missing: %+v", hl)
+	}
+	fc.Advance(11 * time.Second)
+	hl := fetch()
+	if hl.Agents != 0 || len(hl.Lines) != 0 {
+		t.Fatalf("silent agent still aggregated: %+v", hl)
+	}
+	if len(hl.Alerts) != 1 || !strings.Contains(hl.Alerts[0], "agent_silent") {
+		t.Fatalf("expected agent_silent alert, got %v", hl.Alerts)
+	}
+}
+
+func TestServerDashboardPages(t *testing.T) {
+	ts, fc := newObsTestServer(t, AlertConfig{})
+	for i, id := range []string{"r1", "r2"} {
+		run := mkRun(id, "db", "mysql", finding("counter", "false sharing", "observed", uint64(100*(i+1))))
+		postRun(t, ts.URL, "s3cret", run, http.StatusCreated)
+		fc.Advance(time.Minute)
+	}
+	postMetrics(t, ts.URL, &MetricsPayload{Project: "db", Agent: "a1",
+		Stats: StatsSnapshot{Invalidations: 10, TrackedLines: 2}})
+
+	// The index authenticates via ?token= (a browser sets no headers).
+	code, body, _ := do(t, http.MethodGet, ts.URL+"/dash?token=s3cret", "", nil)
+	if code != http.StatusOK {
+		t.Fatalf("/dash = %d (%s)", code, body)
+	}
+	page := string(body)
+	if !strings.Contains(page, "/dash/db?token=s3cret") {
+		t.Fatalf("index missing project link:\n%s", page)
+	}
+	if code, _, _ := do(t, http.MethodGet, ts.URL+"/dash", "", nil); code != http.StatusUnauthorized {
+		t.Fatalf("unauthenticated /dash = %d, want 401", code)
+	}
+
+	code, body, _ = do(t, http.MethodGet, ts.URL+"/dash/db?token=s3cret", "", nil)
+	if code != http.StatusOK {
+		t.Fatalf("/dash/db = %d (%s)", code, body)
+	}
+	page = string(body)
+	for _, want := range []string{"<svg", "polyline", "run history", "r1", "r2", "hottest lines", "mysql|"} {
+		if !strings.Contains(page, want) {
+			t.Fatalf("project page missing %q:\n%s", want, page)
+		}
+	}
+	// Zero external assets: no script tags, no http(s) fetches.
+	for _, banned := range []string{"<script", "src=\"http", "href=\"http", "@import"} {
+		if strings.Contains(page, banned) {
+			t.Fatalf("project page references external asset %q", banned)
+		}
+	}
+	if code, _, _ := do(t, http.MethodGet, ts.URL+"/dash/missing?token=s3cret", "", nil); code != http.StatusNotFound {
+		t.Fatalf("unknown project dash = %d, want 404", code)
+	}
+}

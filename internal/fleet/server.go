@@ -15,6 +15,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"predator/internal/fleet/tsdb"
 	"predator/internal/obs"
 	"predator/internal/resilience"
 	"predator/internal/trace"
@@ -50,6 +51,12 @@ type ServerConfig struct {
 	Build obs.BuildInfo
 	// Clock substitutes time.Now (tests). Nil means time.Now.
 	Clock func() time.Time
+	// TSDB, when non-nil, serves /api/v1/series and the dashboard
+	// sparklines. Wire the same DB behind the store's Observer so it fills.
+	TSDB *tsdb.DB
+	// Alerts configures the alert engine (zero values take the defaults);
+	// the engine itself is always built from the store.
+	Alerts AlertConfig
 }
 
 // Server is the predfleet HTTP service: token-authenticated multi-tenant
@@ -66,6 +73,8 @@ type Server struct {
 	mux     *http.ServeMux
 	guards  map[string]*resilience.Guard
 	started time.Time
+	tsdb    *tsdb.DB // nil: series/dash sparklines disabled
+	alerter *Alerter
 
 	mIngest      *obs.Counter // predfleet_ingest_total
 	mIngestErr   *obs.Counter
@@ -100,7 +109,12 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 		mux:     http.NewServeMux(),
 		guards:  map[string]*resilience.Guard{},
 		started: cfg.Clock(),
+		tsdb:    cfg.TSDB,
 	}
+	if cfg.Alerts.Clock == nil {
+		cfg.Alerts.Clock = cfg.Clock
+	}
+	s.alerter = NewAlerter(cfg.Store, cfg.Alerts)
 	s.mIngest = s.reg.Counter("predfleet_ingest_total", "Ingestion requests accepted (findings, metrics, trace).")
 	s.mIngestErr = s.reg.Counter("predfleet_ingest_errors_total", "Ingestion requests rejected (bad payloads, store faults).")
 	s.mRateLimited = s.reg.Counter("predfleet_rate_limited_total", "Ingestion requests shed with 429.")
@@ -112,6 +126,17 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 		func() float64 { return float64(s.store.Recovery().Records) })
 	s.reg.GaugeFunc("predfleet_store_corrupt_lines", "Corrupt segment lines skipped by the startup salvage scan.",
 		func() float64 { return float64(s.store.Recovery().CorruptLines) })
+	s.reg.GaugeFunc("predfleet_store_pruned_segments", "Fully-acked segments pruned by -retain-segments.",
+		func() float64 { return float64(s.store.PrunedSegments()) })
+	for _, rule := range []string{RuleFindingDrift, RuleSlowdownRegression, RuleAgentSilent} {
+		rule := rule
+		s.reg.GaugeFunc("predfleet_alerts_"+rule, "Active "+rule+" alerts across every tenant.",
+			func() float64 { return float64(s.alerter.CountByRule()[rule]) })
+	}
+	if s.tsdb != nil {
+		s.reg.GaugeFunc("predfleet_tsdb_appends", "Samples appended to the time-series rings.",
+			func() float64 { return float64(s.tsdb.Appends()) })
+	}
 
 	s.mux.HandleFunc("/healthz", s.guarded("/healthz", s.handleHealthz))
 	s.mux.HandleFunc("/metrics", s.guarded("/metrics", s.handleMetrics))
@@ -123,6 +148,10 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 	s.mux.HandleFunc("/api/v1/findings", s.query("/api/v1/findings", s.handleFindings))
 	s.mux.HandleFunc("/api/v1/diff", s.query("/api/v1/diff", s.handleDiff))
 	s.mux.HandleFunc("/api/v1/hotlines", s.query("/api/v1/hotlines", s.handleHotLines))
+	s.mux.HandleFunc("/api/v1/series", s.query("/api/v1/series", s.handleSeries))
+	s.mux.HandleFunc("/api/v1/alerts", s.query("/api/v1/alerts", s.handleAlerts))
+	s.mux.HandleFunc("/dash", s.query("/dash", s.handleDashIndex))
+	s.mux.HandleFunc("/dash/", s.query("/dash/", s.handleDashProject))
 	return s, nil
 }
 
@@ -172,11 +201,15 @@ type httpError struct {
 func (e *httpError) Error() string { return e.msg }
 
 // tenantOf authenticates a request: Authorization: Bearer <token> (or the
-// X-Predfleet-Token header) resolved through the token table.
+// X-Predfleet-Token header, or ?token= for the browser-loaded dashboard
+// pages, which cannot set headers) resolved through the token table.
 func (s *Server) tenantOf(r *http.Request) (string, error) {
 	tok := r.Header.Get("X-Predfleet-Token")
 	if h := r.Header.Get("Authorization"); tok == "" && strings.HasPrefix(h, "Bearer ") {
 		tok = strings.TrimPrefix(h, "Bearer ")
+	}
+	if tok == "" {
+		tok = r.URL.Query().Get("token")
 	}
 	if tok == "" {
 		if s.cfg.AllowAnonymous != "" {
@@ -577,6 +610,9 @@ type HotLinesResponse struct {
 	Agents    int           `json:"agents"`
 	Stats     StatsSnapshot `json:"stats"`
 	Lines     []HotLine     `json:"lines"`
+	// Alerts are the tenant's active anomalies pre-rendered one per line
+	// (severity-first) — predtop's ALERT row.
+	Alerts []string `json:"alerts,omitempty"`
 }
 
 // DefaultHotLines is how many lines /api/v1/hotlines returns without ?n=.
@@ -592,13 +628,19 @@ func (s *Server) handleHotLines(tenant string, r *http.Request, buf *bytes.Buffe
 		}
 		n = v
 	}
-	snaps := s.store.AgentMetrics(tenant, q.Get("project"))
+	// Agents whose metrics stream went silent past the TTL stop
+	// contributing: a dead agent's last snapshot must not pin its lines into
+	// the fleet view forever.
+	snaps := s.store.FreshAgentMetrics(tenant, q.Get("project"), s.cfg.Clock(), s.alerter.AgentTTL())
 	resp := HotLinesResponse{
 		Tool:      "predfleet",
 		UnixMilli: s.cfg.Clock().UnixMilli(),
 		Requested: n,
 		Agents:    len(snaps),
 		Lines:     []HotLine{},
+	}
+	for _, al := range s.alerter.Alerts(tenant, q.Get("project")) {
+		resp.Alerts = append(resp.Alerts, al.String())
 	}
 	for _, mp := range snaps {
 		resp.Stats.Accesses += mp.Stats.Accesses
@@ -628,6 +670,86 @@ func (s *Server) handleHotLines(tenant string, r *http.Request, buf *bytes.Buffe
 	}
 	resp.Count = len(resp.Lines)
 	return writeJSON(buf, resp)
+}
+
+// SeriesResponse is the /api/v1/series schema. Without ?name= it lists the
+// project's series names; with one it returns that series' buckets at the
+// requested resolution (raw | 1m | 1h).
+type SeriesResponse struct {
+	Tenant     string        `json:"tenant"`
+	Project    string        `json:"project"`
+	Series     string        `json:"series,omitempty"`
+	Resolution string        `json:"resolution,omitempty"`
+	SinceMs    int64         `json:"since_unix_ms,omitempty"`
+	Names      []string      `json:"names,omitempty"`
+	Count      int           `json:"count"`
+	Points     []tsdb.Bucket `json:"points,omitempty"`
+}
+
+func (s *Server) handleSeries(tenant string, r *http.Request, buf *bytes.Buffer) (string, error) {
+	if s.tsdb == nil {
+		return "", &httpError{http.StatusServiceUnavailable, "time-series engine disabled"}
+	}
+	q := r.URL.Query()
+	project := q.Get("project")
+	if project == "" {
+		return "", &httpError{http.StatusBadRequest, "missing ?project="}
+	}
+	scope := ScopeKey(tenant, project)
+	name := q.Get("name")
+	if name == "" {
+		names := s.tsdb.Series(scope)
+		if names == nil {
+			names = []string{}
+		}
+		return writeJSON(buf, SeriesResponse{
+			Tenant: tenant, Project: project, Names: names, Count: len(names),
+		})
+	}
+	res := q.Get("res")
+	if res == "" {
+		res = tsdb.ResRaw
+	}
+	switch res {
+	case tsdb.ResRaw, tsdb.Res1m, tsdb.Res1h:
+	default:
+		return "", &httpError{http.StatusBadRequest, "invalid res (want raw|1m|1h): " + res}
+	}
+	var since int64
+	if raw := q.Get("since"); raw != "" {
+		v, err := strconv.ParseInt(raw, 10, 64)
+		if err != nil {
+			return "", &httpError{http.StatusBadRequest, "invalid since (want unix ms): " + raw}
+		}
+		since = v
+	}
+	points := s.tsdb.Query(scope, name, res, since)
+	if points == nil {
+		points = []tsdb.Bucket{}
+	}
+	return writeJSON(buf, SeriesResponse{
+		Tenant: tenant, Project: project, Series: name, Resolution: res,
+		SinceMs: since, Count: len(points), Points: points,
+	})
+}
+
+// AlertsResponse is the /api/v1/alerts schema.
+type AlertsResponse struct {
+	Tenant  string  `json:"tenant"`
+	Project string  `json:"project,omitempty"`
+	Count   int     `json:"count"`
+	Alerts  []Alert `json:"alerts"`
+}
+
+func (s *Server) handleAlerts(tenant string, r *http.Request, buf *bytes.Buffer) (string, error) {
+	project := r.URL.Query().Get("project")
+	alerts := s.alerter.Alerts(tenant, project)
+	if alerts == nil {
+		alerts = []Alert{}
+	}
+	return writeJSON(buf, AlertsResponse{
+		Tenant: tenant, Project: project, Count: len(alerts), Alerts: alerts,
+	})
 }
 
 // writeJSON renders v into buf and returns the JSON content type.

@@ -40,6 +40,21 @@ type Store struct {
 	idx      map[string]*tenantIndex // by tenant
 	recovery RecoveryStats
 	appends  uint64
+	pruned   uint64 // segment files removed by retention
+}
+
+// Observer receives every record the store accepts — both live appends and
+// the startup salvage scan, in log order. This is how the time-series engine
+// gets crash-safe persistence without a WAL of its own: the JSONL segments
+// are the durable log, and a restart replays them through the observer to
+// rebuild derived state (rings, rollups, per-agent cursors). Calls happen
+// with the store lock held; observers must not call back into the store.
+type Observer interface {
+	// ObserveMetrics sees one accepted metrics snapshot. recvMs is the
+	// server-side ingestion time stamped into the envelope.
+	ObserveMetrics(tenant string, mp *MetricsPayload, recvMs int64)
+	// ObserveRun sees one accepted findings run after indexing.
+	ObserveRun(tenant, project string, e *RunEntry)
 }
 
 // StoreConfig configures OpenStore.
@@ -61,6 +76,13 @@ type StoreConfig struct {
 	// fault-injection hook the chaos tests use to fail the disk sink
 	// mid-append. Production leaves it nil.
 	WrapWriter func(io.Writer) io.Writer
+	// RetainSegments, when > 0, caps how many segment files the store keeps:
+	// at each rotation the oldest fully-acked segments beyond the cap are
+	// deleted (never the active one). 0 keeps everything.
+	RetainSegments int
+	// Observer, when non-nil, sees every accepted record (recovery scan and
+	// live appends) — the tsdb feed.
+	Observer Observer
 	// Clock substitutes time.Now (tests). Nil means time.Now.
 	Clock func() time.Time
 }
@@ -98,9 +120,16 @@ type projectIndex struct {
 	name string
 	runs []*RunEntry // ingestion order
 	byID map[string]*RunEntry
-	// metrics holds the latest metrics payload per agent.
-	metrics map[string]*MetricsPayload
+	// metrics holds the latest metrics payload per agent, stamped with the
+	// server-side receive time so staleness survives agent clock skew.
+	metrics map[string]*agentMetrics
 	traces  []TraceMeta
+}
+
+// agentMetrics is one agent's latest snapshot plus when the server took it.
+type agentMetrics struct {
+	payload *MetricsPayload
+	recvMs  int64
 }
 
 // RunEntry is one ingested findings run as the index holds it.
@@ -296,7 +325,7 @@ func (t *tenantIndex) project(name string) *projectIndex {
 		p = &projectIndex{
 			name:    name,
 			byID:    map[string]*RunEntry{},
-			metrics: map[string]*MetricsPayload{},
+			metrics: map[string]*agentMetrics{},
 		}
 		t.projects[name] = p
 	}
@@ -338,6 +367,9 @@ func (s *Store) apply(env *Envelope) error {
 		}
 		p.runs = append(p.runs, e)
 		p.byID[id] = e
+		if s.cfg.Observer != nil {
+			s.cfg.Observer.ObserveRun(env.Tenant, env.Project, e)
+		}
 		return nil
 	case TypeMetrics:
 		var mp MetricsPayload
@@ -353,8 +385,11 @@ func (s *Store) apply(env *Envelope) error {
 		}
 		mp.Agent = agent
 		mp.Project = env.Project
-		if prev, ok := p.metrics[agent]; !ok || mp.UnixMs >= prev.UnixMs {
-			p.metrics[agent] = &mp
+		if prev, ok := p.metrics[agent]; !ok || mp.UnixMs >= prev.payload.UnixMs {
+			p.metrics[agent] = &agentMetrics{payload: &mp, recvMs: env.UnixMs}
+		}
+		if s.cfg.Observer != nil {
+			s.cfg.Observer.ObserveMetrics(env.Tenant, &mp, env.UnixMs)
 		}
 		return nil
 	case TypeTrace:
@@ -449,13 +484,44 @@ func (s *Store) writeLine(line []byte, sync bool) (int, error) {
 	return n, nil
 }
 
-// rotateLocked closes the active segment and opens the next one.
+// rotateLocked closes the active segment and opens the next one, then
+// applies segment retention: with RetainSegments set, the oldest fully-acked
+// segments beyond the cap are deleted. Only rotation prunes — an idle store
+// never loses a file, and the active segment is never a candidate (it is
+// always the newest, and the loop stops before it regardless).
 func (s *Store) rotateLocked() error {
 	if s.seg != nil {
 		_ = s.seg.Close()
 		s.seg = nil
 	}
-	return s.openSegment()
+	if err := s.openSegment(); err != nil {
+		return err
+	}
+	s.pruneLocked()
+	return nil
+}
+
+// pruneLocked deletes the oldest segments beyond the RetainSegments cap
+// (counting the active one). Deletion failures are ignored: retention is
+// best-effort housekeeping, and the next rotation retries. Caller holds s.mu.
+func (s *Store) pruneLocked() {
+	if s.cfg.RetainSegments <= 0 {
+		return
+	}
+	names, err := s.segments()
+	if err != nil {
+		return
+	}
+	active := segmentName(s.segIndex)
+	excess := len(names) - s.cfg.RetainSegments
+	for i := 0; i < excess && i < len(names); i++ {
+		if names[i] == active {
+			break
+		}
+		if os.Remove(filepath.Join(s.cfg.Dir, names[i])) == nil {
+			s.pruned++
+		}
+	}
 }
 
 // envelope stamps the common fields for an append.
@@ -567,6 +633,26 @@ func (s *Store) Appends() uint64 {
 	return s.appends
 }
 
+// PrunedSegments returns how many segment files retention has deleted.
+func (s *Store) PrunedSegments() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.pruned
+}
+
+// Tenants lists every tenant with indexed data, sorted — the iteration
+// surface the fleet-wide alert gauges use.
+func (s *Store) Tenants() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]string, 0, len(s.idx))
+	for name := range s.idx {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
 // ProjectInfo summarizes one project for /api/v1/projects.
 type ProjectInfo struct {
 	Project    string `json:"project"`
@@ -644,6 +730,19 @@ func (s *Store) Runs(tenant, project string, n int) []RunInfo {
 	return out
 }
 
+// RunHistory returns a project's run entries in ingestion order, oldest
+// first (a copied slice over shared entries — the same aliasing contract as
+// Run). The alert engine and dashboards read trends from this.
+func (s *Store) RunHistory(tenant, project string) []*RunEntry {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	p := s.lookupProject(tenant, project)
+	if p == nil {
+		return nil
+	}
+	return append([]*RunEntry(nil), p.runs...)
+}
+
 // lookupProject resolves (tenant, project) to its index, nil if absent.
 // Caller holds s.mu.
 func (s *Store) lookupProject(tenant, project string) *projectIndex {
@@ -713,19 +812,77 @@ func (s *Store) Findings(tenant, project string, sinceMs int64) []ProjectFinding
 // AgentMetrics returns the latest metrics payloads for a tenant, across all
 // projects (project == "") or one project, sorted by project then agent.
 func (s *Store) AgentMetrics(tenant, project string) []*MetricsPayload {
+	return s.FreshAgentMetrics(tenant, project, time.Time{}, 0)
+}
+
+// FreshAgentMetrics is AgentMetrics restricted to agents whose metrics
+// stream was still flowing within ttl of now, measured against server-side
+// receive time (ttl <= 0 disables the filter). This is what keeps
+// /api/v1/hotlines from aggregating agents that died mid-run forever.
+func (s *Store) FreshAgentMetrics(tenant, project string, now time.Time, ttl time.Duration) []*MetricsPayload {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	t, ok := s.idx[tenant]
 	if !ok {
 		return nil
 	}
+	minMs := int64(0)
+	if ttl > 0 {
+		minMs = now.UnixMilli() - ttl.Milliseconds()
+	}
 	var out []*MetricsPayload
 	for name, p := range t.projects {
 		if project != "" && name != project {
 			continue
 		}
-		for _, mp := range p.metrics {
-			out = append(out, mp)
+		for _, am := range p.metrics {
+			if am.recvMs < minMs {
+				continue
+			}
+			out = append(out, am.payload)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Project != out[j].Project {
+			return out[i].Project < out[j].Project
+		}
+		return out[i].Agent < out[j].Agent
+	})
+	return out
+}
+
+// AgentStatus is one agent's liveness record: when the server last received
+// a metrics snapshot from it.
+type AgentStatus struct {
+	Project    string `json:"project"`
+	Agent      string `json:"agent"`
+	Tool       string `json:"tool,omitempty"`
+	Run        string `json:"run,omitempty"`
+	LastSeenMs int64  `json:"last_seen_unix_ms"`
+}
+
+// Agents lists a tenant's agents (all projects when project == ""), stale or
+// not, sorted by project then agent — the alert engine's silence feed.
+func (s *Store) Agents(tenant, project string) []AgentStatus {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	t, ok := s.idx[tenant]
+	if !ok {
+		return nil
+	}
+	var out []AgentStatus
+	for name, p := range t.projects {
+		if project != "" && name != project {
+			continue
+		}
+		for agent, am := range p.metrics {
+			out = append(out, AgentStatus{
+				Project:    name,
+				Agent:      agent,
+				Tool:       am.payload.Tool,
+				Run:        am.payload.Run,
+				LastSeenMs: am.recvMs,
+			})
 		}
 	}
 	sort.Slice(out, func(i, j int) bool {

@@ -2,10 +2,12 @@ package fleet
 
 import (
 	"errors"
+	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 )
 
 func openTestStore(t *testing.T, dir string) *Store {
@@ -264,5 +266,79 @@ func TestStoreMetricsKeepsLatestPerAgent(t *testing.T) {
 	mps := s.AgentMetrics("acme", "db")
 	if len(mps) != 1 || mps[0].Stats.Invalidations != 70 {
 		t.Fatalf("AgentMetrics = %+v, want only the latest snapshot", mps)
+	}
+}
+
+func TestStoreSegmentRetentionPrunesAcked(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenStore(StoreConfig{Dir: dir, NoSync: true, SegmentBytes: 512, RetainSegments: 2})
+	if err != nil {
+		t.Fatalf("OpenStore: %v", err)
+	}
+	for i := 0; i < 12; i++ {
+		if _, err := s.AppendFindings("acme", mkRun(fmt.Sprintf("r%d", i), "db", "mysql",
+			finding("counter", "false sharing", "observed", 500))); err != nil {
+			t.Fatalf("append r%d: %v", i, err)
+		}
+	}
+	names, err := s.segments()
+	if err != nil {
+		t.Fatalf("segments: %v", err)
+	}
+	if len(names) > 2 {
+		t.Fatalf("%d segments on disk, retention of 2 did not prune: %v", len(names), names)
+	}
+	if s.PrunedSegments() == 0 {
+		t.Fatal("no segments pruned despite many rotations")
+	}
+	// The active segment survived pruning and keeps accepting writes.
+	if _, err := s.AppendFindings("acme", mkRun("tail", "db", "mysql")); err != nil {
+		t.Fatalf("append after pruning: %v", err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	// Reopen salvages cleanly from whatever survived.
+	s2 := openTestStore(t, dir)
+	defer s2.Close()
+	if rec := s2.Recovery(); !rec.Clean() || rec.Records == 0 {
+		t.Fatalf("recovery after pruning = %+v", rec)
+	}
+	if _, err := s2.Run("acme", "db", "tail"); err != nil {
+		t.Fatalf("recent run lost to pruning: %v", err)
+	}
+}
+
+func TestStoreFreshAgentMetricsExpiresSilent(t *testing.T) {
+	fc := newFakeClock()
+	s, err := OpenStore(StoreConfig{Dir: t.TempDir(), NoSync: true, Clock: fc.Now})
+	if err != nil {
+		t.Fatalf("OpenStore: %v", err)
+	}
+	defer s.Close()
+	app := func(agent string) {
+		t.Helper()
+		if err := s.AppendMetrics("acme", &MetricsPayload{Project: "db", Agent: agent}); err != nil {
+			t.Fatalf("AppendMetrics: %v", err)
+		}
+	}
+	app("stale-1")
+	fc.Advance(40 * time.Second)
+	app("fresh-1")
+	fresh := s.FreshAgentMetrics("acme", "db", fc.Now(), 30*time.Second)
+	if len(fresh) != 1 || fresh[0].Agent != "fresh-1" {
+		t.Fatalf("FreshAgentMetrics = %+v, want only fresh-1", fresh)
+	}
+	// ttl=0 disables filtering; AgentMetrics keeps the old behaviour.
+	if all := s.AgentMetrics("acme", "db"); len(all) != 2 {
+		t.Fatalf("AgentMetrics = %+v, want both agents", all)
+	}
+	// Agents exposes server-side last-seen stamps for the alerter.
+	ags := s.Agents("acme", "db")
+	if len(ags) != 2 || ags[0].Agent != "fresh-1" || ags[1].Agent != "stale-1" {
+		t.Fatalf("Agents = %+v", ags)
+	}
+	if ags[1].LastSeenMs >= ags[0].LastSeenMs {
+		t.Fatalf("stale agent not older: %+v", ags)
 	}
 }

@@ -1,0 +1,290 @@
+// Package tsdb is the fleet service's embedded time-series engine: every
+// metrics snapshot an agent streams (and every findings run it ships) is
+// folded into per-project, per-series ring buffers with staged downsampling
+// — raw samples for the last minutes, 1-minute rollups for the last day,
+// 1-hour rollups for weeks — so the dashboards and the anomaly engine can
+// ask "how has this project trended" without replaying the segment log.
+//
+// The engine itself is deliberately persistence-free: durability piggybacks
+// on the fleet store's append-only JSONL segments. The store feeds the DB
+// through its Observer hook both on live appends and during the startup
+// salvage scan, so after a crash the rings rebuild to exactly the state the
+// acknowledged log implies. Retention is age-based and measured against the
+// newest sample each series has seen (not the wall clock), which keeps
+// replays deterministic and tests clock-free.
+package tsdb
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// Resolutions a query may ask for.
+const (
+	ResRaw = "raw"
+	Res1m  = "1m"
+	Res1h  = "1h"
+)
+
+// Rollup bucket spans.
+const (
+	bucket1m = int64(time.Minute / time.Millisecond)
+	bucket1h = int64(time.Hour / time.Millisecond)
+)
+
+// Config tunes capacity and retention. Zero values take the defaults.
+type Config struct {
+	// RawCapacity bounds raw samples kept per series (default 2048).
+	RawCapacity int
+	// RetainRaw drops raw samples older than this relative to the series'
+	// newest sample (default 30m).
+	RetainRaw time.Duration
+	// Retain1m ages out 1-minute rollup buckets (default 24h).
+	Retain1m time.Duration
+	// Retain1h ages out 1-hour rollup buckets (default 14 days).
+	Retain1h time.Duration
+}
+
+// Capacity and retention defaults.
+const (
+	DefaultRawCapacity = 2048
+	DefaultRetainRaw   = 30 * time.Minute
+	DefaultRetain1m    = 24 * time.Hour
+	DefaultRetain1h    = 14 * 24 * time.Hour
+)
+
+// Bucket is one aggregated span of a series: raw queries return
+// single-sample buckets (Count==1, Min==Max==Sum), rollup queries return
+// min/max/sum/count over the bucket span.
+type Bucket struct {
+	StartMs int64   `json:"t"` // bucket start (raw: the sample's timestamp)
+	Min     float64 `json:"min"`
+	Max     float64 `json:"max"`
+	Sum     float64 `json:"sum"`
+	Count   uint64  `json:"count"`
+}
+
+// Mean is the bucket average (0 for an empty bucket).
+func (b Bucket) Mean() float64 {
+	if b.Count == 0 {
+		return 0
+	}
+	return b.Sum / float64(b.Count)
+}
+
+// merge folds one sample into the bucket.
+func (b *Bucket) merge(v float64) {
+	if b.Count == 0 || v < b.Min {
+		b.Min = v
+	}
+	if b.Count == 0 || v > b.Max {
+		b.Max = v
+	}
+	b.Sum += v
+	b.Count++
+}
+
+// series is one (project, name) stream: a raw ring plus two rollup tiers.
+// Buckets are kept sorted by start; appends are near-in-order (the segment
+// log is), so the common path touches only the tail.
+type series struct {
+	raw      []Bucket // single-sample buckets, ring-bounded by RawCapacity
+	m1       []Bucket
+	h1       []Bucket
+	latestMs int64 // newest sample seen; retention is measured from here
+}
+
+// DB is the in-memory time-series database. Safe for concurrent use.
+type DB struct {
+	cfg Config
+
+	mu       sync.Mutex
+	projects map[string]map[string]*series
+	appends  uint64
+}
+
+// New builds a DB with the given config (zero values defaulted).
+func New(cfg Config) *DB {
+	if cfg.RawCapacity <= 0 {
+		cfg.RawCapacity = DefaultRawCapacity
+	}
+	if cfg.RetainRaw <= 0 {
+		cfg.RetainRaw = DefaultRetainRaw
+	}
+	if cfg.Retain1m <= 0 {
+		cfg.Retain1m = DefaultRetain1m
+	}
+	if cfg.Retain1h <= 0 {
+		cfg.Retain1h = DefaultRetain1h
+	}
+	return &DB{cfg: cfg, projects: map[string]map[string]*series{}}
+}
+
+// Append records one sample. Out-of-order samples within a rollup bucket's
+// span still merge correctly; samples older than the retention horizon are
+// dropped.
+func (db *DB) Append(project, name string, unixMs int64, value float64) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	p, ok := db.projects[project]
+	if !ok {
+		p = map[string]*series{}
+		db.projects[project] = p
+	}
+	s, ok := p[name]
+	if !ok {
+		s = &series{}
+		p[name] = s
+	}
+	if unixMs > s.latestMs {
+		s.latestMs = unixMs
+	}
+	if unixMs < s.latestMs-int64(db.cfg.RetainRaw/time.Millisecond) {
+		// Older than the raw horizon: still fold into rollups if they can
+		// hold it, drop from raw.
+		mergeBucket(&s.m1, unixMs-unixMs%bucket1m, value)
+		mergeBucket(&s.h1, unixMs-unixMs%bucket1h, value)
+	} else {
+		s.raw = append(s.raw, Bucket{StartMs: unixMs, Min: value, Max: value, Sum: value, Count: 1})
+		if len(s.raw) > 1 && s.raw[len(s.raw)-1].StartMs < s.raw[len(s.raw)-2].StartMs {
+			sort.SliceStable(s.raw, func(i, j int) bool { return s.raw[i].StartMs < s.raw[j].StartMs })
+		}
+		mergeBucket(&s.m1, unixMs-unixMs%bucket1m, value)
+		mergeBucket(&s.h1, unixMs-unixMs%bucket1h, value)
+	}
+	db.appends++
+	db.retain(s)
+}
+
+// mergeBucket folds a sample into the bucket starting at startMs, creating
+// or locating it. The scan runs from the tail: appends arrive near-ordered.
+func mergeBucket(buckets *[]Bucket, startMs int64, v float64) {
+	bs := *buckets
+	for i := len(bs) - 1; i >= 0; i-- {
+		if bs[i].StartMs == startMs {
+			bs[i].merge(v)
+			return
+		}
+		if bs[i].StartMs < startMs {
+			// Insert after i (keeps sort order).
+			nb := Bucket{StartMs: startMs}
+			nb.merge(v)
+			bs = append(bs, Bucket{})
+			copy(bs[i+2:], bs[i+1:])
+			bs[i+1] = nb
+			*buckets = bs
+			return
+		}
+	}
+	nb := Bucket{StartMs: startMs}
+	nb.merge(v)
+	*buckets = append([]Bucket{nb}, bs...)
+}
+
+// retain enforces capacity and age bounds on one series. Caller holds db.mu.
+func (db *DB) retain(s *series) {
+	if n := len(s.raw) - db.cfg.RawCapacity; n > 0 {
+		s.raw = append(s.raw[:0:0], s.raw[n:]...)
+	}
+	s.raw = dropOlder(s.raw, s.latestMs-int64(db.cfg.RetainRaw/time.Millisecond))
+	s.m1 = dropOlder(s.m1, s.latestMs-int64(db.cfg.Retain1m/time.Millisecond))
+	s.h1 = dropOlder(s.h1, s.latestMs-int64(db.cfg.Retain1h/time.Millisecond))
+}
+
+// dropOlder trims sorted buckets strictly older than minMs.
+func dropOlder(bs []Bucket, minMs int64) []Bucket {
+	i := 0
+	for i < len(bs) && bs[i].StartMs < minMs {
+		i++
+	}
+	if i == 0 {
+		return bs
+	}
+	return append(bs[:0:0], bs[i:]...)
+}
+
+// Query returns a series' buckets at the requested resolution, oldest first,
+// restricted to buckets starting at or after sinceMs (0 = everything
+// retained). Unknown project/series/resolution yields nil.
+func (db *DB) Query(project, name, res string, sinceMs int64) []Bucket {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	p, ok := db.projects[project]
+	if !ok {
+		return nil
+	}
+	s, ok := p[name]
+	if !ok {
+		return nil
+	}
+	var src []Bucket
+	switch res {
+	case ResRaw, "":
+		src = s.raw
+	case Res1m:
+		src = s.m1
+	case Res1h:
+		src = s.h1
+	default:
+		return nil
+	}
+	out := make([]Bucket, 0, len(src))
+	for _, b := range src {
+		if b.StartMs >= sinceMs {
+			out = append(out, b)
+		}
+	}
+	return out
+}
+
+// Series lists a project's series names, sorted.
+func (db *DB) Series(project string) []string {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	p, ok := db.projects[project]
+	if !ok {
+		return nil
+	}
+	out := make([]string, 0, len(p))
+	for name := range p {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Projects lists every project key with at least one series, sorted.
+func (db *DB) Projects() []string {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	out := make([]string, 0, len(db.projects))
+	for name := range db.projects {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Appends returns how many samples the DB has accepted (rebuild accounting).
+func (db *DB) Appends() uint64 {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.appends
+}
+
+// Latest returns the most recent raw sample of a series (ok=false when the
+// series is empty or unknown).
+func (db *DB) Latest(project, name string) (Bucket, bool) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	p, ok := db.projects[project]
+	if !ok {
+		return Bucket{}, false
+	}
+	s, ok := p[name]
+	if !ok || len(s.raw) == 0 {
+		return Bucket{}, false
+	}
+	return s.raw[len(s.raw)-1], true
+}

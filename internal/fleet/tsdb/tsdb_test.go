@@ -1,0 +1,177 @@
+package tsdb
+
+import (
+	"testing"
+	"time"
+)
+
+func TestAppendAndQueryRaw(t *testing.T) {
+	db := New(Config{})
+	base := int64(1_700_000_000_000)
+	for i := 0; i < 5; i++ {
+		db.Append("p", "inval", base+int64(i)*2000, float64(i))
+	}
+	got := db.Query("p", "inval", ResRaw, 0)
+	if len(got) != 5 {
+		t.Fatalf("raw len = %d, want 5", len(got))
+	}
+	for i, b := range got {
+		if b.Count != 1 || b.Sum != float64(i) || b.StartMs != base+int64(i)*2000 {
+			t.Fatalf("raw[%d] = %+v", i, b)
+		}
+	}
+	// since filter
+	if got := db.Query("p", "inval", ResRaw, base+4000); len(got) != 3 {
+		t.Fatalf("since filter len = %d, want 3", len(got))
+	}
+	// unknown series/project/resolution
+	if db.Query("p", "nope", ResRaw, 0) != nil || db.Query("x", "inval", ResRaw, 0) != nil {
+		t.Fatal("unknown series/project must be nil")
+	}
+	if db.Query("p", "inval", "5s", 0) != nil {
+		t.Fatal("unknown resolution must be nil")
+	}
+}
+
+func TestRollupMinMaxSumCount(t *testing.T) {
+	db := New(Config{})
+	base := int64(1_700_000_000_000)
+	base -= base % bucket1m // align to a minute boundary
+	// Ten samples inside one minute, values 0..9.
+	for i := 0; i < 10; i++ {
+		db.Append("p", "s", base+int64(i)*1000, float64(i))
+	}
+	// One sample in the next minute.
+	db.Append("p", "s", base+bucket1m+500, 100)
+
+	m1 := db.Query("p", "s", Res1m, 0)
+	if len(m1) != 2 {
+		t.Fatalf("1m buckets = %d, want 2: %+v", len(m1), m1)
+	}
+	b := m1[0]
+	if b.Min != 0 || b.Max != 9 || b.Sum != 45 || b.Count != 10 {
+		t.Fatalf("first 1m bucket = %+v", b)
+	}
+	if b.Mean() != 4.5 {
+		t.Fatalf("Mean = %v, want 4.5", b.Mean())
+	}
+	if m1[1].Count != 1 || m1[1].Sum != 100 {
+		t.Fatalf("second 1m bucket = %+v", m1[1])
+	}
+	// The hour tier folded everything into one bucket (same hour).
+	h1 := db.Query("p", "s", Res1h, 0)
+	if len(h1) != 1 || h1[0].Count != 11 || h1[0].Max != 100 {
+		t.Fatalf("1h buckets = %+v", h1)
+	}
+}
+
+func TestOutOfOrderMergesIntoExistingBucket(t *testing.T) {
+	db := New(Config{})
+	base := int64(1_700_000_000_000)
+	base -= base % bucket1m
+	db.Append("p", "s", base+1000, 1)
+	db.Append("p", "s", base+59_000, 3)
+	db.Append("p", "s", base+30_000, 2) // late arrival, same minute
+	m1 := db.Query("p", "s", Res1m, 0)
+	if len(m1) != 1 || m1[0].Count != 3 || m1[0].Sum != 6 {
+		t.Fatalf("out-of-order 1m = %+v", m1)
+	}
+	raw := db.Query("p", "s", ResRaw, 0)
+	if len(raw) != 3 || raw[1].StartMs != base+30_000 {
+		t.Fatalf("raw must be re-sorted: %+v", raw)
+	}
+}
+
+func TestRawCapacityRing(t *testing.T) {
+	db := New(Config{RawCapacity: 4, RetainRaw: time.Hour})
+	base := int64(1_700_000_000_000)
+	for i := 0; i < 10; i++ {
+		db.Append("p", "s", base+int64(i)*1000, float64(i))
+	}
+	raw := db.Query("p", "s", ResRaw, 0)
+	if len(raw) != 4 {
+		t.Fatalf("ring len = %d, want 4", len(raw))
+	}
+	if raw[0].Sum != 6 || raw[3].Sum != 9 {
+		t.Fatalf("ring kept wrong samples: %+v", raw)
+	}
+	// The rollups still saw every sample.
+	if m1 := db.Query("p", "s", Res1m, 0); m1[0].Count+func() uint64 {
+		if len(m1) > 1 {
+			return m1[1].Count
+		}
+		return 0
+	}() != 10 {
+		t.Fatalf("rollup lost ring-evicted samples: %+v", m1)
+	}
+}
+
+func TestAgeRetentionRelativeToNewestSample(t *testing.T) {
+	db := New(Config{RetainRaw: time.Minute, Retain1m: 10 * time.Minute, Retain1h: 2 * time.Hour})
+	base := int64(1_700_000_000_000)
+	db.Append("p", "s", base, 1)
+	db.Append("p", "s", base+30_000, 2)
+	// A sample far in the future ages the first two out of the raw tier.
+	db.Append("p", "s", base+5*int64(time.Minute/time.Millisecond), 3)
+	raw := db.Query("p", "s", ResRaw, 0)
+	if len(raw) != 1 || raw[0].Sum != 3 {
+		t.Fatalf("raw after aging = %+v", raw)
+	}
+	// 1m buckets survive (10m retention) — three distinct minutes.
+	if m1 := db.Query("p", "s", Res1m, 0); len(m1) < 2 {
+		t.Fatalf("1m rollups aged too aggressively: %+v", m1)
+	}
+	// A sample newer than the 1m horizon ages those out too.
+	db.Append("p", "s", base+int64(time.Hour/time.Millisecond), 4)
+	if m1 := db.Query("p", "s", Res1m, 0); len(m1) != 1 {
+		t.Fatalf("1m rollups not aged: %+v", m1)
+	}
+	// The 1h tier still holds both hours.
+	if h1 := db.Query("p", "s", Res1h, 0); len(h1) != 2 {
+		t.Fatalf("1h rollups = %+v", h1)
+	}
+}
+
+func TestSeriesAndProjectListings(t *testing.T) {
+	db := New(Config{})
+	db.Append("b", "y", 1000, 1)
+	db.Append("a", "z", 1000, 1)
+	db.Append("a", "x", 1000, 1)
+	if got := db.Projects(); len(got) != 2 || got[0] != "a" || got[1] != "b" {
+		t.Fatalf("Projects = %v", got)
+	}
+	if got := db.Series("a"); len(got) != 2 || got[0] != "x" || got[1] != "z" {
+		t.Fatalf("Series = %v", got)
+	}
+	if db.Series("missing") != nil {
+		t.Fatal("missing project series must be nil")
+	}
+	if db.Appends() != 3 {
+		t.Fatalf("Appends = %d", db.Appends())
+	}
+	if b, ok := db.Latest("a", "x"); !ok || b.Sum != 1 {
+		t.Fatalf("Latest = %+v ok=%v", b, ok)
+	}
+	if _, ok := db.Latest("a", "missing"); ok {
+		t.Fatal("Latest on missing series must not be ok")
+	}
+}
+
+func TestConcurrentAppendQuery(t *testing.T) {
+	db := New(Config{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 1000; i++ {
+			db.Append("p", "s", int64(1_700_000_000_000+i*100), float64(i))
+		}
+	}()
+	for i := 0; i < 100; i++ {
+		db.Query("p", "s", Res1m, 0)
+		db.Latest("p", "s")
+	}
+	<-done
+	if got := db.Appends(); got != 1000 {
+		t.Fatalf("Appends = %d", got)
+	}
+}

@@ -14,11 +14,12 @@ import (
 // it after the CLI's own flags; Enabled reports whether the user asked for
 // fleet mode at all.
 type Flags struct {
-	Addr    *string
-	Token   *string
-	Project *string
-	Run     *string
-	Spool   *string
+	Addr     *string
+	Token    *string
+	Project  *string
+	Run      *string
+	Spool    *string
+	Interval *time.Duration
 }
 
 // RegisterFlags declares the -fleet-* flags on fs (flag.CommandLine in the
@@ -30,7 +31,18 @@ func RegisterFlags(fs *flag.FlagSet) *Flags {
 		Project: fs.String("fleet-project", "default", "project name this run reports under"),
 		Run:     fs.String("fleet-run", "", "run identifier (default: derived from tool/host/pid/time)"),
 		Spool:   fs.String("fleet-spool", "", "spool undeliverable fleet payloads to this local JSONL file and replay them when the server returns"),
+		Interval: fs.Duration("fleet-interval", 2*time.Second,
+			"metrics snapshot cadence streamed to the fleet (drives its time-series resolution)"),
 	}
+}
+
+// ReportInterval is the metrics cadence the user picked (the StartReporter
+// argument); values <= 0 fall back to the 2s default inside StartReporter.
+func (f *Flags) ReportInterval() time.Duration {
+	if f.Interval == nil {
+		return 0
+	}
+	return *f.Interval
 }
 
 // Enabled reports whether fleet streaming was requested.

@@ -7,10 +7,12 @@
 package topview
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"io"
 	"net/http"
+	"strings"
 	"time"
 
 	"predator/internal/core"
@@ -49,6 +51,9 @@ type Frame struct {
 	Agents    int    `json:"agents,omitempty"` // fleet only
 	Stats     Stats  `json:"stats"`
 	Lines     []Line `json:"lines"`
+	// Alerts are the fleet's active anomalies, pre-rendered one per line
+	// (severity-first). Only the fleet server fills them.
+	Alerts []string `json:"alerts,omitempty"`
 }
 
 // Client polls one hot-lines URL.
@@ -139,9 +144,57 @@ func (ln *Line) origin() string {
 	}
 }
 
-// Render draws one frame. showOrigin adds the fleet ORIGIN column
-// (project/agent each line came from).
+// RenderOptions parameterize RenderWith.
+type RenderOptions struct {
+	// ShowOrigin adds the fleet ORIGIN column (project/agent per line).
+	ShowOrigin bool
+	// Width clips every rendered line to this many cells, marking clipped
+	// lines with a trailing '…' (0: unlimited). Narrow terminals stay
+	// readable instead of wrapping mid-table.
+	Width int
+	// MaxAlerts caps the ALERT rows rendered (0: DefaultMaxAlerts); the
+	// frame's alerts arrive severity-first, so the worst always show.
+	MaxAlerts int
+}
+
+// DefaultMaxAlerts is how many ALERT rows a frame renders before the rest
+// collapse into a "+N more" marker.
+const DefaultMaxAlerts = 3
+
+// Render draws one frame at unlimited width. showOrigin adds the fleet
+// ORIGIN column (project/agent each line came from).
 func Render(w io.Writer, r *Frame, showOrigin bool) {
+	RenderWith(w, r, RenderOptions{ShowOrigin: showOrigin})
+}
+
+// RenderWith draws one frame honoring the options.
+func RenderWith(w io.Writer, r *Frame, opts RenderOptions) {
+	if opts.Width > 0 {
+		var buf bytes.Buffer
+		renderFrame(&buf, r, opts)
+		for _, line := range strings.Split(strings.TrimRight(buf.String(), "\n"), "\n") {
+			fmt.Fprintln(w, clipLine(line, opts.Width))
+		}
+		return
+	}
+	renderFrame(w, r, opts)
+}
+
+// clipLine truncates one rendered line to width cells, spending the last
+// cell on '…' so truncation is visible.
+func clipLine(line string, width int) string {
+	runes := []rune(line)
+	if len(runes) <= width {
+		return line
+	}
+	if width <= 1 {
+		return "…"
+	}
+	return string(runes[:width-1]) + "…"
+}
+
+func renderFrame(w io.Writer, r *Frame, opts RenderOptions) {
+	showOrigin := opts.ShowOrigin
 	st := r.Stats
 	fmt.Fprintf(w, "predtop — %s  %s\n", r.Tool,
 		time.UnixMilli(r.UnixMilli).Format("15:04:05"))
@@ -154,6 +207,22 @@ func Render(w io.Writer, r *Frame, showOrigin bool) {
 		fmt.Fprintf(w, "  DEGRADED(lines=%d evictions=%d)", st.DegradedLines, st.Evictions)
 	}
 	fmt.Fprintln(w)
+	if len(r.Alerts) > 0 {
+		max := opts.MaxAlerts
+		if max <= 0 {
+			max = DefaultMaxAlerts
+		}
+		shown := r.Alerts
+		if len(shown) > max {
+			shown = shown[:max]
+		}
+		for _, a := range shown {
+			fmt.Fprintf(w, "ALERT %s\n", a)
+		}
+		if rest := len(r.Alerts) - len(shown); rest > 0 {
+			fmt.Fprintf(w, "ALERT … +%d more\n", rest)
+		}
+	}
 	fmt.Fprintln(w)
 	if r.Count == 0 {
 		fmt.Fprintln(w, "(no tracked lines yet)")
@@ -206,6 +275,8 @@ type LoopOptions struct {
 	Out io.Writer
 	// ShowOrigin adds the fleet ORIGIN column.
 	ShowOrigin bool
+	// Width clips rendered lines (0: unlimited); see RenderOptions.Width.
+	Width int
 	// Footer is printed under each frame in live mode.
 	Footer string
 	// Keys delivers keystrokes in live mode (nil: timer only). 'q', 'Q',
@@ -238,7 +309,7 @@ func Loop(c *Client, opts LoopOptions) error {
 			if !opts.Once {
 				fmt.Fprint(opts.Out, "\033[2J\033[H") // clear screen, home cursor
 			}
-			Render(opts.Out, resp, opts.ShowOrigin)
+			RenderWith(opts.Out, resp, RenderOptions{ShowOrigin: opts.ShowOrigin, Width: opts.Width})
 			if !opts.Once {
 				if opts.Footer != "" {
 					fmt.Fprintln(opts.Out, "\n"+opts.Footer)
