@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"predator/internal/core"
+	"predator/internal/elide"
 	"predator/internal/fixer"
 	"predator/internal/fleet"
 	"predator/internal/harness"
@@ -64,6 +65,7 @@ func main() {
 		maxTracked = flag.Int("max-tracked-lines", 0, "resource governor budget for detailed tracking (0 = unlimited)")
 		maxVirtual = flag.Int("max-virtual-lines", 0, "resource governor budget for virtual lines (0 = unlimited)")
 		strict     = flag.Bool("strict", true, "panic on out-of-heap accesses (false: absorb them as recoverable faults)")
+		elidePath  = flag.String("elide", "", "predlint elision manifest (-elide-out): skip instrumentation on provably-safe objects")
 		diagAddr   = flag.String("diag-addr", "", "serve live diagnostics (metrics, hotlines, findings, pprof) on this host:port")
 		diagLinger = flag.Duration("diag-linger", 0, "keep the diagnostics server (and final runtime state) scrapeable this long after the run")
 		version    = flag.Bool("version", false, "print build version and exit")
@@ -134,6 +136,14 @@ func main() {
 		} else {
 			opts.Offset = *offset
 		}
+	}
+	if *elidePath != "" {
+		manifest, err := elide.Load(*elidePath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "predator: -elide: %v\n", err)
+			os.Exit(2)
+		}
+		opts.Elide = manifest
 	}
 
 	// Observability: attach an observer when any exporter (or the live
@@ -327,10 +337,10 @@ func main() {
 		return
 	}
 	st := res.RuntimeStats
-	fmt.Fprintf(banner, "accesses=%d writes=%d tracked-lines=%d virtual-lines=%d invalidations=%d virtual-invalidations=%d sampled=%d total=%s\n",
+	fmt.Fprintf(banner, "accesses=%d writes=%d tracked-lines=%d virtual-lines=%d invalidations=%d virtual-invalidations=%d sampled=%d elided=%d total=%s\n",
 		st.Accesses, st.Writes, st.TrackedLines, st.VirtualLines,
 		st.Invalidations, st.VirtualInvalidations, st.SampledAccesses,
-		time.Since(start).Round(time.Millisecond))
+		res.Elided, time.Since(start).Round(time.Millisecond))
 	if st.Degraded {
 		fmt.Fprintf(banner, "DEGRADED: degraded-lines=%d evictions=%d virtual-rejections=%d (findings flagged in report)\n",
 			st.DegradedLines, st.Evictions, st.VirtualRejections)

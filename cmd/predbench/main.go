@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"predator/internal/core"
+	"predator/internal/elide"
 	"predator/internal/eval"
 	"predator/internal/fleet"
 	"predator/internal/harness"
@@ -47,6 +48,7 @@ func main() {
 		benchComp  = flag.String("bench-compare", "", "re-measure the workloads in this baseline -bench-json file and fail on slowdown-ratio regression or finding-count drift")
 		benchTol   = flag.Float64("bench-tolerance", eval.DefaultBenchTolerance, "relative slowdown-ratio growth -bench-compare tolerates before failing")
 		benchDet   = flag.Bool("bench-deterministic", false, "run evaluations under the deterministic scheduler (reproducible finding counts; required for a drift-free -bench-compare gate; excludes workloads that block across threads)")
+		elidePath  = flag.String("elide", "", "predlint elision manifest (-elide-out): skip instrumentation on provably-safe objects in every detection run")
 		timeline   = flag.String("timeline-out", "", "write the last run's flight-recorder timeline as Perfetto/Chrome trace-event JSON to this file")
 		diagAddr   = flag.String("diag-addr", "", "serve live diagnostics on this host:port; the scrape source follows each run the experiments perform")
 		version    = flag.Bool("version", false, "print build version and exit")
@@ -64,6 +66,14 @@ func main() {
 	cfg.Scale = *scale
 	cfg.Repeats = *repeats
 	cfg.Deterministic = *benchDet
+	if *elidePath != "" {
+		manifest, err := elide.Load(*elidePath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "predbench: -elide: %v\n", err)
+			os.Exit(2)
+		}
+		cfg.Elide = manifest
+	}
 
 	// Observability: one observer aggregates every run the experiments do.
 	var evSink *obs.JSONLines

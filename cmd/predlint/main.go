@@ -28,11 +28,47 @@ import (
 	"sort"
 	"strings"
 
+	"predator/internal/elide"
 	"predator/internal/obs"
 	"predator/internal/report"
 	"predator/internal/staticfs"
 	"predator/internal/staticfs/load"
 )
+
+// saveManifest sorts the collected elision entries into a stable order and
+// writes the versioned manifest.
+func saveManifest(path string, cfg staticfs.Config, entries []elide.Entry) error {
+	sort.Slice(entries, func(i, j int) bool {
+		a, b := entries[i], entries[j]
+		if a.Package != b.Package {
+			return a.Package < b.Package
+		}
+		if a.Callsite != b.Callsite {
+			return a.Callsite < b.Callsite
+		}
+		if a.Label != b.Label {
+			return a.Label < b.Label
+		}
+		if a.Decl != b.Decl {
+			return a.Decl < b.Decl
+		}
+		return a.Subject < b.Subject
+	})
+	lineSize := cfg.LineSize
+	if lineSize == 0 {
+		lineSize = staticfs.DefaultLineSize
+	}
+	m := &elide.Manifest{
+		Version:  elide.Version,
+		LineSize: lineSize,
+		Tool:     "predlint " + obs.GetBuildInfo().String(),
+		Entries:  entries,
+	}
+	if m.Entries == nil {
+		m.Entries = []elide.Entry{}
+	}
+	return m.Save(path)
+}
 
 func main() {
 	var (
@@ -40,6 +76,7 @@ func main() {
 		fix        = flag.Bool("fix", false, "apply the suggested fixes to the source files")
 		reportPath = flag.String("report", "", "runtime JSON report to cross-check findings against")
 		lineSize   = flag.Uint64("line", staticfs.DefaultLineSize, "assumed cache line size in bytes")
+		elideOut   = flag.String("elide-out", "", "write an elision manifest of provably-safe accesses to this file")
 		version    = flag.Bool("version", false, "print build version and exit")
 		vetV       = flag.String("V", "", "print version for go vet's tool handshake (-V=full)")
 		vetFlags   = flag.Bool("flags", false, "print flag schema for go vet's tool handshake")
@@ -62,15 +99,15 @@ func main() {
 
 	// go vet invokes the tool with a single *.cfg argument per package.
 	if args := flag.Args(); len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
-		os.Exit(runVet(args[0], staticfs.Config{LineSize: *lineSize}))
+		os.Exit(runVet(args[0], staticfs.Config{LineSize: *lineSize}, *elideOut))
 	}
 
-	os.Exit(runStandalone(flag.Args(), *jsonOut, *fix, *reportPath, *lineSize))
+	os.Exit(runStandalone(flag.Args(), *jsonOut, *fix, *reportPath, *lineSize, *elideOut))
 }
 
 // runStandalone is the ordinary CLI path: load patterns, run the suite,
 // render text or JSON, cross-check when asked.
-func runStandalone(patterns []string, jsonOut, fix bool, reportPath string, lineSize uint64) int {
+func runStandalone(patterns []string, jsonOut, fix bool, reportPath string, lineSize uint64, elideOut string) int {
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
@@ -78,6 +115,10 @@ func runStandalone(patterns []string, jsonOut, fix bool, reportPath string, line
 	if err := cfg.Validate(); err != nil {
 		fmt.Fprintf(os.Stderr, "predlint: %v\n", err)
 		return 2
+	}
+	var entries []elide.Entry
+	if elideOut != "" {
+		cfg.ElideSink = func(e elide.Entry) { entries = append(entries, e) }
 	}
 	pkgs, err := load.Packages(".", patterns...)
 	if err != nil {
@@ -88,6 +129,14 @@ func runStandalone(patterns []string, jsonOut, fix bool, reportPath string, line
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "predlint: %v\n", err)
 		return 2
+	}
+	if elideOut != "" {
+		if err := saveManifest(elideOut, cfg, entries); err != nil {
+			fmt.Fprintf(os.Stderr, "predlint: %v\n", err)
+			return 2
+		}
+		fmt.Fprintf(os.Stderr, "predlint: wrote %d elision entries (%d bindable) to %s\n",
+			len(entries), (&elide.Manifest{Entries: entries}).Bindable(), elideOut)
 	}
 
 	var sum *staticfs.CrossSummary

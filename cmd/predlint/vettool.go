@@ -11,6 +11,7 @@ import (
 	"io"
 	"os"
 
+	"predator/internal/elide"
 	"predator/internal/staticfs"
 	"predator/internal/staticfs/analysis"
 	"predator/internal/staticfs/load"
@@ -39,7 +40,8 @@ type vetConfig struct {
 }
 
 // vetFlagSchema is the -flags handshake payload: the flags go vet may
-// forward to this tool.
+// forward to this tool. Every flag runVet consumes must be declared here or
+// cmd/go refuses to forward it.
 func vetFlagSchema() string {
 	schema := []struct {
 		Name  string `json:"Name"`
@@ -47,14 +49,18 @@ func vetFlagSchema() string {
 		Usage string `json:"Usage"`
 	}{
 		{Name: "line", Bool: false, Usage: "assumed cache line size in bytes"},
+		{Name: "elide-out", Bool: false, Usage: "write an elision manifest of provably-safe accesses to this file"},
 	}
 	out, _ := json.Marshal(schema)
 	return string(out)
 }
 
 // runVet executes one vet.cfg unit of work and returns the process exit
-// code (0 clean, 1 diagnostics, 2 protocol/load failure).
-func runVet(cfgPath string, lintCfg staticfs.Config) int {
+// code (0 clean, 1 diagnostics, 2 protocol/load failure). With elideOut,
+// the package's elision entries are written there — note go vet runs the
+// tool once per package, so the file holds the last package's manifest;
+// whole-module manifests come from standalone `predlint -elide-out`.
+func runVet(cfgPath string, lintCfg staticfs.Config, elideOut string) int {
 	data, err := os.ReadFile(cfgPath)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "predlint: %v\n", err)
@@ -129,6 +135,10 @@ func runVet(cfgPath string, lintCfg staticfs.Config) int {
 		return 2
 	}
 
+	var entries []elide.Entry
+	if elideOut != "" {
+		lintCfg.ElideSink = func(e elide.Entry) { entries = append(entries, e) }
+	}
 	exit := 0
 	for _, a := range staticfs.Analyzers(lintCfg) {
 		diags, err := analysis.Run(a, fset, files, pkg, info, tcfg.Sizes)
@@ -139,6 +149,12 @@ func runVet(cfgPath string, lintCfg staticfs.Config) int {
 		for _, d := range diags {
 			fmt.Fprintf(os.Stderr, "%s: %s\n", fset.Position(d.Pos), d.Message)
 			exit = 1
+		}
+	}
+	if elideOut != "" {
+		if err := saveManifest(elideOut, lintCfg, entries); err != nil {
+			fmt.Fprintf(os.Stderr, "predlint: %v\n", err)
+			return 2
 		}
 	}
 	return exit

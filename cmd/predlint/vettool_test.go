@@ -1,0 +1,40 @@
+package main
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// TestVetFlagSchema pins the go vet -flags handshake: every flag runVet
+// consumes must be declared or cmd/go refuses to forward it.
+func TestVetFlagSchema(t *testing.T) {
+	var schema []struct {
+		Name  string
+		Bool  bool
+		Usage string
+	}
+	if err := json.Unmarshal([]byte(vetFlagSchema()), &schema); err != nil {
+		t.Fatalf("schema is not valid JSON: %v", err)
+	}
+	want := map[string]bool{"line": false, "elide-out": false}
+	got := map[string]bool{}
+	for _, f := range schema {
+		if f.Usage == "" {
+			t.Errorf("flag %q declared without usage", f.Name)
+		}
+		got[f.Name] = f.Bool
+	}
+	for name, isBool := range want {
+		b, ok := got[name]
+		if !ok {
+			t.Errorf("flag %q missing from vet schema", name)
+		} else if b != isBool {
+			t.Errorf("flag %q Bool = %v, want %v", name, b, isBool)
+		}
+	}
+	for name := range got {
+		if _, ok := want[name]; !ok {
+			t.Errorf("vet schema declares %q, which runVet does not consume", name)
+		}
+	}
+}

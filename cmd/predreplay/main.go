@@ -23,6 +23,7 @@ import (
 	"time"
 
 	"predator/internal/core"
+	"predator/internal/elide"
 	"predator/internal/fleet"
 	"predator/internal/harness"
 	"predator/internal/mem"
@@ -63,6 +64,7 @@ func main() {
 		maxVirtual = flag.Int("max-virtual-lines", 0, "replay: resource governor budget for virtual lines (0 = unlimited)")
 		timeline   = flag.String("timeline-out", "", "replay: write the flight-recorder timeline as Perfetto/Chrome trace-event JSON to this file")
 		flightN    = flag.Int("flight-depth", 0, "replay: flight recorder ring depth per tracked line (0 = default, -1 = disable)")
+		elidePath  = flag.String("elide", "", "replay: predlint elision manifest (-elide-out): drop provably-safe access events before the runtime")
 		diagAddr   = flag.String("diag-addr", "", "replay: serve live diagnostics (metrics, hotlines, findings, timeline, pprof) on this host:port")
 		version    = flag.Bool("version", false, "print build version and exit")
 	)
@@ -101,6 +103,14 @@ func main() {
 			timelineOut:   *timeline,
 			diagAddr:      *diagAddr,
 			fleet:         fleetFlags,
+		}
+		if *elidePath != "" {
+			manifest, err := elide.Load(*elidePath)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "predreplay: -elide: %v\n", err)
+				os.Exit(2)
+			}
+			opts.elide = manifest
 		}
 		if err := doReplay(*replay, cfg, opts); err != nil {
 			fatal(err.Error())
@@ -177,6 +187,7 @@ type replayOptions struct {
 	timelineOut   string // Perfetto timeline destination, "" = off
 	diagAddr      string // live diagnostics listen address, "" = off
 	fleet         *fleetclient.Flags
+	elide         *elide.Manifest // elision manifest, nil = off
 }
 
 // doReplay streams the trace through a fresh runtime and prints the report.
@@ -208,7 +219,7 @@ func doReplay(path string, cfg core.Config, opts replayOptions) error {
 		cfg.Observer = obs.New(obs.NewRegistry(), sink)
 	}
 
-	ropts := trace.ReplayOptions{Salvage: opts.salvage}
+	ropts := trace.ReplayOptions{Salvage: opts.salvage, Elide: opts.elide}
 	// The timeline dump and the fleet exporter both need the replay runtime
 	// after the stream finishes.
 	var rtRef *core.Runtime
@@ -294,9 +305,10 @@ func doReplay(path string, cfg core.Config, opts replayOptions) error {
 	}
 	fmt.Printf("replayed %d events in %s; %d threads named\n",
 		res.Events, time.Since(start).Round(time.Millisecond), len(res.Threads))
-	fmt.Printf("tracked-lines=%d virtual-lines=%d invalidations=%d virtual-invalidations=%d sampled=%d\n",
+	fmt.Printf("tracked-lines=%d virtual-lines=%d invalidations=%d virtual-invalidations=%d sampled=%d elided=%d\n",
 		res.Stats.TrackedLines, res.Stats.VirtualLines,
-		res.Stats.Invalidations, res.Stats.VirtualInvalidations, res.Stats.SampledAccesses)
+		res.Stats.Invalidations, res.Stats.VirtualInvalidations, res.Stats.SampledAccesses,
+		res.Elided)
 	if res.Stats.Degraded {
 		fmt.Printf("DEGRADED: degraded-lines=%d evictions=%d virtual-rejections=%d (findings flagged in report)\n",
 			res.Stats.DegradedLines, res.Stats.Evictions, res.Stats.VirtualRejections)

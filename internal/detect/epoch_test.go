@@ -1,0 +1,134 @@
+package detect
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"predator/internal/histtable"
+)
+
+// TestEpochEquivalenceSequential is the determinism contract behind the
+// same-owner fast path: for any sequential access sequence, Track's per-call
+// invalidation results and running totals must be bit-identical to feeding
+// the same stream straight into a bare history table.
+func TestEpochEquivalenceSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 300; trial++ {
+		tr := newTrack()
+		var ref histtable.Table
+		n := 1 + rng.Intn(200)
+		threads := 1 + rng.Intn(4)
+		for i := 0; i < n; i++ {
+			tid := rng.Intn(threads)
+			w := rng.Intn(2) == 1
+			got := tr.HandleAccess(tid, tr.LineBase()+uint64(rng.Intn(8)*8), 8, w)
+			want := ref.Access(tid, w)
+			if got != want {
+				t.Fatalf("trial %d access %d (tid=%d write=%v): Track=%v table=%v",
+					trial, i, tid, w, got, want)
+			}
+		}
+	}
+}
+
+// TestEpochSingleOwnerNeverInvalidates: while only one thread touches the
+// line — the fast path's whole domain — no access may invalidate and the
+// history table must stay untouched (empty) behind the open epoch.
+func TestEpochSingleOwnerNeverInvalidates(t *testing.T) {
+	tr := newTrack()
+	for i := 0; i < 100; i++ {
+		if tr.HandleAccess(5, tr.LineBase()+uint64(i%8)*8, 8, i%3 == 0) {
+			t.Fatalf("single-owner access %d invalidated", i)
+		}
+	}
+	if !tr.hist.Empty() {
+		t.Error("open epoch leaked state into the history table")
+	}
+	if tr.Invalidations() != 0 {
+		t.Errorf("invalidations = %d, want 0", tr.Invalidations())
+	}
+}
+
+// TestEpochCloseSeedsHistory: the first foreign access must behave exactly
+// as if the owner's skipped prefix had gone through the table — a foreign
+// write after an owner write is an invalidation, a foreign read is not, and
+// a subsequent owner write on the now-full table invalidates again.
+func TestEpochCloseSeedsHistory(t *testing.T) {
+	tr := newTrack()
+	tr.HandleAccess(1, tr.LineBase(), 8, true) // owner writes
+	tr.HandleAccess(1, tr.LineBase(), 8, false)
+	if !tr.HandleAccess(2, tr.LineBase()+8, 8, true) {
+		t.Error("foreign write after owner write did not invalidate")
+	}
+
+	tr2 := newTrack()
+	tr2.HandleAccess(1, tr2.LineBase(), 8, true)
+	if tr2.HandleAccess(2, tr2.LineBase()+8, 8, false) {
+		t.Error("foreign read invalidated")
+	}
+	// Table now holds (1,W),(2,R): full, so the next write invalidates.
+	if !tr2.HandleAccess(1, tr2.LineBase(), 8, true) {
+		t.Error("owner write on full table did not invalidate")
+	}
+}
+
+// TestEpochResetReopens: Reset must reopen the epoch so a recycled track
+// takes the fast path again instead of paying the table CAS forever.
+func TestEpochResetReopens(t *testing.T) {
+	tr := newTrack()
+	tr.HandleAccess(1, tr.LineBase(), 8, true)
+	tr.HandleAccess(2, tr.LineBase(), 8, true) // closes the epoch
+	if tr.epoch.Load()&epochClosed == 0 {
+		t.Fatal("epoch not closed by second thread")
+	}
+	tr.Reset()
+	if tr.epoch.Load() != 0 {
+		t.Fatal("Reset left the epoch closed")
+	}
+	if tr.HandleAccess(3, tr.LineBase(), 8, true) {
+		t.Error("first access after Reset invalidated")
+	}
+	if !tr.hist.Empty() {
+		t.Error("fast path not restored after Reset")
+	}
+}
+
+// TestEpochConcurrentClose races many threads through the epoch transition
+// under -race: whatever the interleaving, the final invalidation total must
+// land in the range the table rules allow, and the epoch must end closed
+// with the table non-empty.
+func TestEpochConcurrentClose(t *testing.T) {
+	for trial := 0; trial < 50; trial++ {
+		tr := newTrack()
+		const workers, per = 4, 200
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(tid int) {
+				defer wg.Done()
+				for i := 0; i < per; i++ {
+					tr.HandleAccess(tid, tr.LineBase()+uint64(tid*8), 8, true)
+				}
+			}(w)
+		}
+		wg.Wait()
+		if tr.epoch.Load()&epochClosed == 0 {
+			t.Fatal("multi-thread run left the epoch open")
+		}
+		if tr.hist.Empty() {
+			t.Fatal("closed epoch with empty history table")
+		}
+		inv := tr.Invalidations()
+		if inv == 0 || inv >= workers*per {
+			t.Fatalf("invalidations = %d, want in (0, %d)", inv, workers*per)
+		}
+	}
+}
+
+func BenchmarkHandleAccessSingleOwner(b *testing.B) {
+	tr := newTrack()
+	for i := 0; i < b.N; i++ {
+		tr.HandleAccess(1, tr.LineBase()+uint64(i&7)*8, 8, i&3 == 0)
+	}
+}

@@ -132,7 +132,13 @@ type Track struct {
 	geom     cacheline.Geometry
 	sampler  Sampler
 
-	hist          histtable.Table
+	hist histtable.Table
+	// epoch is the SmartTrack-style same-owner fast path over hist: while a
+	// line has only ever seen one thread, every access resolves against this
+	// single word (usually just a load) instead of the history table's CAS
+	// loop. Encoding: 0 = no access yet; epochClosed = a second thread
+	// appeared and hist is live; otherwise (owner+1)<<2 | sawWrite<<1.
+	epoch         atomic.Uint64
 	accesses      atomic.Uint64 // all accesses (sampled or not)
 	recorded      atomic.Uint64 // accesses recorded in detail
 	reads         atomic.Uint64
@@ -231,7 +237,7 @@ func (t *Track) HandleAccess(tid int, addr, size uint64, isWrite bool) (invalida
 	} else {
 		t.reads.Add(1)
 	}
-	invalidated = t.hist.Access(tid, isWrite)
+	invalidated = t.histAccess(tid, isWrite)
 	var inv uint64
 	if invalidated {
 		inv = t.invalidations.Add(1)
@@ -282,6 +288,72 @@ func (t *Track) HandleAccess(tid int, addr, size uint64, isWrite bool) (invalida
 		words[first+i].record(tid, isWrite)
 	}
 	return invalidated
+}
+
+// Epoch word layout: bit 0 closed, bit 1 sawWrite, bits 2+ owner thread +1.
+const (
+	epochClosed   = 1 << 0
+	epochSawWrite = 1 << 1
+	epochShift    = 2
+)
+
+// histAccess applies one access to the line's invalidation history. While
+// the line is single-owner the epoch word answers directly — a read, or a
+// write with the write bit already set, costs one atomic load and no CAS,
+// and by the history-table rules a single-thread sequence never
+// invalidates. The first access from a second thread closes the epoch:
+// the closer seeds hist with the exact state the skipped sequence would
+// have left (entry0 = (owner, sawWrite)), then marks the epoch closed and
+// falls through to the real table. Every interleaving linearizes to a
+// valid slow-path history: an owner racing the close flips the write bit
+// with a CAS, which fails the closer's CAS and forces a re-read; a second
+// closer racing the first loses either the seed CAS (Seed only installs
+// into an empty table) or the close CAS and replays through the closed
+// table. In the one surviving asymmetry — a stale closer seeding the
+// owner's pre-write state — only the seeded entry's write *bit* can lag,
+// and the table's update rules never read an entry's write bit when
+// deciding invalidations, so counts cannot drift. Invalidation counts are
+// therefore bit-identical to calling hist.Access unconditionally — the
+// determinism the bench gate asserts.
+func (t *Track) histAccess(tid int, isWrite bool) (invalidated bool) {
+	for {
+		e := t.epoch.Load()
+		if e&epochClosed != 0 {
+			return t.hist.Access(tid, isWrite)
+		}
+		if e == 0 {
+			// First access ever: open the epoch. The table's first-access
+			// rule never invalidates.
+			if t.epoch.CompareAndSwap(0, epochPack(tid, isWrite)) {
+				return false
+			}
+			continue
+		}
+		owner := int(e>>epochShift) - 1
+		if owner == tid {
+			if isWrite && e&epochSawWrite == 0 {
+				if !t.epoch.CompareAndSwap(e, e|epochSawWrite) {
+					continue
+				}
+			}
+			return false
+		}
+		// Second thread: materialize the skipped history, then close.
+		t.hist.Seed(owner, e&epochSawWrite != 0)
+		if !t.epoch.CompareAndSwap(e, epochClosed) {
+			continue
+		}
+		return t.hist.Access(tid, isWrite)
+	}
+}
+
+// epochPack encodes an open single-owner epoch word.
+func epochPack(tid int, sawWrite bool) uint64 {
+	e := uint64(tid+1) << epochShift
+	if sawWrite {
+		e |= epochSawWrite
+	}
+	return e
 }
 
 // Degrade switches the track to invalidation-counting-only mode — the
@@ -485,6 +557,7 @@ func (t *Track) HotWords() []WordSnapshot {
 func (t *Track) Reset() {
 	t.FlushMetrics()
 	t.hist.Reset()
+	t.epoch.Store(0)
 	t.accesses.Store(0)
 	t.recorded.Store(0)
 	t.pushedRec.Store(0)

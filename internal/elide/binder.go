@@ -1,0 +1,214 @@
+package elide
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"predator/internal/cacheline"
+	"predator/internal/mem"
+)
+
+// Binder attaches manifest entries to live simulated-heap objects and
+// answers the front-end's hot-path question: "is this access provably
+// uninteresting?". Entries bind by allocation callsite (heap objects) or by
+// label (globals); the bound address spans are clipped to lines wholly
+// interior to the object and marginLines lines away from either end, so an
+// elided access can never share a physical line — or a predicted virtual
+// line up to (marginLines+1) lines long — with any other object's traffic.
+//
+// The span set is a copy-on-write sorted slice behind an atomic pointer:
+// lookups are a lock-free binary search, rebinds (alloc/free hooks, cold
+// path) serialize on a mutex.
+type Binder struct {
+	lineSize uint64
+	margin   uint64 // bytes trimmed from each end of the interior span
+
+	byLabel map[string]string // global label -> mode
+	sites   []siteRule        // callsite-keyed entries
+
+	mu    sync.Mutex
+	cache map[string]string // resolved runtime callsite -> mode ("" = no match)
+	spans atomic.Pointer[[]span]
+
+	_      [56]byte
+	bound  atomic.Uint64 // objects bound to a manifest entry
+	_      [56]byte
+	active atomic.Uint64 // spans currently installed
+}
+
+type siteRule struct {
+	site string // normalized "file:line"
+	mode string
+}
+
+// span is one elidable address range. readsOnly spans elide loads only.
+type span struct {
+	start, end uint64
+	readsOnly  bool
+}
+
+// NewBinder validates the manifest against the heap geometry and indexes
+// its bindable entries. marginLines is the per-end safety margin in whole
+// lines; prediction with line-size factor F needs F-1 (the harness passes
+// max(LineSizeFactors)-1, so a factor-2 doubled line can never straddle an
+// elided line and a foreign one).
+func NewBinder(m *Manifest, geom cacheline.Geometry, marginLines int) (*Binder, error) {
+	if err := m.Validate(geom.Size()); err != nil {
+		return nil, err
+	}
+	if marginLines < 0 {
+		return nil, fmt.Errorf("elide: negative margin %d", marginLines)
+	}
+	b := &Binder{
+		lineSize: geom.Size(),
+		margin:   uint64(marginLines) * geom.Size(),
+		byLabel:  map[string]string{},
+		cache:    map[string]string{},
+	}
+	for _, e := range m.Entries {
+		if e.Label != "" {
+			b.byLabel[e.Label] = e.Mode
+		}
+		if e.Callsite != "" {
+			b.sites = append(b.sites, siteRule{site: e.Callsite, mode: e.Mode})
+		}
+	}
+	return b, nil
+}
+
+// Attach subscribes the binder to the heap's alloc/free hooks and binds the
+// objects already live (replayed traces import allocations before the event
+// stream; a live harness attaches before the workload allocates).
+func (b *Binder) Attach(h *mem.Heap) {
+	h.AddAllocHook(b.Bind)
+	h.AddFreeHook(b.Unbind)
+	for _, o := range h.ObjectsOverlapping(h.Base(), h.Base()+h.Size()) {
+		b.Bind(o)
+	}
+}
+
+// Bind matches one object against the manifest and, on a hit, installs its
+// interior elidable span. Safe for concurrent use (heap hooks run outside
+// the heap lock).
+func (b *Binder) Bind(o mem.Object) {
+	mode := b.modeFor(o)
+	if mode == "" {
+		return
+	}
+	lo := b.alignUp(o.Start) + b.margin
+	hi := b.alignDown(o.End())
+	if hi < b.margin || lo >= hi-b.margin {
+		return // object too small to have a protected interior
+	}
+	hi -= b.margin
+	b.bound.Add(1)
+	b.insert(span{start: lo, end: hi, readsOnly: mode == ModeReads})
+}
+
+// Unbind removes any spans inside a freed object. The address range may be
+// recycled for an unproven object, so elision must stop immediately.
+func (b *Binder) Unbind(start, size uint64) {
+	cur := b.spans.Load()
+	if cur == nil {
+		return
+	}
+	end := start + size
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	old := *b.spans.Load()
+	next := make([]span, 0, len(old))
+	for _, s := range old {
+		if s.start < end && start < s.end {
+			continue
+		}
+		next = append(next, s)
+	}
+	if len(next) != len(old) {
+		b.spans.Store(&next)
+		b.active.Store(uint64(len(next)))
+	}
+}
+
+// Elidable reports whether the whole access [addr, addr+size) falls inside
+// one bound span whose mode covers the access type. Lock-free; called on
+// the instrumentation hot path.
+func (b *Binder) Elidable(addr, size uint64, isWrite bool) bool {
+	sp := b.spans.Load()
+	if sp == nil {
+		return false
+	}
+	spans := *sp
+	// Rightmost span starting at or before addr.
+	i := sort.Search(len(spans), func(i int) bool { return spans[i].start > addr }) - 1
+	if i < 0 {
+		return false
+	}
+	s := spans[i]
+	if addr+size > s.end {
+		return false
+	}
+	return !isWrite || !s.readsOnly
+}
+
+// Bound returns how many live-object bindings the manifest produced.
+func (b *Binder) Bound() uint64 { return b.bound.Load() }
+
+// Active returns how many elidable spans are currently installed.
+func (b *Binder) Active() uint64 { return b.active.Load() }
+
+// modeFor resolves the entry mode for an object: globals match by label,
+// heap objects by allocation-callsite site matching (cached per resolved
+// runtime site — every allocation from one source line shares it).
+func (b *Binder) modeFor(o mem.Object) string {
+	if o.Global {
+		return b.byLabel[o.Label]
+	}
+	if len(b.sites) == 0 || o.Callsite.IsZero() {
+		return ""
+	}
+	leaf := o.Callsite.Leaf()
+	site := fmt.Sprintf("%s:%d", leaf.File, leaf.Line)
+	b.mu.Lock()
+	mode, ok := b.cache[site]
+	b.mu.Unlock()
+	if ok {
+		return mode
+	}
+	for _, r := range b.sites {
+		if SameSite(r.site, site) {
+			mode = r.mode
+			break
+		}
+	}
+	b.mu.Lock()
+	b.cache[site] = mode
+	b.mu.Unlock()
+	return mode
+}
+
+// insert adds a span copy-on-write, keeping the slice sorted by start.
+func (b *Binder) insert(s span) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	var old []span
+	if p := b.spans.Load(); p != nil {
+		old = *p
+	}
+	i := sort.Search(len(old), func(i int) bool { return old[i].start >= s.start })
+	next := make([]span, 0, len(old)+1)
+	next = append(next, old[:i]...)
+	next = append(next, s)
+	next = append(next, old[i:]...)
+	b.spans.Store(&next)
+	b.active.Store(uint64(len(next)))
+}
+
+func (b *Binder) alignUp(a uint64) uint64 {
+	return (a + b.lineSize - 1) &^ (b.lineSize - 1)
+}
+
+func (b *Binder) alignDown(a uint64) uint64 {
+	return a &^ (b.lineSize - 1)
+}

@@ -36,6 +36,7 @@ type BenchRecord struct {
 	Findings       int     `json:"findings,omitempty"`
 	FalseSharing   int     `json:"false_sharing,omitempty"`
 	Degraded       bool    `json:"degraded,omitempty"`
+	Elided         uint64  `json:"elided,omitempty"` // accesses skipped by the static elision fast path
 }
 
 // BenchDoc is the top-level -bench-json document: build identity, the
@@ -111,6 +112,7 @@ func Bench(cfg Config, workloads []string) (*BenchDoc, error) {
 				rec.VirtualLines = st.VirtualLines
 				rec.Invalidations = st.Invalidations
 				rec.Degraded = st.Degraded
+				rec.Elided = last.Elided
 				if last.Report != nil {
 					c := last.Report.Counts()
 					rec.Findings = c.Findings

@@ -23,6 +23,7 @@ import (
 
 	"predator/internal/cachesim"
 	"predator/internal/core"
+	"predator/internal/elide"
 	"predator/internal/harness"
 	"predator/internal/obs"
 )
@@ -51,6 +52,10 @@ type Config struct {
 	// finding-drift check needs run-to-run stable counts. Not usable with
 	// workloads that block across threads (boost).
 	Deterministic bool
+	// Elide, when non-nil, is a predlint elision manifest applied to every
+	// detection run (never to Original-mode timing, which has no
+	// instrumentation to skip).
+	Elide *elide.Manifest
 }
 
 // Default returns the evaluation configuration scaled for the test-sized
@@ -226,6 +231,7 @@ func detect(cfg Config, workload string, mode harness.Mode, buggy bool, offset u
 		Observer:      cfg.Observer,
 		OnRuntime:     cfg.OnRuntime,
 		Deterministic: cfg.Deterministic,
+		Elide:         cfg.Elide,
 	})
 	if err == nil && cfg.OnResult != nil {
 		cfg.OnResult(workload, mode, res)

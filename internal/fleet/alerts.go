@@ -16,7 +16,7 @@ const (
 	RuleFindingDrift = "finding_drift"
 	// RuleSlowdownRegression fires when the latest benchmark-carrying run's
 	// slowdown ratios regressed beyond tolerance against the baseline
-	// (a pinned document like BENCH_pr5.json, or the previous bench run).
+	// (a pinned document like BENCH_pr9.json, or the previous bench run).
 	RuleSlowdownRegression = "slowdown_regression"
 	// RuleAgentSilent fires when an agent's metrics stream has been silent
 	// past the TTL — the same TTL that expires its hotlines contribution.
@@ -59,7 +59,7 @@ type AlertConfig struct {
 	// regression alert (0 = eval.DefaultBenchTolerance).
 	Tolerance float64
 	// Baseline, when non-nil, pins the benchmark baseline every run is
-	// compared against (predfleet -bench-baseline BENCH_pr5.json). Nil falls
+	// compared against (predfleet -bench-baseline BENCH_pr9.json). Nil falls
 	// back to the project's previous benchmark-carrying run.
 	Baseline *eval.BenchDoc
 	// Clock substitutes time.Now (tests).

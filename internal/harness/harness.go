@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"predator/internal/core"
+	"predator/internal/elide"
 	"predator/internal/instr"
 	"predator/internal/mem"
 	"predator/internal/obs"
@@ -240,6 +241,12 @@ type Options struct {
 	// uses it to attach the runtime as its scrape source; it is never
 	// called in ModeNative (no runtime exists).
 	OnRuntime func(*core.Runtime)
+	// Elide, when non-nil, is a predlint elision manifest: accesses to
+	// objects the static prover showed cannot contribute invalidations are
+	// dropped before delivery. The binder's margin is sized to the largest
+	// prediction factor, so elision never changes finding counts — only
+	// how much instrumentation the safe objects pay.
+	Elide *elide.Manifest
 }
 
 // normalized fills defaults.
@@ -292,6 +299,10 @@ type Result struct {
 	// MemBefore/MemAfter are Go heap stats (bytes) when MeasureMemory.
 	MemBefore uint64
 	MemAfter  uint64
+
+	// Elided counts accesses dropped by the static elision fast path
+	// (zero without Options.Elide).
+	Elided uint64
 }
 
 // FalseSharingFound reports whether the run's report contains false (or
@@ -401,6 +412,14 @@ func execute(w Workload, opts Options, heap *mem.Heap, sinkOverride instr.Sink) 
 	if opts.Strict != nil {
 		in.SetStrict(*opts.Strict)
 	}
+	if opts.Elide != nil && sink != nil {
+		binder, berr := elide.NewBinder(opts.Elide, h.Geometry(), elideMargin(opts))
+		if berr != nil {
+			return nil, fmt.Errorf("harness: elision manifest: %w", berr)
+		}
+		binder.Attach(h)
+		in.SetElision(binder)
+	}
 
 	ctx := &Ctx{
 		In:        in,
@@ -439,6 +458,7 @@ func execute(w Workload, opts Options, heap *mem.Heap, sinkOverride instr.Sink) 
 		ThreadNames: in.ThreadNames(),
 	}
 	in.FlushMetrics()
+	res.Elided = in.Elided()
 	if rt != nil {
 		res.Report = rt.Report()
 		res.RuntimeStats = rt.Stats()
@@ -452,6 +472,24 @@ func execute(w Workload, opts Options, heap *mem.Heap, sinkOverride instr.Sink) 
 		runtime.KeepAlive(in)
 	}
 	return res, nil
+}
+
+// elideMargin sizes the binder's keep-out margin in lines: the largest
+// prediction fusion factor minus one, so an elided access can never share a
+// physical or predicted virtual line with a neighboring object. Mirrors
+// core's default factor set when no runtime override is given.
+func elideMargin(opts Options) int {
+	factors := []int{2}
+	if opts.Runtime != nil && len(opts.Runtime.LineSizeFactors) > 0 {
+		factors = opts.Runtime.LineSizeFactors
+	}
+	max := 1
+	for _, f := range factors {
+		if f > max {
+			max = f
+		}
+	}
+	return max - 1
 }
 
 // goHeapBytes returns post-GC Go heap usage, the reproduction's analog of

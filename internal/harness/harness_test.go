@@ -5,7 +5,9 @@ import (
 	"sync/atomic"
 	"testing"
 
+	"predator/internal/cacheline"
 	"predator/internal/core"
+	"predator/internal/elide"
 	"predator/internal/instr"
 	"predator/internal/mem"
 )
@@ -274,6 +276,102 @@ func TestDeterministicOptionsPlumbed(t *testing.T) {
 		if fa[i].Invalidations != fb[i].Invalidations {
 			t.Errorf("deterministic mismatch at %d: %d vs %d",
 				i, fa[i].Invalidations, fb[i].Invalidations)
+		}
+	}
+}
+
+// elideSafetyWorkload mixes a genuinely falsely-shared hot array with a
+// read-only lookup table large enough to have an elidable interior: workers
+// ping-pong writes on packed hot words (the finding) while streaming reads
+// from the table's interior lines (the elision target).
+type elideSafetyWorkload struct{ name string }
+
+func (f elideSafetyWorkload) Name() string          { return f.name }
+func (f elideSafetyWorkload) Suite() string         { return "test" }
+func (f elideSafetyWorkload) Description() string   { return "hot array + read-only table" }
+func (f elideSafetyWorkload) HasFalseSharing() bool { return true }
+
+const elideLutSize = 64 * 64 // 64 cache lines: plenty of interior past the margin
+
+func (f elideSafetyWorkload) Run(c *Ctx) (uint64, error) {
+	lut, err := c.Heap.DefineGlobal("elide_safety_lut", elideLutSize)
+	if err != nil {
+		return 0, err
+	}
+	t0 := c.NewThread("init")
+	for i := uint64(0); i < elideLutSize; i += 8 {
+		t0.Store64(lut+i, i)
+	}
+	hot, err := t0.Alloc(uint64(c.Threads)*8 + 64)
+	if err != nil {
+		return 0, err
+	}
+	iters := 4000 * c.Scale
+	c.Parallel(c.Threads, "worker", func(t *instr.Thread, id int) {
+		word := hot + uint64(id)*8
+		var acc uint64
+		for i := 0; i < iters; i++ {
+			// Interior reads only: offsets land in [512, 2560), well clear
+			// of the table's first and last lines plus the safety margin.
+			acc += t.Load64(lut + 512 + (uint64(id*8+i)*8)%2048)
+			t.Store64(word, acc)
+			c.MaybeYield(i)
+		}
+	})
+	return t0.Load64(hot), nil
+}
+
+// TestElisionPreservesDeterministicFindings is the safety contract: under the
+// deterministic scheduler, a run with an elision manifest must produce
+// bit-identical findings to a manifest-free run — elision may only remove
+// work, never evidence. The CI smoke step checks the same property end to end
+// through predbench.
+func TestElisionPreservesDeterministicFindings(t *testing.T) {
+	opts := testOpts(ModePredict, true)
+	opts.Deterministic = true
+	opts.DeterministicGrain = 8
+
+	base, err := Execute(elideSafetyWorkload{name: "es_base"}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.Elided != 0 {
+		t.Fatalf("manifest-free run elided %d accesses", base.Elided)
+	}
+	if len(base.Report.FalseSharing()) == 0 {
+		t.Fatal("workload produced no findings to compare")
+	}
+
+	opts.Elide = &elide.Manifest{
+		Version:  elide.Version,
+		LineSize: cacheline.DefaultSize,
+		Entries: []elide.Entry{{
+			Proof:   elide.ProofReadonly,
+			Mode:    elide.ModeReads,
+			Subject: "lut",
+			Label:   "elide_safety_lut",
+		}},
+	}
+	elided, err := Execute(elideSafetyWorkload{name: "es_elide"}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if elided.Elided == 0 {
+		t.Fatal("manifest bound nothing: no accesses elided")
+	}
+	if elided.RuntimeStats.Accesses >= base.RuntimeStats.Accesses {
+		t.Errorf("elision did not reduce delivered accesses: %d vs %d",
+			elided.RuntimeStats.Accesses, base.RuntimeStats.Accesses)
+	}
+
+	fa, fb := base.Report.FalseSharing(), elided.Report.FalseSharing()
+	if len(fa) != len(fb) {
+		t.Fatalf("finding counts diverged: %d without manifest, %d with", len(fa), len(fb))
+	}
+	for i := range fa {
+		if fa[i].Span != fb[i].Span || fa[i].Invalidations != fb[i].Invalidations {
+			t.Errorf("finding %d diverged: span %+v inv %d vs span %+v inv %d",
+				i, fa[i].Span, fa[i].Invalidations, fb[i].Span, fb[i].Invalidations)
 		}
 	}
 }

@@ -113,6 +113,19 @@ func (t *Table) Access(tid int, isWrite bool) (invalidated bool) {
 	}
 }
 
+// Seed installs the exact state a single-thread access sequence leaves
+// behind — entry0 = (tid, sawWrite), entry1 empty — but only when the table
+// is still empty. The update rules guarantee that invariant: the first
+// access fills entry0, later same-thread writes collapse into it, and
+// same-thread reads never add an entry. detect.Track's epoch fast path uses
+// Seed to materialize the history it skipped when a second thread shows up;
+// the CAS-from-empty makes a late seeder (two closers racing) a no-op
+// instead of clobbering accesses already applied after the first close.
+// It reports whether the seed was installed.
+func (t *Table) Seed(tid int, sawWrite bool) bool {
+	return t.state.CompareAndSwap(0, uint64(pack(tid, sawWrite)))
+}
+
 // Snapshot decodes the table's current entries. Entries[0] is the slot
 // writes collapse into.
 func (t *Table) Snapshot() [2]Entry {

@@ -1,0 +1,101 @@
+package histtable
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestSeedMatchesSingleThreadSequence is the exactness proof behind the
+// epoch fast path: for ANY single-thread access sequence, Seed(tid, sawWrite)
+// on an empty table produces the identical packed state the sequence itself
+// would have left behind.
+func TestSeedMatchesSingleThreadSequence(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 200; trial++ {
+		tid := rng.Intn(64)
+		n := 1 + rng.Intn(20)
+		var ref Table
+		sawWrite := false
+		for i := 0; i < n; i++ {
+			w := rng.Intn(2) == 1
+			sawWrite = sawWrite || w
+			if ref.Access(tid, w) {
+				t.Fatalf("trial %d: single-thread access invalidated", trial)
+			}
+		}
+		var seeded Table
+		if !seeded.Seed(tid, sawWrite) {
+			t.Fatalf("trial %d: Seed on empty table refused", trial)
+		}
+		if ref.state.Load() != seeded.state.Load() {
+			t.Fatalf("trial %d: sequence state %#x != seeded state %#x (tid=%d sawWrite=%v n=%d)",
+				trial, ref.state.Load(), seeded.state.Load(), tid, sawWrite, n)
+		}
+	}
+}
+
+// TestSeedRefusesNonEmpty: a late seeder (two epoch closers racing) must
+// never clobber accesses already applied to the table.
+func TestSeedRefusesNonEmpty(t *testing.T) {
+	var tbl Table
+	tbl.Access(3, true)
+	before := tbl.state.Load()
+	if tbl.Seed(7, false) {
+		t.Fatal("Seed installed into a non-empty table")
+	}
+	if tbl.state.Load() != before {
+		t.Fatal("failed Seed still mutated the table")
+	}
+}
+
+// TestSeedThenAccessEqualsFullReplay: seeding the single-owner prefix and
+// replaying the suffix yields the same invalidations as replaying the whole
+// sequence — the linearization argument the epoch close relies on.
+func TestSeedThenAccessEqualsFullReplay(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 200; trial++ {
+		owner := rng.Intn(8)
+		prefix := 1 + rng.Intn(10)
+		suffix := 1 + rng.Intn(30)
+
+		type acc struct {
+			tid int
+			w   bool
+		}
+		seq := make([]acc, 0, prefix+suffix)
+		sawWrite := false
+		for i := 0; i < prefix; i++ {
+			w := rng.Intn(2) == 1
+			sawWrite = sawWrite || w
+			seq = append(seq, acc{owner, w})
+		}
+		for i := 0; i < suffix; i++ {
+			seq = append(seq, acc{rng.Intn(8), rng.Intn(2) == 1})
+		}
+
+		var full Table
+		fullInv := 0
+		for _, a := range seq {
+			if full.Access(a.tid, a.w) {
+				fullInv++
+			}
+		}
+
+		var seeded Table
+		seeded.Seed(owner, sawWrite)
+		seededInv := 0
+		for _, a := range seq[prefix:] {
+			if seeded.Access(a.tid, a.w) {
+				seededInv++
+			}
+		}
+		if fullInv != seededInv {
+			t.Fatalf("trial %d: full replay %d invalidations, seeded replay %d",
+				trial, fullInv, seededInv)
+		}
+		if full.state.Load() != seeded.state.Load() {
+			t.Fatalf("trial %d: final states diverge: %#x vs %#x",
+				trial, full.state.Load(), seeded.state.Load())
+		}
+	}
+}

@@ -88,6 +88,13 @@ func (p *Policy) allows(scope string, isWrite bool) bool {
 	return true
 }
 
+// Elider answers whether an access is statically proven uninteresting and
+// may be dropped before delivery. *elide.Binder implements it; an interface
+// keeps the front-end free of a dependency on the manifest format.
+type Elider interface {
+	Elidable(addr, size uint64, isWrite bool) bool
+}
+
 // Instrumenter owns the heap/runtime binding and mints Thread handles.
 type Instrumenter struct {
 	heap   *mem.Heap
@@ -95,6 +102,7 @@ type Instrumenter struct {
 	base   uint64
 	sink   Sink
 	policy Policy
+	elider Elider // static elision fast path; nil = no manifest loaded
 
 	// tid → label, for timeline track naming. NewThread is cold path.
 	tmu    sync.Mutex
@@ -113,6 +121,8 @@ type Instrumenter struct {
 	suppressed atomic.Uint64
 	_          [56]byte
 	faults     atomic.Uint64 // out-of-heap accesses absorbed (non-strict)
+	_          [56]byte
+	elided     atomic.Uint64 // events dropped by the static elision fast path
 
 	// Observability (nil when unobserved; set via Observe before threads
 	// run). Counters are batched: notify syncs the registry every
@@ -121,8 +131,10 @@ type Instrumenter struct {
 	deliveredC       *obs.Counter
 	suppressedC      *obs.Counter
 	faultsC          *obs.Counter
+	elidedC          *obs.Counter
 	pushedDelivered  atomic.Uint64
 	pushedSuppressed atomic.Uint64
+	pushedElided     atomic.Uint64
 }
 
 // New binds an instrumenter to a heap and a sink. A nil sink produces an
@@ -154,7 +166,19 @@ func (in *Instrumenter) Observe(o *obs.Observer) {
 		"Instrumentation events dropped by policy or per-site deduplication.")
 	in.faultsC = reg.Counter("predator_heap_faults_total",
 		"Out-of-heap accesses absorbed by the non-strict front-end.")
+	in.elidedC = reg.Counter("predator_events_elided_total",
+		"Instrumentation events dropped by the static elision fast path.")
 }
+
+// SetElision installs the static elision fast path: accesses the elider
+// proves uninteresting are dropped before policy, dedup, and delivery, and
+// counted as elided. Call before minting threads (publication happens via
+// goroutine creation, like Observe); nil uninstalls.
+func (in *Instrumenter) SetElision(e Elider) { in.elider = e }
+
+// Elided returns the number of events dropped by the static elision fast
+// path.
+func (in *Instrumenter) Elided() uint64 { return in.elided.Load() }
 
 // FlushMetrics pushes the exact delivered/suppressed totals into the
 // registry; the notify hot path batches pushes to every obs.SyncBatch-th
@@ -162,6 +186,7 @@ func (in *Instrumenter) Observe(o *obs.Observer) {
 func (in *Instrumenter) FlushMetrics() {
 	obs.SyncCounter(in.deliveredC, in.delivered.Load(), &in.pushedDelivered)
 	obs.SyncCounter(in.suppressedC, in.suppressed.Load(), &in.pushedSuppressed)
+	obs.SyncCounter(in.elidedC, in.elided.Load(), &in.pushedElided)
 }
 
 // SetEnabled toggles event delivery at runtime.
@@ -271,6 +296,15 @@ func (t *Thread) notify(addr, size uint64, isWrite bool) {
 	}
 	in := t.in
 	if !in.enabled.Load() {
+		return
+	}
+	// Static elision: the slot tick above already charged this access to the
+	// deterministic schedule, so dropping the event here cannot perturb
+	// thread interleaving — only skip work the manifest proves redundant.
+	if in.elider != nil && in.elider.Elidable(addr, size, isWrite) {
+		if en := in.elided.Add(1); en&(obs.SyncBatch-1) == 0 {
+			obs.SyncCounter(in.elidedC, en, &in.pushedElided)
+		}
 		return
 	}
 	if !in.policy.allows(t.scope, isWrite) {

@@ -289,6 +289,7 @@ type StatsJSON struct {
 	Evictions            uint64 `json:"evictions"`
 	VirtualRejections    uint64 `json:"virtual_rejections"`
 	Degraded             bool   `json:"degraded"`
+	Elided               uint64 `json:"elided,omitempty"` // accesses skipped by the static elision fast path
 }
 
 func statsJSON(st core.Stats) StatsJSON {
@@ -342,7 +343,19 @@ func (s *Server) handleHotLines(r *http.Request, buf *bytes.Buffer) (string, err
 		Stats:     statsJSON(src.Stats()),
 		Lines:     lines,
 	}
+	// The elided counter lives in the instrumentation front-end, not
+	// core.Stats; read it from the metrics registry by name.
+	resp.Stats.Elided = s.elidedCount()
 	return writeJSON(buf, resp)
+}
+
+// elidedCount reads the static-elision counter from the registry (zero when
+// no elision manifest is installed or no observer wiring exists).
+func (s *Server) elidedCount() uint64 {
+	if s.reg == nil {
+		return 0
+	}
+	return uint64(s.reg.Snapshot()["predator_events_elided_total"])
 }
 
 // FindingsResponse is the /findings response schema: finding tallies plus

@@ -30,6 +30,7 @@ type Stats struct {
 	DegradedLines int    `json:"degraded_lines"`
 	Evictions     uint64 `json:"evictions"`
 	Degraded      bool   `json:"degraded"`
+	Elided        uint64 `json:"elided,omitempty"`
 }
 
 // Line is one hot line in a frame. The embedded LineSnapshot carries the
@@ -200,6 +201,9 @@ func renderFrame(w io.Writer, r *Frame, opts RenderOptions) {
 		time.UnixMilli(r.UnixMilli).Format("15:04:05"))
 	fmt.Fprintf(w, "accesses=%d writes=%d tracked=%d virtual=%d invalidations=%d",
 		st.Accesses, st.Writes, st.TrackedLines, st.VirtualLines, st.Invalidations)
+	if st.Elided > 0 {
+		fmt.Fprintf(w, " elided=%d", st.Elided)
+	}
 	if r.Agents > 0 {
 		fmt.Fprintf(w, "  agents=%d", r.Agents)
 	}

@@ -2,9 +2,9 @@ package staticfs
 
 import (
 	"fmt"
-	"path/filepath"
 	"strings"
 
+	"predator/internal/elide"
 	"predator/internal/report"
 )
 
@@ -87,13 +87,14 @@ func CrossCheck(findings []Finding, rep *report.JSONReport) CrossSummary {
 }
 
 // matches applies the two matching rules and reports the evidence string.
+// Callsite paths are compared after separator normalization and module-root
+// trimming (elide.SameFile), so a report written on Windows or from another
+// checkout still matches — and two distinct files that merely share a base
+// name no longer do.
 func matches(f Finding, o runtimeObj) (string, bool) {
 	if o.callsite != "" {
-		csFile := o.callsite
-		if i := strings.LastIndex(csFile, ":"); i >= 0 {
-			csFile = csFile[:i]
-		}
-		if filepath.Base(csFile) == filepath.Base(f.Pos.Filename) {
+		csFile, _ := elide.SplitSite(o.callsite)
+		if elide.SameFile(csFile, f.Pos.Filename) {
 			return "allocated at " + o.callsite, true
 		}
 	}

@@ -46,6 +46,36 @@ func TestCrossCheckLabelMatch(t *testing.T) {
 	}
 }
 
+func TestCrossCheckWindowsCallsite(t *testing.T) {
+	// A report written on Windows carries backslashed paths; separator
+	// normalization and module-root trimming must still match them.
+	rep := &report.JSONReport{
+		Findings: []report.JSONFinding{{
+			Sharing: "false sharing",
+			Object:  &report.JSONObj{Callsite: `C:\work\src\internal\workloads\phoenix\lreg.go:42`},
+		}},
+	}
+	sum := CrossCheck([]Finding{crossFinding("/home/ci/repo/internal/workloads/phoenix/lreg.go", "args")}, rep)
+	if sum.Confirmed != 1 {
+		t.Fatalf("windows-path callsite did not confirm: %+v", sum.Results)
+	}
+}
+
+func TestCrossCheckBasenameCollisionRejected(t *testing.T) {
+	// Two distinct files sharing only a base name must not confirm each
+	// other — exact-file matching, not basename matching.
+	rep := &report.JSONReport{
+		Findings: []report.JSONFinding{{
+			Sharing: "false sharing",
+			Object:  &report.JSONObj{Callsite: "internal/workloads/parsec/kernels.go:9"},
+		}},
+	}
+	sum := CrossCheck([]Finding{crossFinding("/repo/internal/workloads/other/kernels.go", "vecs")}, rep)
+	if sum.Confirmed != 0 {
+		t.Fatalf("basename collision confirmed a finding: %+v", sum.Results)
+	}
+}
+
 func TestCrossCheckUnexercisedAndRuntimeOnly(t *testing.T) {
 	rep := &report.JSONReport{
 		Problems: []report.JSONProblem{{

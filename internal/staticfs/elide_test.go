@@ -1,0 +1,89 @@
+package staticfs
+
+import (
+	"strings"
+	"testing"
+
+	"predator/internal/elide"
+	"predator/internal/staticfs/analysis"
+	"predator/internal/staticfs/analysis/analysistest"
+	"predator/internal/staticfs/load"
+)
+
+// The golden package runs under the full suite: the three finding analyzers
+// must stay clean on it, and the prover (with diagnostics on) must match
+// every want — so the escape, post-join, and loop-phase shapes double as
+// must-NOT-prove fixtures.
+
+func TestElideGolden(t *testing.T) {
+	var entries []elide.Entry
+	prover := NewElide(Config{
+		ElideDiag: true,
+		ElideSink: func(e elide.Entry) { entries = append(entries, e) },
+	})
+	analysistest.Run(t, "testdata", "elide", prover, Padcheck, Sharedindex, Alignguard)
+
+	bySubject := map[string]elide.Entry{}
+	for _, e := range entries {
+		if prev, dup := bySubject[e.Subject]; dup {
+			t.Errorf("duplicate entries for %s: %+v and %+v", e.Subject, prev, e)
+		}
+		bySubject[e.Subject] = e
+	}
+
+	want := map[string]struct{ proof, mode string }{
+		"data":       {elide.ProofReadonly, elide.ModeReads},
+		"lut":        {elide.ProofReadonly, elide.ModeReads},
+		"slots":      {elide.ProofReadonly, elide.ModeReads},
+		"priv":       {elide.ProofThreadPrivate, elide.ModeAll},
+		"tmp":        {elide.ProofThreadPrivate, elide.ModeAll},
+		"paddedPair": {elide.ProofPadded, elide.ModeAll},
+	}
+	for subject, w := range want {
+		e, ok := bySubject[subject]
+		if !ok {
+			t.Errorf("no manifest entry for %s", subject)
+			continue
+		}
+		if e.Proof != w.proof || e.Mode != w.mode {
+			t.Errorf("%s: proof/mode = %s/%s, want %s/%s", subject, e.Proof, e.Mode, w.proof, w.mode)
+		}
+	}
+	for subject := range bySubject {
+		if _, ok := want[subject]; !ok {
+			t.Errorf("unexpected manifest entry for %s: %+v", subject, bySubject[subject])
+		}
+	}
+
+	// Binding keys: heap allocations carry their callsite, the labeled
+	// global its label, and the padded advisory neither (never bound).
+	if e := bySubject["data"]; !e.Bindable() || !strings.Contains(e.Callsite, "elide.go:") {
+		t.Errorf("data entry not callsite-bindable: %+v", e)
+	}
+	if e := bySubject["lut"]; e.Label != "fixture_lut" || !e.Bindable() {
+		t.Errorf("lut entry not label-bindable: %+v", e)
+	}
+	if e := bySubject["paddedPair"]; e.Bindable() || e.Decl == "" {
+		t.Errorf("padded advisory must be decl-only, got %+v", e)
+	}
+	if e := bySubject["data"]; e.Scope != "readonlyTable" {
+		t.Errorf("data entry scope = %q, want readonlyTable", e.Scope)
+	}
+}
+
+// TestElideSilentByDefault pins the gate contract: with no sink and no
+// diagnostics requested, the prover reports nothing, so `predlint ./...`
+// keeps its exit code regardless of how much is provable.
+func TestElideSilentByDefault(t *testing.T) {
+	pkg, err := load.Dir("testdata/src/elide")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := analysis.Run(Elide, pkg.Fset, pkg.Files, pkg.Types, pkg.Info, pkg.Sizes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 0 {
+		t.Fatalf("default-configured elide produced %d diagnostics, want 0: %+v", len(diags), diags)
+	}
+}

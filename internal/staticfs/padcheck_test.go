@@ -10,6 +10,20 @@ import (
 // Every golden package runs under all three analyzers, so each fixture is
 // also a must-stay-clean check for the two analyzers it does not target.
 
+// TestPadcheckEmbeddedGolden covers embedded structs: explicit-path writes
+// (w.hotInner.a) attribute to the inner type; promoted selections (h.x) are
+// skipped by design and must stay clean.
+func TestPadcheckEmbeddedGolden(t *testing.T) {
+	analysistest.Run(t, "testdata", "padcheck_embedded", Padcheck, Sharedindex, Alignguard)
+}
+
+// TestPadcheckGenericGolden covers generic struct owners: offsets depend on
+// the instantiation, so generic types are skipped, while the concrete
+// control with the same shape still fires.
+func TestPadcheckGenericGolden(t *testing.T) {
+	analysistest.Run(t, "testdata", "padcheck_generic", Padcheck, Sharedindex, Alignguard)
+}
+
 func TestPadcheckGolden(t *testing.T) {
 	results := analysistest.Run(t, "testdata", "padcheck", Padcheck, Sharedindex, Alignguard)
 

@@ -39,6 +39,7 @@ import (
 	"strings"
 
 	"predator/internal/cacheline"
+	"predator/internal/elide"
 	"predator/internal/staticfs/analysis"
 	"predator/internal/staticfs/load"
 )
@@ -52,6 +53,13 @@ type Config struct {
 	// LineSize is the assumed cache line size in bytes (power of two).
 	// Zero means DefaultLineSize.
 	LineSize uint64
+	// ElideSink receives every elision-manifest entry the elide prover
+	// emits (predlint -elide-out). Nil collects nothing.
+	ElideSink func(elide.Entry)
+	// ElideDiag makes the elide prover report each proof as a diagnostic.
+	// Off by default so elision proofs — which are good news, not findings
+	// — never flip the lint gate's exit code.
+	ElideDiag bool
 }
 
 func (c Config) lineSize() uint64 {
@@ -76,6 +84,7 @@ func Analyzers(cfg Config) []*analysis.Analyzer {
 		NewPadcheck(cfg),
 		NewSharedindex(cfg),
 		NewAlignguard(cfg),
+		NewElide(cfg),
 	}
 }
 
@@ -84,6 +93,7 @@ var (
 	Padcheck    = NewPadcheck(Config{})
 	Sharedindex = NewSharedindex(Config{})
 	Alignguard  = NewAlignguard(Config{})
+	Elide       = NewElide(Config{})
 )
 
 // Finding is one diagnostic tied back to its analyzer and package — the

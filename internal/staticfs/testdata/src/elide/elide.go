@@ -1,0 +1,153 @@
+// Package elide exercises the elision prover: allocations that are provably
+// thread-private or read-only after initialization, plus the shapes that
+// must NOT prove — escapes, post-join writes, and loop-phased writes whose
+// textual order lies about their dynamic order.
+package elide
+
+import "sync"
+
+// The accessor model: the prover recognizes instrumentation calls by
+// receiver type name, so these stand in for instr.Thread, mem.Heap, and
+// harness.Ctx.
+
+type Thread struct{}
+
+func (t *Thread) Alloc(size uint64) (uint64, error)                { return 0, nil }
+func (t *Thread) AllocWithOffset(size, off uint64) (uint64, error) { return 0, nil }
+func (t *Thread) Free(addr uint64) error                           { return nil }
+func (t *Thread) Load64(addr uint64) uint64                        { return 0 }
+func (t *Thread) Store64(addr, v uint64)                           {}
+func (t *Thread) Store8(addr uint64, v byte)                       {}
+func (t *Thread) AddInt64(addr uint64, delta int64) int64          { return 0 }
+
+type Heap struct{}
+
+func (h *Heap) DefineGlobal(label string, size uint64) (uint64, error) { return 0, nil }
+
+type Ctx struct{ Heap *Heap }
+
+func (c *Ctx) NewThread(name string) *Thread                             { return &Thread{} }
+func (c *Ctx) Parallel(n int, name string, body func(t *Thread, id int)) {}
+
+// readonlyTable initializes before the launch and only reads after: the
+// canonical readonly proof.
+func readonlyTable(c *Ctx) {
+	main := c.NewThread("main")
+	data, _ := main.Alloc(256) // want `data is provably readonly \(reads\)`
+	for i := 0; i < 32; i++ {
+		main.Store64(data+uint64(8*i), uint64(i))
+	}
+	c.Parallel(4, "readers", func(t *Thread, id int) {
+		_ = t.Load64(data + uint64(8*id))
+	})
+}
+
+// globalTable proves a labeled global the same way.
+func globalTable(c *Ctx) {
+	main := c.NewThread("main")
+	lut, _ := c.Heap.DefineGlobal("fixture_lut", 256) // want `lut is provably readonly \(reads\)`
+	for v := 0; v < 256; v++ {
+		main.Store8(lut+uint64(v), byte(v))
+	}
+	c.Parallel(2, "gamma", func(t *Thread, id int) {
+		_ = t.Load64(lut)
+	})
+}
+
+// threadPrivate allocates inside the worker body; every access stays in the
+// allocating context.
+func threadPrivate(c *Ctx) {
+	c.Parallel(4, "private", func(t *Thread, id int) {
+		priv, _ := t.Alloc(128) // want `priv is provably thread_private \(all\)`
+		t.Store64(priv, uint64(id))
+		_ = t.Load64(priv)
+	})
+}
+
+// mainPrivate never leaves the main context; Free consumes the address
+// without counting as an escape.
+func mainPrivate(c *Ctx) {
+	main := c.NewThread("main")
+	tmp, _ := main.Alloc(32) // want `tmp is provably thread_private \(all\)`
+	main.Store64(tmp, 7)
+	_ = main.Load64(tmp)
+	_ = main.Free(tmp)
+}
+
+// escapes stores one allocation's address INTO another as data: slots still
+// proves readonly, but points must not (workers chase the stored pointer,
+// and the prover cannot see where it goes).
+func escapes(c *Ctx) {
+	main := c.NewThread("main")
+	slots, _ := main.Alloc(64) // want `slots is provably readonly \(reads\)`
+	points, _ := main.Alloc(64)
+	main.Store64(slots, points)
+	c.Parallel(2, "chase", func(t *Thread, id int) {
+		p := t.Load64(slots + uint64(8*id))
+		_ = t.Load64(p)
+	})
+}
+
+// writesAfterJoin updates the block after the workers ran: a post-join
+// write invalidates against reads an elision would have skipped.
+func writesAfterJoin(c *Ctx) {
+	main := c.NewThread("main")
+	acc, _ := main.Alloc(64)
+	main.Store64(acc, 0)
+	c.Parallel(2, "sum", func(t *Thread, id int) {
+		_ = t.Load64(acc)
+	})
+	main.Store64(acc, main.Load64(acc)+1)
+}
+
+// loopPhases re-initializes between parallel phases inside one loop: every
+// write textually precedes the launch, but iteration k+1's write runs after
+// iteration k's reads, so the position rule alone would lie.
+func loopPhases(c *Ctx) {
+	main := c.NewThread("main")
+	cent, _ := main.Alloc(64)
+	for it := 0; it < 3; it++ {
+		main.Store64(cent, uint64(it))
+		c.Parallel(2, "phase", func(t *Thread, id int) {
+			_ = t.Load64(cent)
+		})
+	}
+}
+
+// suppressed is provable but carries an ignore directive.
+func suppressed(c *Ctx) {
+	main := c.NewThread("main")
+	//predlint:ignore elide exercised by a mutating debug hook the prover cannot see
+	quiet, _ := main.Alloc(64)
+	main.Store64(quiet, 1)
+	c.Parallel(2, "quiet", func(t *Thread, id int) {
+		_ = t.Load64(quiet)
+	})
+}
+
+// paddedPair's concurrently-written fields already sit a full line apart:
+// the advisory (never-bound) padded proof.
+type paddedPair struct { // want `concurrently-written fields of paddedPair already sit on distinct 64-byte cache lines \(advisory: padding in place\)`
+	a uint64
+	_ [56]byte
+	b uint64
+	_ [56]byte
+}
+
+func bump(p *paddedPair, n int) {
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < n; i++ {
+			p.a++
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 0; i < n; i++ {
+			p.b++
+		}
+	}()
+	wg.Wait()
+}

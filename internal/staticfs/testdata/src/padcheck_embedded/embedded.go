@@ -1,0 +1,68 @@
+// Package embedded exercises padcheck on embedded structs: explicit-path
+// writes through an embedded field attribute to the inner type, while
+// promoted selections are skipped by design (attributing them correctly
+// needs the full embedding path).
+package embedded
+
+import "sync"
+
+// hotInner is written through wrapper's embedded field with the explicit
+// path w.hotInner.a — the write lands on hotInner itself.
+type hotInner struct { // want `concurrently-written fields a, b of hotInner share a 64-byte cache line`
+	a uint64
+	b uint64
+}
+
+type wrapper struct {
+	hotInner
+	tag uint64
+}
+
+func race(w *wrapper, n int) {
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < n; i++ {
+			w.hotInner.a++
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 0; i < n; i++ {
+			w.hotInner.b++
+		}
+	}()
+	wg.Wait()
+}
+
+// promoted is written only through promoted selections (h.x, not
+// h.promoted.x); those are skipped, so the type stays clean — the
+// documented attribution limit, not a detection promise.
+type promoted struct {
+	x uint64
+	y uint64
+}
+
+type holder struct {
+	promoted
+	tag uint64
+}
+
+func racePromoted(h *holder, n int) {
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < n; i++ {
+			h.x++
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 0; i < n; i++ {
+			h.y++
+		}
+	}()
+	wg.Wait()
+}

@@ -5,6 +5,7 @@ import (
 	"io"
 
 	"predator/internal/core"
+	"predator/internal/elide"
 	"predator/internal/mem"
 	"predator/internal/report"
 )
@@ -23,6 +24,9 @@ type ReplayResult struct {
 	// tolerated in salvage mode. Always 0 on a strict replay, which aborts
 	// on the first such error instead.
 	SemanticErrors uint64
+	// Elided counts access events dropped by the static elision fast path
+	// (zero without ReplayOptions.Elide).
+	Elided uint64
 }
 
 // ReplayOptions selects replay behavior beyond the runtime configuration.
@@ -37,6 +41,11 @@ type ReplayOptions struct {
 	// diagnostics server uses it to attach the runtime as its scrape
 	// source.
 	OnRuntime func(*core.Runtime)
+	// Elide, when non-nil, is a predlint elision manifest. Replay bypasses
+	// the instrumentation front-end, so the binder filters access events
+	// here, before they reach the runtime — with the same margin rule the
+	// harness applies, so elision never changes the replay's counts.
+	Elide *elide.Manifest
 }
 
 // Replay streams a trace through a fresh PREDATOR runtime configured with
@@ -83,6 +92,16 @@ func ReplayWithOptions(r io.Reader, cfg core.Config, opts ReplayOptions) (*Repla
 	// Observe the rebuilt heap before streaming events, so a replayed run
 	// produces the same allocation telemetry as the live run it recorded.
 	h.Observe(cfg.Observer)
+	var binder *elide.Binder
+	if opts.Elide != nil {
+		binder, err = elide.NewBinder(opts.Elide, h.Geometry(), elideMargin(cfg))
+		if err != nil {
+			return nil, fmt.Errorf("trace: elision manifest: %w", err)
+		}
+		// Attach before any OpAlloc/OpGlobal streams in: the heap hooks
+		// bind manifest entries to objects as the replay rebuilds them.
+		binder.Attach(h)
+	}
 	rt, err := core.NewRuntime(h, cfg)
 	if err != nil {
 		return nil, err
@@ -102,8 +121,16 @@ func ReplayWithOptions(r io.Reader, cfg core.Config, opts ReplayOptions) (*Repla
 		res.Events++
 		switch e.Op {
 		case OpRead:
+			if binder != nil && binder.Elidable(e.Addr, e.Size, false) {
+				res.Elided++
+				continue
+			}
 			rt.HandleAccess(int(e.TID), e.Addr, e.Size, false)
 		case OpWrite:
+			if binder != nil && binder.Elidable(e.Addr, e.Size, true) {
+				res.Elided++
+				continue
+			}
 			rt.HandleAccess(int(e.TID), e.Addr, e.Size, true)
 		case OpAlloc:
 			if err := h.ImportObject(mem.Object{Start: e.Addr, Size: e.Size, Thread: int(e.TID)}); err != nil {
@@ -140,6 +167,24 @@ func ReplayWithOptions(r io.Reader, cfg core.Config, opts ReplayOptions) (*Repla
 		res.Salvage = &stats
 	}
 	return res, nil
+}
+
+// elideMargin sizes the elision binder's keep-out margin in lines: the
+// largest prediction fusion factor minus one (mirroring the harness), so an
+// elided access can never share a physical or predicted virtual line with a
+// neighboring object.
+func elideMargin(cfg core.Config) int {
+	factors := cfg.LineSizeFactors
+	if len(factors) == 0 {
+		factors = []int{2}
+	}
+	max := 1
+	for _, f := range factors {
+		if f > max {
+			max = f
+		}
+	}
+	return max - 1
 }
 
 // Mirror subscribes a trace Writer to the heap's lifecycle hooks so every
