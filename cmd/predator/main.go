@@ -25,6 +25,7 @@ import (
 	"predator/internal/obs"
 	"predator/internal/obs/diag"
 	"predator/internal/obs/fleetclient"
+	"predator/internal/obs/spans"
 	"predator/internal/obs/traceout"
 	"predator/internal/report"
 	"predator/internal/resilience"
@@ -66,10 +67,10 @@ func main() {
 		maxVirtual = flag.Int("max-virtual-lines", 0, "resource governor budget for virtual lines (0 = unlimited)")
 		strict     = flag.Bool("strict", true, "panic on out-of-heap accesses (false: absorb them as recoverable faults)")
 		elidePath  = flag.String("elide", "", "predlint elision manifest (-elide-out): skip instrumentation on provably-safe objects")
-		diagAddr   = flag.String("diag-addr", "", "serve live diagnostics (metrics, hotlines, findings, pprof) on this host:port")
-		diagLinger = flag.Duration("diag-linger", 0, "keep the diagnostics server (and final runtime state) scrapeable this long after the run")
+		spansOut   = flag.String("spans-out", "", "write the pipeline span trace as OTLP/JSON to this file")
 		version    = flag.Bool("version", false, "print build version and exit")
 	)
+	diagFlags := diag.RegisterFlags(flag.CommandLine)
 	fleetFlags := fleetclient.RegisterFlags(flag.CommandLine)
 	flag.Parse()
 
@@ -153,7 +154,8 @@ func main() {
 		evSink   *obs.JSONLines
 		evFile   *os.File
 	)
-	if *metricsOut != "" || *eventsOut != "" || *diagAddr != "" {
+	if *metricsOut != "" || *eventsOut != "" || *spansOut != "" ||
+		diagFlags.Enabled() || fleetFlags.Enabled() {
 		var sink obs.Sink
 		if *eventsOut != "" {
 			f, err := os.Create(*eventsOut)
@@ -171,29 +173,40 @@ func main() {
 		opts.Observer = observer
 	}
 
+	// Pipeline span tracing: on whenever the spans have somewhere to go (a
+	// -spans-out file, the diag /spans endpoint, or the fleet). The tracer
+	// rides on the observer; the root span parents every phase of the run.
+	var (
+		tracer   *spans.Tracer
+		rootSpan *spans.Span
+	)
+	if *spansOut != "" || diagFlags.Enabled() || fleetFlags.Enabled() {
+		tracer = spans.New(spans.Config{Deterministic: *det})
+		observer.SetSpans(tracer)
+		rootSpan = tracer.Start("cli.run", nil)
+		rootSpan.SetLabel("tool", "predator")
+		rootSpan.SetLabel("workload", *workload)
+		opts.Span = rootSpan
+	}
+
 	// Live diagnostics server (opt-in): self-profiling on, build info
 	// exported, runtime attached as the scrape source as soon as the
 	// harness constructs it.
 	var diagSrv *diag.Server
-	if *diagAddr != "" {
+	if diagFlags.Enabled() {
 		observer.EnableSelfProfile()
 		build := obs.RegisterBuildInfo(observer.Metrics(), "predator")
 		diagSrv = diag.New(observer.Metrics(), "predator", build)
-		bound, err := diagSrv.Start(context.Background(), *diagAddr)
+		diagSrv.SetSpans(tracer)
+		bound, err := diagSrv.Start(context.Background(), *diagFlags.Addr)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "predator: %v\n", err)
 			os.Exit(1)
 		}
-		fmt.Printf("diagnostics: http://%s (metrics, hotlines, findings, timeline, debug/pprof)\n", bound)
-		defer func() {
-			if *diagLinger > 0 {
-				fmt.Printf("diagnostics: lingering %s for final scrapes\n", *diagLinger)
-				time.Sleep(*diagLinger)
-			}
-			sctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
-			defer cancel()
-			_ = diagSrv.Shutdown(sctx)
-		}()
+		fmt.Printf("diagnostics: http://%s (metrics, hotlines, findings, timeline, spans, debug/pprof)\n", bound)
+		defer diagFlags.ShutdownAfterLinger(diagSrv, func(format string, args ...any) {
+			fmt.Printf(format+"\n", args...)
+		})
 	}
 	hb := obs.StartHeartbeat(observer, *heartbeat, *metricsOut)
 
@@ -218,7 +231,7 @@ func main() {
 			if rt == nil {
 				return nil
 			}
-			mp := fleetclient.SnapshotRuntime(rt, 10, nil)
+			mp := fleetclient.SnapshotRuntime(rt, 10, observer.Metrics().Snapshot())
 			if mp != nil {
 				mp.Run = runID
 			}
@@ -256,8 +269,17 @@ func main() {
 		fmt.Fprintf(os.Stderr, "predator: %v\n", err)
 		os.Exit(1)
 	}
+	rootSpan.End()
 	hb.Stop()
 	stopOnInt()
+
+	if *spansOut != "" {
+		if err := spans.WriteOTLPFile(*spansOut, "predator", tracer.Snapshot()); err != nil {
+			fmt.Fprintf(os.Stderr, "predator: writing %s: %v\n", *spansOut, err)
+			os.Exit(1)
+		}
+		fmt.Printf("spans: %s (OTLP/JSON, trace %s)\n", *spansOut, tracer.TraceID())
+	}
 
 	if *timeline != "" {
 		switch {
@@ -306,10 +328,17 @@ func main() {
 			})
 		}
 		if rt := rtLive.Load(); rt != nil {
-			if mp := fleetclient.SnapshotRuntime(rt, 10, nil); mp != nil {
+			if mp := fleetclient.SnapshotRuntime(rt, 10, observer.Metrics().Snapshot()); mp != nil {
 				mp.Run = runID
 				_ = fc.SendMetrics(mp)
 			}
+		}
+		if tracer != nil {
+			_ = fc.SendSpans(&fleet.SpansPayload{
+				Run:     runID,
+				TraceID: tracer.TraceID().String(),
+				Spans:   tracer.Snapshot(),
+			})
 		}
 		if err := fc.Close(); err != nil {
 			fmt.Fprintf(os.Stderr, "predator: %v\n", err)

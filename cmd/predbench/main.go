@@ -23,6 +23,7 @@ import (
 	"predator/internal/obs"
 	"predator/internal/obs/diag"
 	"predator/internal/obs/fleetclient"
+	"predator/internal/obs/spans"
 	"predator/internal/obs/traceout"
 	"predator/internal/report"
 	"predator/internal/resilience"
@@ -50,9 +51,10 @@ func main() {
 		benchDet   = flag.Bool("bench-deterministic", false, "run evaluations under the deterministic scheduler (reproducible finding counts; required for a drift-free -bench-compare gate; excludes workloads that block across threads)")
 		elidePath  = flag.String("elide", "", "predlint elision manifest (-elide-out): skip instrumentation on provably-safe objects in every detection run")
 		timeline   = flag.String("timeline-out", "", "write the last run's flight-recorder timeline as Perfetto/Chrome trace-event JSON to this file")
-		diagAddr   = flag.String("diag-addr", "", "serve live diagnostics on this host:port; the scrape source follows each run the experiments perform")
+		spansOut   = flag.String("spans-out", "", "write the sweep's span trace (one eval.detect span per detection run) as OTLP/JSON to this file")
 		version    = flag.Bool("version", false, "print build version and exit")
 	)
+	diagFlags := diag.RegisterFlags(flag.CommandLine)
 	fleetFlags := fleetclient.RegisterFlags(flag.CommandLine)
 	flag.Parse()
 
@@ -77,7 +79,8 @@ func main() {
 
 	// Observability: one observer aggregates every run the experiments do.
 	var evSink *obs.JSONLines
-	if *metricsOut != "" || *eventsOut != "" || *diagAddr != "" {
+	if *metricsOut != "" || *eventsOut != "" || *spansOut != "" ||
+		diagFlags.Enabled() || fleetFlags.Enabled() {
 		var sink obs.Sink
 		if *eventsOut != "" {
 			f, err := os.Create(*eventsOut)
@@ -94,24 +97,38 @@ func main() {
 		cfg.Observer = obs.New(obs.NewRegistry(), sink)
 	}
 
+	// Sweep span tracing: one "cli.run" root; every detection run the
+	// experiments perform hangs its eval.detect/harness subtree off it.
+	var (
+		tracer   *spans.Tracer
+		rootSpan *spans.Span
+	)
+	if *spansOut != "" || diagFlags.Enabled() || fleetFlags.Enabled() {
+		tracer = spans.New(spans.Config{Deterministic: *benchDet})
+		cfg.Observer.SetSpans(tracer)
+		rootSpan = tracer.Start("cli.run", nil)
+		rootSpan.SetLabel("tool", "predbench")
+		rootSpan.SetLabel("experiment", *experiment)
+		cfg.Span = rootSpan
+	}
+
 	// Live diagnostics: the experiments run many successive runtimes; the
 	// OnRuntime hook re-points the server's scrape source at each one.
-	if *diagAddr != "" {
+	if diagFlags.Enabled() {
 		cfg.Observer.EnableSelfProfile()
 		build := obs.RegisterBuildInfo(cfg.Observer.Metrics(), "predbench")
 		diagSrv := diag.New(cfg.Observer.Metrics(), "predbench", build)
-		bound, err := diagSrv.Start(context.Background(), *diagAddr)
+		diagSrv.SetSpans(tracer)
+		bound, err := diagSrv.Start(context.Background(), *diagFlags.Addr)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "predbench: %v\n", err)
 			os.Exit(1)
 		}
 		fmt.Printf("diagnostics: http://%s\n", bound)
 		cfg.OnRuntime = diagSrv.SetRuntime
-		defer func() {
-			sctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
-			defer cancel()
-			_ = diagSrv.Shutdown(sctx)
-		}()
+		defer diagFlags.ShutdownAfterLinger(diagSrv, func(format string, args ...any) {
+			fmt.Printf(format+"\n", args...)
+		})
 	}
 
 	// Keep a handle on the most recent detection runtime: -timeline-out dumps
@@ -170,7 +187,7 @@ func main() {
 			if rt == nil {
 				return nil
 			}
-			mp := fleetclient.SnapshotRuntime(rt, 10, nil)
+			mp := fleetclient.SnapshotRuntime(rt, 10, cfg.Observer.Metrics().Snapshot())
 			if mp != nil {
 				mp.Run = runID
 			}
@@ -222,6 +239,7 @@ func main() {
 	if (*benchJSON != "" || *benchComp != "") && !expSet {
 		*experiment = "bench"
 	}
+	rootSpan.SetLabel("experiment", *experiment)
 
 	want := func(name string) bool { return *experiment == "all" || *experiment == name }
 	ran := false
@@ -416,6 +434,15 @@ func main() {
 		fmt.Printf("timeline: %s (load in ui.perfetto.dev)\n", *timeline)
 	}
 
+	rootSpan.End()
+	if *spansOut != "" {
+		if err := spans.WriteOTLPFile(*spansOut, "predbench", tracer.Snapshot()); err != nil {
+			fmt.Fprintf(os.Stderr, "predbench: writing %s: %v\n", *spansOut, err)
+			os.Exit(1)
+		}
+		fmt.Printf("spans: %s (OTLP/JSON, trace %s)\n", *spansOut, tracer.TraceID())
+	}
+
 	// Ship the sweep to the fleet: every collected report as one run (plus
 	// the benchmark document when -bench-json produced one), a final metrics
 	// snapshot, then drain the exporter.
@@ -431,10 +458,17 @@ func main() {
 			Bench:   benchDoc,
 		})
 		if rt := rtLive.Load(); rt != nil {
-			if mp := fleetclient.SnapshotRuntime(rt, 10, nil); mp != nil {
+			if mp := fleetclient.SnapshotRuntime(rt, 10, cfg.Observer.Metrics().Snapshot()); mp != nil {
 				mp.Run = runID
 				_ = fc.SendMetrics(mp)
 			}
+		}
+		if tracer != nil {
+			_ = fc.SendSpans(&fleet.SpansPayload{
+				Run:     runID,
+				TraceID: tracer.TraceID().String(),
+				Spans:   tracer.Snapshot(),
+			})
 		}
 		if err := fc.Close(); err != nil {
 			fmt.Fprintf(os.Stderr, "predbench: %v\n", err)

@@ -30,6 +30,7 @@ import (
 	"predator/internal/obs"
 	"predator/internal/obs/diag"
 	"predator/internal/obs/fleetclient"
+	"predator/internal/obs/spans"
 	"predator/internal/obs/traceout"
 	"predator/internal/report"
 	"predator/internal/resilience"
@@ -65,9 +66,10 @@ func main() {
 		timeline   = flag.String("timeline-out", "", "replay: write the flight-recorder timeline as Perfetto/Chrome trace-event JSON to this file")
 		flightN    = flag.Int("flight-depth", 0, "replay: flight recorder ring depth per tracked line (0 = default, -1 = disable)")
 		elidePath  = flag.String("elide", "", "replay: predlint elision manifest (-elide-out): drop provably-safe access events before the runtime")
-		diagAddr   = flag.String("diag-addr", "", "replay: serve live diagnostics (metrics, hotlines, findings, timeline, pprof) on this host:port")
+		spansOut   = flag.String("spans-out", "", "replay: write the replay pipeline span trace as OTLP/JSON to this file")
 		version    = flag.Bool("version", false, "print build version and exit")
 	)
+	diagFlags := diag.RegisterFlags(flag.CommandLine)
 	fleetFlags := fleetclient.RegisterFlags(flag.CommandLine)
 	flag.Parse()
 
@@ -101,7 +103,8 @@ func main() {
 			metricsOut:    *metricsOut,
 			eventsOut:     *eventsOut,
 			timelineOut:   *timeline,
-			diagAddr:      *diagAddr,
+			spansOut:      *spansOut,
+			diag:          diagFlags,
 			fleet:         fleetFlags,
 		}
 		if *elidePath != "" {
@@ -185,7 +188,8 @@ type replayOptions struct {
 	metricsOut    string
 	eventsOut     string
 	timelineOut   string // Perfetto timeline destination, "" = off
-	diagAddr      string // live diagnostics listen address, "" = off
+	spansOut      string // OTLP/JSON span trace destination, "" = off
+	diag          *diag.Flags
 	fleet         *fleetclient.Flags
 	elide         *elide.Manifest // elision manifest, nil = off
 }
@@ -203,7 +207,8 @@ func doReplay(path string, cfg core.Config, opts replayOptions) error {
 	defer f.Close()
 
 	var evSink *obs.JSONLines
-	if opts.metricsOut != "" || opts.eventsOut != "" || opts.diagAddr != "" {
+	if opts.metricsOut != "" || opts.eventsOut != "" || opts.spansOut != "" ||
+		opts.diag.Enabled() || opts.fleet.Enabled() {
 		var sink obs.Sink
 		if opts.eventsOut != "" {
 			ef, err := os.Create(opts.eventsOut)
@@ -220,15 +225,33 @@ func doReplay(path string, cfg core.Config, opts replayOptions) error {
 	}
 
 	ropts := trace.ReplayOptions{Salvage: opts.salvage, Elide: opts.elide}
+
+	// Replay span tracing: replays are deterministic by construction, so the
+	// tracer always runs in deterministic-ID mode and two replays of the same
+	// trace produce the same span tree.
+	var (
+		tracer   *spans.Tracer
+		rootSpan *spans.Span
+	)
+	if opts.spansOut != "" || opts.diag.Enabled() || opts.fleet.Enabled() {
+		tracer = spans.New(spans.Config{Deterministic: true})
+		cfg.Observer.SetSpans(tracer)
+		rootSpan = tracer.Start("cli.run", nil)
+		rootSpan.SetLabel("tool", "predreplay")
+		rootSpan.SetLabel("trace_file", filepath.Base(path))
+		ropts.Span = rootSpan
+	}
+
 	// The timeline dump and the fleet exporter both need the replay runtime
 	// after the stream finishes.
 	var rtRef *core.Runtime
 	ropts.OnRuntime = func(rt *core.Runtime) { rtRef = rt }
-	if opts.diagAddr != "" {
+	if opts.diag.Enabled() {
 		cfg.Observer.EnableSelfProfile()
 		build := obs.RegisterBuildInfo(cfg.Observer.Metrics(), "predreplay")
 		diagSrv := diag.New(cfg.Observer.Metrics(), "predreplay", build)
-		bound, err := diagSrv.Start(context.Background(), opts.diagAddr)
+		diagSrv.SetSpans(tracer)
+		bound, err := diagSrv.Start(context.Background(), *opts.diag.Addr)
 		if err != nil {
 			return err
 		}
@@ -240,11 +263,9 @@ func doReplay(path string, cfg core.Config, opts replayOptions) error {
 			}
 			diagSrv.SetRuntime(rt)
 		}
-		defer func() {
-			sctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
-			defer cancel()
-			_ = diagSrv.Shutdown(sctx)
-		}()
+		defer opts.diag.ShutdownAfterLinger(diagSrv, func(format string, args ...any) {
+			fmt.Printf(format+"\n", args...)
+		})
 	}
 
 	// An interrupted replay still flushes the buffered event sink and a final
@@ -303,6 +324,13 @@ func doReplay(path string, cfg core.Config, opts replayOptions) error {
 		}
 		fmt.Printf("timeline: %s (load in ui.perfetto.dev)\n", opts.timelineOut)
 	}
+	rootSpan.End()
+	if opts.spansOut != "" {
+		if err := spans.WriteOTLPFile(opts.spansOut, "predreplay", tracer.Snapshot()); err != nil {
+			return err
+		}
+		fmt.Printf("spans: %s (OTLP/JSON, trace %s)\n", opts.spansOut, tracer.TraceID())
+	}
 	fmt.Printf("replayed %d events in %s; %d threads named\n",
 		res.Events, time.Since(start).Round(time.Millisecond), len(res.Threads))
 	fmt.Printf("tracked-lines=%d virtual-lines=%d invalidations=%d virtual-invalidations=%d sampled=%d elided=%d\n",
@@ -338,10 +366,17 @@ func doReplay(path string, cfg core.Config, opts replayOptions) error {
 			Reports: map[string]report.JSONReport{meta.Workload: res.Report.ToJSON()},
 		})
 		if rtRef != nil {
-			if mp := fleetclient.SnapshotRuntime(rtRef, 10, nil); mp != nil {
+			if mp := fleetclient.SnapshotRuntime(rtRef, 10, cfg.Observer.Metrics().Snapshot()); mp != nil {
 				mp.Run = runID
 				_ = fc.SendMetrics(mp)
 			}
+		}
+		if tracer != nil {
+			_ = fc.SendSpans(&fleet.SpansPayload{
+				Run:     runID,
+				TraceID: tracer.TraceID().String(),
+				Spans:   tracer.Snapshot(),
+			})
 		}
 		if err := fc.Close(); err != nil {
 			fmt.Fprintf(os.Stderr, "predreplay: %v\n", err)

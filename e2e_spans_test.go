@@ -1,0 +1,173 @@
+package predator_test
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestE2EFindingToTraceWaterfall exercises the whole span-propagation path
+// through the real binaries: predator runs a workload with fleet streaming
+// on, ships its findings and its span trace to a live predfleet, and every
+// ingested finding can then be followed — finding provenance span_id →
+// /api/v1/traces detail containing that span → the /dash waterfall page for
+// the same trace.
+func TestE2EFindingToTraceWaterfall(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs the CLIs")
+	}
+	tmp := t.TempDir()
+	build := func(name, pkg string) string {
+		t.Helper()
+		bin := filepath.Join(tmp, name)
+		cmd := exec.Command("go", "build", "-o", bin, pkg)
+		if out, err := cmd.CombinedOutput(); err != nil {
+			t.Fatalf("go build %s: %v\n%s", pkg, err, out)
+		}
+		return bin
+	}
+	predatorBin := build("predator", "./cmd/predator")
+	fleetBin := build("predfleet", "./cmd/predfleet")
+
+	// Boot predfleet on a free port and scrape the bound address off stdout.
+	fleetCmd := exec.Command(fleetBin,
+		"-addr", "127.0.0.1:0",
+		"-store", filepath.Join(tmp, "store"),
+		"-tokens", "acme=s3cret",
+		"-no-sync")
+	stdout, err := fleetCmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fleetCmd.Stderr = os.Stderr
+	if err := fleetCmd.Start(); err != nil {
+		t.Fatalf("starting predfleet: %v", err)
+	}
+	defer func() {
+		_ = fleetCmd.Process.Signal(os.Interrupt)
+		done := make(chan struct{})
+		go func() { _ = fleetCmd.Wait(); close(done) }()
+		select {
+		case <-done:
+		case <-time.After(10 * time.Second):
+			_ = fleetCmd.Process.Kill()
+			<-done
+		}
+	}()
+	var base string
+	sc := bufio.NewScanner(stdout)
+	bootRE := regexp.MustCompile(`serving on (http://[^ ]+) `)
+	for sc.Scan() {
+		if m := bootRE.FindStringSubmatch(sc.Text()); m != nil {
+			base = m[1]
+			break
+		}
+	}
+	if base == "" {
+		t.Fatalf("predfleet never announced its address (scan err: %v)", sc.Err())
+	}
+	go io.Copy(io.Discard, stdout) // keep the pipe drained
+
+	// One agent run with fleet streaming on: the tracer rides along
+	// automatically and ships its snapshot beside the findings.
+	const runID = "e2erun"
+	agent := exec.Command(predatorBin,
+		"-workload", "histogram", "-threads", "4", "-mode", "predict",
+		"-fleet-addr", strings.TrimPrefix(base, "http://"),
+		"-fleet-token", "s3cret",
+		"-fleet-project", "db",
+		"-fleet-run", runID)
+	if out, err := agent.CombinedOutput(); err != nil {
+		t.Fatalf("predator run: %v\n%s", err, out)
+	}
+
+	get := func(path string) []byte {
+		t.Helper()
+		req, err := http.NewRequest(http.MethodGet, base+path, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		req.Header.Set("Authorization", "Bearer s3cret")
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s = %d (%s)", path, resp.StatusCode, body)
+		}
+		return body
+	}
+
+	// 1. The ingested findings carry provenance span IDs.
+	var findings struct {
+		Count    int `json:"count"`
+		Findings []struct {
+			Provenance *struct {
+				SpanID string `json:"span_id"`
+			} `json:"provenance"`
+		} `json:"findings"`
+	}
+	if err := json.Unmarshal(get("/api/v1/findings?project=db"), &findings); err != nil {
+		t.Fatalf("findings decode: %v", err)
+	}
+	if findings.Count == 0 {
+		t.Fatal("no findings ingested")
+	}
+	var spanID string
+	for _, f := range findings.Findings {
+		if f.Provenance != nil && f.Provenance.SpanID != "" {
+			spanID = f.Provenance.SpanID
+			break
+		}
+	}
+	if spanID == "" {
+		t.Fatal("no ingested finding carries a provenance span_id")
+	}
+
+	// 2. The run handle resolves to the agent-side trace, and the finding's
+	// span is in it.
+	var traces struct {
+		Trace *struct {
+			TraceID string `json:"trace_id"`
+			Spans   []struct {
+				SpanID string `json:"span_id"`
+				Name   string `json:"name"`
+			} `json:"spans"`
+		} `json:"trace"`
+	}
+	if err := json.Unmarshal(get("/api/v1/traces?project=db&id="+runID), &traces); err != nil {
+		t.Fatalf("traces decode: %v", err)
+	}
+	if traces.Trace == nil || len(traces.Trace.Spans) == 0 {
+		t.Fatal("run handle did not resolve to a span trace")
+	}
+	found := false
+	for _, s := range traces.Trace.Spans {
+		if s.SpanID == spanID {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Fatalf("finding's span %s not present in the run's trace %s", spanID, traces.Trace.TraceID)
+	}
+
+	// 3. The dashboard waterfall for that trace renders.
+	page := string(get(fmt.Sprintf("/dash/db/trace/%s?token=s3cret", traces.Trace.TraceID)))
+	for _, want := range []string{"<svg", "cli.run", "harness.workload"} {
+		if !strings.Contains(page, want) {
+			t.Fatalf("waterfall missing %q:\n%s", want, page)
+		}
+	}
+}

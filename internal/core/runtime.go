@@ -28,6 +28,7 @@ import (
 	"predator/internal/mem"
 	"predator/internal/obs"
 	"predator/internal/obs/flight"
+	"predator/internal/obs/spans"
 	"predator/internal/predict"
 	"predator/internal/report"
 	"predator/internal/resilience"
@@ -164,6 +165,12 @@ type Runtime struct {
 	vactive       atomic.Bool     // fast-path gate: any virtual lines registered?
 	predictedBits []atomic.Uint32 // one bit per line: hot-pair search already ran
 
+	// Span tracing: parent is the enclosing pipeline span detector-phase
+	// spans (predict.search, report.collect) nest under. The harness swaps
+	// it at phase boundaries via SetSpan; nil (or a nil observer tracer)
+	// leaves the detector span-free.
+	spanParent atomic.Pointer[spans.Span]
+
 	// Flight recording (tentpole: causal timeline tracing). fclock is nil
 	// when FlightDepth == FlightDisabled; otherwise every promoted line and
 	// registered virtual line is armed with a ring of fdepth slots on this
@@ -291,6 +298,20 @@ func NewRuntime(h *mem.Heap, cfg Config) (*Runtime, error) {
 
 // Heap returns the runtime's heap.
 func (rt *Runtime) Heap() *mem.Heap { return rt.heap }
+
+// SetSpan installs the pipeline span that detector-phase spans (prediction
+// searches, report generation) nest under. The harness points it at the
+// workload span for the run's duration and at the run span for the final
+// report. Nil detaches.
+func (rt *Runtime) SetSpan(s *spans.Span) { rt.spanParent.Store(s) }
+
+// tracer returns the observer's span tracer (nil when tracing is off).
+func (rt *Runtime) tracer() *spans.Tracer {
+	if rt.obs == nil {
+		return nil
+	}
+	return rt.obs.Spans()
+}
 
 // Config returns the runtime's configuration.
 func (rt *Runtime) Config() Config { return rt.cfg }
@@ -512,10 +533,15 @@ func (rt *Runtime) runPrediction(line uint64, track *detect.Track) {
 	if rt.obs != nil {
 		start = time.Now()
 	}
+	psp := rt.tracer().Start("predict.search", rt.spanParent.Load())
+	psp.SetAttr("line", line)
 	tickStart := rt.fclock.Now()
+	var pairs int
 	pprof.Do(context.Background(), pprof.Labels("predator_phase", "prediction"),
-		func(context.Context) { rt.predictLine(line, track) })
+		func(context.Context) { pairs = rt.predictLine(line, track) })
 	rt.notePhase("prediction", line, tickStart)
+	psp.SetAttr("hot_pairs", uint64(pairs))
+	psp.End()
 	if rt.obs != nil {
 		rt.predictH.Observe(time.Since(start).Seconds())
 	}
@@ -550,15 +576,17 @@ func (rt *Runtime) phaseSpans() []flight.PhaseSpan {
 }
 
 // predictLine is runPrediction's body: the §3.3 hot-pair search over the
-// line and its neighbours.
-func (rt *Runtime) predictLine(line uint64, track *detect.Track) {
+// line and its neighbours. It returns how many hot pairs it found.
+func (rt *Runtime) predictLine(line uint64, track *detect.Track) int {
 	registered := false
+	pairs := 0
 	for _, adj := range []uint64{line - 1, line + 1} {
 		if adj >= rt.mapping.Lines() { // also catches line-1 underflow at line 0
 			continue
 		}
 		adjTrack := rt.sh.Track(adj)
 		for _, pair := range predict.FindPairsFused(track, adjTrack, rt.geom, rt.cfg.fuseFactors()) {
+			pairs++
 			rt.hotPairsC.Inc()
 			if rt.obs.Tracing() {
 				rt.obs.Emit(obs.Event{Type: obs.EvHotPair, Line: line,
@@ -573,6 +601,7 @@ func (rt *Runtime) predictLine(line uint64, track *detect.Track) {
 	if registered {
 		rt.vactive.Store(true)
 	}
+	return pairs
 }
 
 // onFree recycles shadow metadata for the freed object's lines: a line is
@@ -660,10 +689,13 @@ func (rt *Runtime) Report() *report.Report {
 		began = time.Now()
 	}
 	var rep *report.Report
+	rsp := rt.tracer().Start("report.collect", rt.spanParent.Load())
 	tickStart := rt.fclock.Now()
 	pprof.Do(context.Background(), pprof.Labels("predator_phase", "report"),
-		func(context.Context) { rep = rt.collectReport(true) })
+		func(context.Context) { rep = rt.collectReport(true, rsp) })
 	rt.notePhase("report", 0, tickStart)
+	rsp.SetAttr("findings", uint64(len(rep.Findings)))
+	rsp.End()
 	if rt.obs != nil {
 		rt.reportH.Observe(time.Since(began).Seconds())
 		if rt.obs.Tracing() {
@@ -679,14 +711,17 @@ func (rt *Runtime) Report() *report.Report {
 // repeatedly during a live run — the diagnostics server serves it from
 // /findings — and leaves the eventual final Report unchanged.
 func (rt *Runtime) Provisional() *report.Report {
-	return rt.collectReport(false)
+	return rt.collectReport(false, nil)
 }
 
 // collectReport walks the tracked and virtual lines and distills findings.
 // final gates the mutating and emitting behaviour reserved for the one
 // end-of-run Report: quarantining falsely-shared objects, verification
-// events, and the line-invalidation histogram.
-func (rt *Runtime) collectReport(final bool) *report.Report {
+// events, and the line-invalidation histogram. sp, when non-nil, is the
+// enclosing report span: verification outcomes are counted on it, and every
+// finding's provenance is stamped with its span ID so a fleet finding links
+// back to the agent-side trace.
+func (rt *Runtime) collectReport(final bool, sp *spans.Span) *report.Report {
 	rt.flushMetrics()
 	rep := &report.Report{Geometry: rt.geom}
 
@@ -717,6 +752,11 @@ func (rt *Runtime) collectReport(final bool) *report.Report {
 
 	// Predicted findings: verified virtual lines above the threshold.
 	for _, v := range rt.vreg.Tracks() {
+		if v.Invalidations() >= rt.cfg.ReportThreshold {
+			sp.AddAttr("verified", 1)
+		} else {
+			sp.AddAttr("rejected", 1)
+		}
 		if final && rt.obs.Tracing() {
 			phase := "rejected"
 			if v.Invalidations() >= rt.cfg.ReportThreshold {
@@ -747,6 +787,14 @@ func (rt *Runtime) collectReport(final bool) *report.Report {
 
 	rep.Degraded = rt.degradedLines.Load() > 0 || rt.vreg.Rejected() > 0
 	rep.Rank()
+
+	if id := sp.ID(); !id.IsZero() {
+		for _, f := range rep.Findings {
+			if f.Provenance != nil {
+				f.Provenance.SpanID = id.String()
+			}
+		}
+	}
 
 	if final {
 		// Quarantine falsely-shared objects against reuse.

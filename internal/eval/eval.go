@@ -26,6 +26,7 @@ import (
 	"predator/internal/elide"
 	"predator/internal/harness"
 	"predator/internal/obs"
+	"predator/internal/obs/spans"
 )
 
 // Config parameterizes an evaluation run.
@@ -56,6 +57,10 @@ type Config struct {
 	// detection run (never to Original-mode timing, which has no
 	// instrumentation to skip).
 	Elide *elide.Manifest
+	// Span, when non-nil, is the parent span every detection run's
+	// eval.detect span nests under — typically the CLI's root span. The
+	// tracer itself rides on Observer (obs.SetSpans).
+	Span *spans.Span
 }
 
 // Default returns the evaluation configuration scaled for the test-sized
@@ -221,6 +226,9 @@ func detect(cfg Config, workload string, mode harness.Mode, buggy bool, offset u
 		return nil, fmt.Errorf("eval: unknown workload %q", workload)
 	}
 	rc := cfg.Runtime
+	dsp := cfg.Observer.Spans().Start("eval.detect", cfg.Span)
+	dsp.SetLabel("workload", workload)
+	dsp.SetLabel("mode", mode.String())
 	res, err := harness.Execute(w, harness.Options{
 		Mode:          mode,
 		Threads:       cfg.Threads,
@@ -232,7 +240,12 @@ func detect(cfg Config, workload string, mode harness.Mode, buggy bool, offset u
 		OnRuntime:     cfg.OnRuntime,
 		Deterministic: cfg.Deterministic,
 		Elide:         cfg.Elide,
+		Span:          dsp,
 	})
+	if err == nil && res.Report != nil {
+		dsp.SetAttr("findings", uint64(len(res.Report.Findings)))
+	}
+	dsp.End()
 	if err == nil && cfg.OnResult != nil {
 		cfg.OnResult(workload, mode, res)
 	}

@@ -19,6 +19,7 @@ const (
 	SeriesFindings      = "findings"
 	SeriesFalseSharing  = "false_sharing"
 	SeriesSlowdown      = "slowdown_ratio"
+	SeriesElideRate     = "elided_per_sec"
 )
 
 // ScopeKey is the tsdb project key for one tenant's project: tenants must
@@ -42,6 +43,7 @@ type agentCursor struct {
 	unixMs        int64
 	invalidations uint64
 	accesses      uint64
+	elided        uint64
 }
 
 // NewCollector builds a collector feeding db.
@@ -70,12 +72,14 @@ func (c *Collector) ObserveMetrics(tenant string, mp *MetricsPayload, recvMs int
 		unixMs:        recvMs,
 		invalidations: mp.Stats.Invalidations,
 		accesses:      mp.Stats.Accesses,
+		elided:        mp.Stats.Elided,
 	}
 	c.mu.Unlock()
 	if !ok || recvMs <= prev.unixMs {
 		return
 	}
-	if mp.Stats.Invalidations < prev.invalidations || mp.Stats.Accesses < prev.accesses {
+	if mp.Stats.Invalidations < prev.invalidations || mp.Stats.Accesses < prev.accesses ||
+		mp.Stats.Elided < prev.elided {
 		return // counter reset: the agent restarted between snapshots
 	}
 	dt := float64(recvMs-prev.unixMs) / 1000.0
@@ -83,6 +87,8 @@ func (c *Collector) ObserveMetrics(tenant string, mp *MetricsPayload, recvMs int
 		float64(mp.Stats.Invalidations-prev.invalidations)/dt)
 	c.db.Append(scope, SeriesAccessRate, recvMs,
 		float64(mp.Stats.Accesses-prev.accesses)/dt)
+	c.db.Append(scope, SeriesElideRate, recvMs,
+		float64(mp.Stats.Elided-prev.elided)/dt)
 }
 
 // ObserveRun folds one ingested findings run: per-run counts plus, when the

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"predator/internal/fleet/tsdb"
+	"predator/internal/obs/spans"
 )
 
 // The embedded dashboard: server-rendered HTML with inline SVG sparklines,
@@ -28,6 +29,7 @@ var dashSeries = []struct{ name, title string }{
 	{SeriesSlowdown, "bench slowdown ratio"},
 	{SeriesInvalRate, "invalidations/sec"},
 	{SeriesAccessRate, "accesses/sec"},
+	{SeriesElideRate, "elided accesses/sec"},
 	{SeriesTrackedLines, "tracked lines"},
 	{SeriesDegradedLines, "degraded lines"},
 }
@@ -95,9 +97,18 @@ func (s *Server) handleDashIndex(tenant string, r *http.Request, buf *bytes.Buff
 }
 
 // handleDashProject renders /dash/{project}: alerts, series sparklines, run
-// history, and the hottest-lines heatmap.
+// history, and the hottest-lines heatmap. Trace waterfalls live one level
+// down at /dash/{project}/trace/{id} ({id} a trace ID or run ID).
 func (s *Server) handleDashProject(tenant string, r *http.Request, buf *bytes.Buffer) (string, error) {
 	raw := strings.TrimPrefix(r.URL.Path, "/dash/")
+	if parts := strings.Split(raw, "/"); len(parts) == 3 && parts[1] == "trace" {
+		project, perr := url.PathUnescape(parts[0])
+		id, ierr := url.PathUnescape(parts[2])
+		if perr != nil || ierr != nil || project == "" || id == "" {
+			return "", &httpError{http.StatusNotFound, "unknown dashboard page"}
+		}
+		return s.dashTrace(tenant, project, id, r.URL.Query().Get("token"), buf)
+	}
 	project, err := url.PathUnescape(raw)
 	if err != nil || project == "" || strings.Contains(project, "/") {
 		return "", &httpError{http.StatusNotFound, "unknown dashboard page"}
@@ -155,8 +166,237 @@ func (s *Server) handleDashProject(tenant string, r *http.Request, buf *bytes.Bu
 		fmt.Fprintln(buf, "</table>")
 		dashHeatmap(buf, runs)
 	}
+
+	// Span traces: one row per ingested snapshot, linking to the waterfall.
+	if traces := s.store.Traces(tenant, project, dashHeatmapRuns); len(traces) > 0 {
+		fmt.Fprintln(buf, "<h2>traces</h2>")
+		fmt.Fprintln(buf, "<table><tr><th>trace</th><th>run</th><th>agent</th><th>tool</th><th>root</th><th>spans</th><th>duration</th></tr>")
+		for _, ti := range traces {
+			fmt.Fprintf(buf, "<tr><td><a href=\"%s\">%s</a></td><td>%s</td><td>%s</td><td>%s</td><td>%s</td><td>%d</td><td>%s</td></tr>\n",
+				dashLink("/dash/"+url.PathEscape(project)+"/trace/"+url.PathEscape(ti.TraceID), tok),
+				html.EscapeString(ti.TraceID), html.EscapeString(ti.Run),
+				html.EscapeString(ti.Agent), html.EscapeString(ti.Tool),
+				html.EscapeString(ti.Root), ti.Spans, dashDuration(ti.DurationNs))
+		}
+		fmt.Fprintln(buf, "</table>")
+	}
 	fmt.Fprintln(buf, "</body></html>")
 	return "text/html; charset=utf-8", nil
+}
+
+// Waterfall layout constants: row height and label gutter in SVG units.
+const (
+	wfRowH   = 22
+	wfGutter = 260
+	wfWidth  = 900
+	wfMax    = 200 // rows rendered before the view truncates
+)
+
+// wfPalette colors waterfall bars by phase family (the prefix before the
+// first dot), so every predict.search bar reads the same at a glance.
+var wfPalette = map[string]string{
+	"harness": "#2b6cb0",
+	"eval":    "#6cb6ff",
+	"elide":   "#8957e5",
+	"sched":   "#8b949e",
+	"predict": "#d29922",
+	"report":  "#3fb950",
+	"replay":  "#f0883e",
+}
+
+// dashTrace renders /dash/{project}/trace/{id}: the span waterfall — one bar
+// per span positioned on the run's monotonic timeline, nested depth-first
+// with children indented under parents in logical-clock order, and each
+// span's attribute counters (the overhead attribution) in the label column.
+func (s *Server) dashTrace(tenant, project, id, tok string, buf *bytes.Buffer) (string, error) {
+	sp, err := s.store.TraceSpans(tenant, project, id)
+	if err != nil {
+		return "", &httpError{http.StatusNotFound, "trace " + id + " not found in project " + project}
+	}
+	dashHead(buf, "predfleet — trace "+sp.TraceID)
+	fmt.Fprintf(buf, "<h1><a href=\"%s\">predfleet</a> / <a href=\"%s\">%s</a> / trace</h1>\n",
+		dashLink("/dash", tok), dashLink("/dash/"+url.PathEscape(project), tok), html.EscapeString(project))
+	fmt.Fprintf(buf, "<div class=cards><div class=card><div class=t>trace</div><div class=v>%s</div></div>"+
+		"<div class=card><div class=t>run</div><div class=v>%s</div></div>"+
+		"<div class=card><div class=t>agent</div><div class=v>%s</div></div>"+
+		"<div class=card><div class=t>spans</div><div class=v>%d</div></div></div>\n",
+		html.EscapeString(sp.TraceID), html.EscapeString(sp.Run),
+		html.EscapeString(sp.Agent), len(sp.Spans))
+	wfRender(buf, sp.Spans)
+	fmt.Fprintln(buf, "</body></html>")
+	return "text/html; charset=utf-8", nil
+}
+
+// wfRow is one laid-out waterfall row.
+type wfRow struct {
+	d     *spans.Data
+	depth int
+}
+
+// wfRender lays out and draws the waterfall SVG.
+func wfRender(buf *bytes.Buffer, data []spans.Data) {
+	if len(data) == 0 {
+		fmt.Fprintln(buf, "<p class=muted>trace has no spans</p>")
+		return
+	}
+	// Build the tree: children grouped by parent, ordered by start tick (the
+	// wire order already is, but re-sorting keeps damaged uploads renderable).
+	children := map[string][]*spans.Data{}
+	byID := map[string]bool{}
+	for i := range data {
+		byID[data[i].SpanID] = true
+	}
+	var roots []*spans.Data
+	for i := range data {
+		d := &data[i]
+		if d.Parent != "" && byID[d.Parent] {
+			children[d.Parent] = append(children[d.Parent], d)
+		} else {
+			roots = append(roots, d)
+		}
+	}
+	less := func(a, b *spans.Data) bool {
+		if a.StartTick != b.StartTick {
+			return a.StartTick < b.StartTick
+		}
+		return a.SpanID < b.SpanID
+	}
+	sort.Slice(roots, func(i, j int) bool { return less(roots[i], roots[j]) })
+	for _, kids := range children {
+		sort.Slice(kids, func(i, j int) bool { return less(kids[i], kids[j]) })
+	}
+	var rows []wfRow
+	var walk func(d *spans.Data, depth int)
+	walk = func(d *spans.Data, depth int) {
+		rows = append(rows, wfRow{d: d, depth: depth})
+		for _, c := range children[d.SpanID] {
+			walk(c, depth+1)
+		}
+	}
+	for _, rt := range roots {
+		walk(rt, 0)
+	}
+	truncated := 0
+	if len(rows) > wfMax {
+		truncated = len(rows) - wfMax
+		rows = rows[:wfMax]
+	}
+	// Timeline bounds over the rendered rows.
+	t0, t1 := rows[0].d.StartMonoNano, rows[0].d.EndMonoNano
+	for _, rw := range rows {
+		if rw.d.StartMonoNano < t0 {
+			t0 = rw.d.StartMonoNano
+		}
+		if rw.d.EndMonoNano > t1 {
+			t1 = rw.d.EndMonoNano
+		}
+	}
+	span := float64(t1 - t0)
+	if span <= 0 {
+		span = 1
+	}
+	laneW := float64(wfWidth - wfGutter)
+	x := func(ns int64) float64 { return float64(wfGutter) + float64(ns-t0)/span*laneW }
+	h := len(rows)*wfRowH + 8
+	fmt.Fprintln(buf, "<h2>waterfall</h2>")
+	fmt.Fprintf(buf, `<svg width="%d" height="%d" viewBox="0 0 %d %d" xmlns="http://www.w3.org/2000/svg" font-family="monospace" font-size="12">`+"\n",
+		wfWidth, h, wfWidth, h)
+	for i, rw := range rows {
+		d := rw.d
+		y := float64(i*wfRowH + 4)
+		color, ok := wfPalette[wfFamily(d.Name)]
+		if !ok {
+			color = "#6e7681"
+		}
+		bx0, bx1 := x(d.StartMonoNano), x(d.EndMonoNano)
+		if bx1-bx0 < 2 {
+			bx1 = bx0 + 2 // a zero-width bar still has to be visible
+		}
+		fmt.Fprintf(buf, `<rect x="%.1f" y="%.1f" width="%.1f" height="%d" rx="2" fill="%s"><title>%s</title></rect>`+"\n",
+			bx0, y, bx1-bx0, wfRowH-8, color, html.EscapeString(wfTitle(d)))
+		label := strings.Repeat(" ", rw.depth*2) + d.Name
+		fmt.Fprintf(buf, `<text x="4" y="%.1f" fill="#d7dde4">%s</text>`+"\n",
+			y+float64(wfRowH)/2, html.EscapeString(label))
+		fmt.Fprintf(buf, `<text x="%.1f" y="%.1f" fill="#8b949e">%s</text>`+"\n",
+			bx1+4, y+float64(wfRowH)/2, html.EscapeString(dashDuration(d.Duration().Nanoseconds())))
+	}
+	fmt.Fprintln(buf, "</svg>")
+	if truncated > 0 {
+		fmt.Fprintf(buf, "<p class=muted>%d more spans not shown</p>\n", truncated)
+	}
+	// Attribute table: the per-span overhead attribution counters.
+	fmt.Fprintln(buf, "<h2>span attributes</h2>")
+	fmt.Fprintln(buf, "<table><tr><th>span</th><th>labels</th><th>counters</th><th>duration</th></tr>")
+	for _, rw := range rows {
+		d := rw.d
+		fmt.Fprintf(buf, "<tr><td>%s%s</td><td>%s</td><td>%s</td><td>%s</td></tr>\n",
+			strings.Repeat(" ", rw.depth*2), html.EscapeString(d.Name),
+			html.EscapeString(wfKVString(d.Labels)), html.EscapeString(wfCounterString(d.Attrs)),
+			dashDuration(d.Duration().Nanoseconds()))
+	}
+	fmt.Fprintln(buf, "</table>")
+}
+
+// wfFamily extracts the span name's phase family ("predict.search" → "predict").
+func wfFamily(name string) string {
+	if i := strings.IndexByte(name, '.'); i > 0 {
+		return name[:i]
+	}
+	return name
+}
+
+// wfTitle renders a bar's hover tooltip.
+func wfTitle(d *spans.Data) string {
+	parts := []string{d.Name, dashDuration(d.Duration().Nanoseconds())}
+	if s := wfKVString(d.Labels); s != "" {
+		parts = append(parts, s)
+	}
+	if s := wfCounterString(d.Attrs); s != "" {
+		parts = append(parts, s)
+	}
+	return strings.Join(parts, " | ")
+}
+
+// wfKVString renders string labels "k=v" sorted by key.
+func wfKVString(m map[string]string) string {
+	if len(m) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	parts := make([]string, 0, len(keys))
+	for _, k := range keys {
+		parts = append(parts, k+"="+m[k])
+	}
+	return strings.Join(parts, " ")
+}
+
+// wfCounterString renders counter attrs "k=v" sorted by key.
+func wfCounterString(m map[string]uint64) string {
+	if len(m) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	parts := make([]string, 0, len(keys))
+	for _, k := range keys {
+		parts = append(parts, fmt.Sprintf("%s=%d", k, m[k]))
+	}
+	return strings.Join(parts, " ")
+}
+
+// dashDuration renders nanoseconds human-readably.
+func dashDuration(ns int64) string {
+	if ns <= 0 {
+		return "-"
+	}
+	return time.Duration(ns).Round(time.Microsecond).String()
 }
 
 // dashHeatmap renders the hottest-lines table: rows are finding keys, one

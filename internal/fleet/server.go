@@ -143,6 +143,8 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 	s.mux.HandleFunc("/api/v1/ingest/findings", s.ingest(TypeFindings))
 	s.mux.HandleFunc("/api/v1/ingest/metrics", s.ingest(TypeMetrics))
 	s.mux.HandleFunc("/api/v1/ingest/trace", s.ingest(TypeTrace))
+	s.mux.HandleFunc("/api/v1/ingest/spans", s.ingest(TypeSpans))
+	s.mux.HandleFunc("/api/v1/traces", s.query("/api/v1/traces", s.handleTraces))
 	s.mux.HandleFunc("/api/v1/projects", s.query("/api/v1/projects", s.handleProjects))
 	s.mux.HandleFunc("/api/v1/runs", s.query("/api/v1/runs", s.handleRuns))
 	s.mux.HandleFunc("/api/v1/findings", s.query("/api/v1/findings", s.handleFindings))
@@ -427,6 +429,30 @@ func (s *Server) serveIngest(typ string, r *http.Request) (int, ingestAck, error
 		s.mIngest.Inc()
 		s.mBytes.Add(uint64(len(body)))
 		return http.StatusOK, ingestAck{Status: "ok", Run: meta.Run, Events: meta.Events, Corrupt: meta.CorruptRegions}, nil
+	case TypeSpans:
+		var sp SpansPayload
+		if err := strictUnmarshal(body, &sp); err != nil {
+			s.mIngestErr.Inc()
+			return 0, ingestAck{}, &httpError{http.StatusBadRequest, "bad spans payload: " + err.Error()}
+		}
+		if sp.Project == "" {
+			sp.Project = r.URL.Query().Get("project")
+		}
+		if sp.Project == "" {
+			s.mIngestErr.Inc()
+			return 0, ingestAck{}, &httpError{http.StatusBadRequest, "spans payload needs a project"}
+		}
+		if err := sp.Validate(); err != nil {
+			s.mIngestErr.Inc()
+			return 0, ingestAck{}, &httpError{http.StatusBadRequest, err.Error()}
+		}
+		if err := s.store.AppendSpans(tenant, &sp); err != nil {
+			s.mIngestErr.Inc()
+			return 0, ingestAck{}, &httpError{http.StatusServiceUnavailable, "store: " + err.Error()}
+		}
+		s.mIngest.Inc()
+		s.mBytes.Add(uint64(len(body)))
+		return http.StatusOK, ingestAck{Status: "ok", Run: sp.Run}, nil
 	default:
 		return 0, ingestAck{}, &httpError{http.StatusNotFound, "unknown ingest type"}
 	}
@@ -650,9 +676,15 @@ func (s *Server) handleHotLines(tenant string, r *http.Request, buf *bytes.Buffe
 		resp.Stats.Invalidations += mp.Stats.Invalidations
 		resp.Stats.DegradedLines += mp.Stats.DegradedLines
 		resp.Stats.Degraded = resp.Stats.Degraded || mp.Stats.Degraded
+		resp.Stats.Elided += mp.Stats.Elided
+		traceID := ""
+		if mp.Run != "" {
+			traceID = s.store.TraceIDForRun(tenant, mp.Project, mp.Run)
+		}
 		for _, ln := range mp.HotLines {
 			ln.Project = mp.Project
 			ln.Agent = mp.Agent
+			ln.Trace = traceID
 			resp.Lines = append(resp.Lines, ln)
 		}
 	}
@@ -730,6 +762,49 @@ func (s *Server) handleSeries(tenant string, r *http.Request, buf *bytes.Buffer)
 	return writeJSON(buf, SeriesResponse{
 		Tenant: tenant, Project: project, Series: name, Resolution: res,
 		SinceMs: since, Count: len(points), Points: points,
+	})
+}
+
+// TracesResponse is the /api/v1/traces schema. Without ?id= it lists the
+// project's ingested span snapshots; with one (a trace ID or a run ID) it
+// returns that trace's full span set for the waterfall view.
+type TracesResponse struct {
+	Tenant  string        `json:"tenant"`
+	Project string        `json:"project"`
+	Count   int           `json:"count"`
+	Traces  []TraceInfo   `json:"traces,omitempty"`
+	Trace   *SpansPayload `json:"trace,omitempty"`
+}
+
+func (s *Server) handleTraces(tenant string, r *http.Request, buf *bytes.Buffer) (string, error) {
+	q := r.URL.Query()
+	project := q.Get("project")
+	if project == "" {
+		return "", &httpError{http.StatusBadRequest, "missing ?project="}
+	}
+	if id := q.Get("id"); id != "" {
+		sp, err := s.store.TraceSpans(tenant, project, id)
+		if err != nil {
+			return "", &httpError{http.StatusNotFound, "trace " + id + " not found"}
+		}
+		return writeJSON(buf, TracesResponse{
+			Tenant: tenant, Project: project, Count: len(sp.Spans), Trace: sp,
+		})
+	}
+	n := 0
+	if raw := q.Get("n"); raw != "" {
+		v, err := strconv.Atoi(raw)
+		if err != nil {
+			return "", &httpError{http.StatusBadRequest, "invalid n: " + raw}
+		}
+		n = v
+	}
+	traces := s.store.Traces(tenant, project, n)
+	if traces == nil {
+		traces = []TraceInfo{}
+	}
+	return writeJSON(buf, TracesResponse{
+		Tenant: tenant, Project: project, Count: len(traces), Traces: traces,
 	})
 }
 

@@ -124,6 +124,12 @@ type projectIndex struct {
 	// server-side receive time so staleness survives agent clock skew.
 	metrics map[string]*agentMetrics
 	traces  []TraceMeta
+	// spanDocs holds ingested span snapshots in arrival order; the two maps
+	// index the same entries by run ID and by trace ID so the waterfall view
+	// resolves either form of reference (a finding's run, a span's trace).
+	spanDocs     []*SpansPayload
+	spansByRun   map[string]*SpansPayload
+	spansByTrace map[string]*SpansPayload
 }
 
 // agentMetrics is one agent's latest snapshot plus when the server took it.
@@ -323,9 +329,11 @@ func (t *tenantIndex) project(name string) *projectIndex {
 	p, ok := t.projects[name]
 	if !ok {
 		p = &projectIndex{
-			name:    name,
-			byID:    map[string]*RunEntry{},
-			metrics: map[string]*agentMetrics{},
+			name:         name,
+			byID:         map[string]*RunEntry{},
+			metrics:      map[string]*agentMetrics{},
+			spansByRun:   map[string]*SpansPayload{},
+			spansByTrace: map[string]*SpansPayload{},
 		}
 		t.projects[name] = p
 	}
@@ -399,6 +407,30 @@ func (s *Store) apply(env *Envelope) error {
 		}
 		tp.Meta.Project = env.Project
 		p.traces = append(p.traces, tp.Meta)
+		return nil
+	case TypeSpans:
+		var sp SpansPayload
+		if err := json.Unmarshal(env.Payload, &sp); err != nil {
+			return err
+		}
+		if err := sp.Validate(); err != nil {
+			return err
+		}
+		sp.Project = env.Project
+		// Last write wins per run: a re-shipped snapshot (agent retry)
+		// replaces the earlier doc rather than duplicating the trace list.
+		if prev, ok := p.spansByRun[sp.Run]; ok {
+			delete(p.spansByTrace, prev.TraceID)
+			for i, d := range p.spanDocs {
+				if d == prev {
+					p.spanDocs = append(p.spanDocs[:i], p.spanDocs[i+1:]...)
+					break
+				}
+			}
+		}
+		p.spanDocs = append(p.spanDocs, &sp)
+		p.spansByRun[sp.Run] = &sp
+		p.spansByTrace[sp.TraceID] = &sp
 		return nil
 	default:
 		return fmt.Errorf("fleet: unknown record type %q", env.Type)
@@ -607,6 +639,29 @@ func (s *Store) AppendTrace(tenant string, tp *TracePayload) error {
 	return s.apply(env)
 }
 
+// AppendSpans ingests one run's span snapshot (not individually fsynced:
+// like metrics, spans are observability sidecars, and the agent keeps its
+// own copy via -spans-out).
+func (s *Store) AppendSpans(tenant string, sp *SpansPayload) error {
+	if err := sp.Validate(); err != nil {
+		return err
+	}
+	payload, err := json.Marshal(sp)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if sp.Project == "" {
+		return fmt.Errorf("fleet: spans without a project")
+	}
+	env := s.envelope(TypeSpans, tenant, sp.Project, sp.Agent, sp.Run, payload)
+	if err := s.appendLocked(env, false); err != nil {
+		return err
+	}
+	return s.apply(env)
+}
+
 // Close closes the active segment.
 func (s *Store) Close() error {
 	s.mu.Lock()
@@ -660,6 +715,7 @@ type ProjectInfo struct {
 	Findings   int    `json:"findings"`
 	Agents     int    `json:"agents"`
 	Traces     int    `json:"traces"`
+	SpanTraces int    `json:"span_traces,omitempty"`
 	LastUnixMs int64  `json:"last_unix_ms,omitempty"`
 }
 
@@ -674,10 +730,11 @@ func (s *Store) Projects(tenant string) []ProjectInfo {
 	out := make([]ProjectInfo, 0, len(t.projects))
 	for _, p := range t.projects {
 		info := ProjectInfo{
-			Project: p.name,
-			Runs:    len(p.runs),
-			Agents:  len(p.metrics),
-			Traces:  len(p.traces),
+			Project:    p.name,
+			Runs:       len(p.runs),
+			Agents:     len(p.metrics),
+			Traces:     len(p.traces),
+			SpanTraces: len(p.spanDocs),
 		}
 		for _, r := range p.runs {
 			info.Findings += r.Counts.Findings
@@ -849,6 +906,99 @@ func (s *Store) FreshAgentMetrics(tenant, project string, now time.Time, ttl tim
 		return out[i].Agent < out[j].Agent
 	})
 	return out
+}
+
+// TraceInfo summarizes one ingested span snapshot for /api/v1/traces: enough
+// to list traces and link each to its run without shipping the span bodies.
+type TraceInfo struct {
+	Project    string `json:"project"`
+	Agent      string `json:"agent,omitempty"`
+	Tool       string `json:"tool,omitempty"`
+	Run        string `json:"run"`
+	TraceID    string `json:"trace_id"`
+	UnixMs     int64  `json:"unix_ms"`
+	Spans      int    `json:"spans"`
+	Root       string `json:"root,omitempty"`
+	DurationNs int64  `json:"duration_ns,omitempty"`
+}
+
+// traceInfo renders one span doc's summary: root name and duration come from
+// the first parentless span (by start tick — Snapshot order is preserved on
+// the wire).
+func traceInfo(sp *SpansPayload) TraceInfo {
+	info := TraceInfo{
+		Project: sp.Project,
+		Agent:   sp.Agent,
+		Tool:    sp.Tool,
+		Run:     sp.Run,
+		TraceID: sp.TraceID,
+		UnixMs:  sp.UnixMs,
+		Spans:   len(sp.Spans),
+	}
+	for i := range sp.Spans {
+		if sp.Spans[i].Parent == "" {
+			info.Root = sp.Spans[i].Name
+			info.DurationNs = sp.Spans[i].Duration().Nanoseconds()
+			break
+		}
+	}
+	return info
+}
+
+// Traces lists a project's ingested span snapshots, newest first, capped at
+// n (n <= 0 means all).
+func (s *Store) Traces(tenant, project string, n int) []TraceInfo {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	p := s.lookupProject(tenant, project)
+	if p == nil {
+		return nil
+	}
+	out := make([]TraceInfo, 0, len(p.spanDocs))
+	for i := len(p.spanDocs) - 1; i >= 0; i-- {
+		if n > 0 && len(out) >= n {
+			break
+		}
+		out = append(out, traceInfo(p.spanDocs[i]))
+	}
+	return out
+}
+
+// ErrUnknownTrace reports a trace lookup that matched neither a trace ID nor
+// a run ID in the project.
+var ErrUnknownTrace = errors.New("fleet: unknown trace")
+
+// TraceSpans resolves one span snapshot by trace ID or, failing that, by run
+// ID — so a finding's run links straight to its waterfall.
+func (s *Store) TraceSpans(tenant, project, id string) (*SpansPayload, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	p := s.lookupProject(tenant, project)
+	if p == nil {
+		return nil, ErrUnknownTrace
+	}
+	if sp, ok := p.spansByTrace[id]; ok {
+		return sp, nil
+	}
+	if sp, ok := p.spansByRun[id]; ok {
+		return sp, nil
+	}
+	return nil, ErrUnknownTrace
+}
+
+// TraceIDForRun resolves a run's ingested span trace ID ("" when the run
+// shipped no span snapshot).
+func (s *Store) TraceIDForRun(tenant, project, run string) string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	p := s.lookupProject(tenant, project)
+	if p == nil {
+		return ""
+	}
+	if sp, ok := p.spansByRun[run]; ok {
+		return sp.TraceID
+	}
+	return ""
 }
 
 // AgentStatus is one agent's liveness record: when the server last received

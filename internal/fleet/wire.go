@@ -19,6 +19,7 @@ import (
 	"strings"
 
 	"predator/internal/eval"
+	"predator/internal/obs/spans"
 	"predator/internal/report"
 )
 
@@ -27,6 +28,7 @@ const (
 	TypeFindings = "findings"
 	TypeMetrics  = "metrics"
 	TypeTrace    = "trace"
+	TypeSpans    = "spans"
 )
 
 // EnvelopeVersion is the current on-disk envelope schema version.
@@ -103,6 +105,10 @@ type StatsSnapshot struct {
 	Invalidations uint64 `json:"invalidations"`
 	DegradedLines int    `json:"degraded_lines,omitempty"`
 	Degraded      bool   `json:"degraded,omitempty"`
+	// Elided counts accesses the static elision fast path dropped (zero
+	// without an -elide manifest), so fleet dashboards can attribute how
+	// much instrumentation the proofs saved.
+	Elided uint64 `json:"elided,omitempty"`
 }
 
 // HotLine is one tracked line in a metrics payload: the subset of
@@ -121,9 +127,12 @@ type HotLine struct {
 	// topview.Heatmap — agents compress it so the wire stays small.
 	Owners string `json:"owners,omitempty"`
 
-	// Origin tags, set by the server on aggregated responses.
+	// Origin tags, set by the server on aggregated responses. Trace is the
+	// span trace ID of the originating agent's current run, when that run
+	// shipped a span snapshot — predtop's jump-to-waterfall handle.
 	Project string `json:"project,omitempty"`
 	Agent   string `json:"agent,omitempty"`
+	Trace   string `json:"trace,omitempty"`
 }
 
 // TraceMeta is the accounting the server keeps for an ingested trace
@@ -145,6 +154,42 @@ type TraceMeta struct {
 type TracePayload struct {
 	Meta TraceMeta `json:"meta"`
 	Data []byte    `json:"data"`
+}
+
+// SpansPayload is the body of POST /api/v1/ingest/spans: one run's finished
+// span snapshot, shipped once at run end. The server keeps the latest
+// payload per (project, run) and serves it from /api/v1/traces and the
+// dashboard waterfall; a finding's provenance span_id indexes into Spans.
+type SpansPayload struct {
+	Project string       `json:"project"`
+	Agent   string       `json:"agent,omitempty"`
+	Tool    string       `json:"tool,omitempty"`
+	Run     string       `json:"run"`
+	UnixMs  int64        `json:"unix_ms"`
+	TraceID string       `json:"trace_id"`
+	Spans   []spans.Data `json:"spans"`
+}
+
+// Validate rejects payloads that cannot be indexed or would poison the
+// waterfall view: a missing run, a malformed trace ID, or spans from a
+// different trace.
+func (p *SpansPayload) Validate() error {
+	if p.Run == "" {
+		return fmt.Errorf("fleet: spans payload missing run")
+	}
+	if _, err := spans.ParseTraceID(p.TraceID); err != nil {
+		return err
+	}
+	for i := range p.Spans {
+		if p.Spans[i].TraceID != p.TraceID {
+			return fmt.Errorf("fleet: span %d belongs to trace %s, payload says %s",
+				i, p.Spans[i].TraceID, p.TraceID)
+		}
+		if _, err := spans.ParseSpanID(p.Spans[i].SpanID); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // CountsOf tallies a machine-readable report the way report.Report.Counts

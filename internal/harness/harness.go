@@ -22,6 +22,7 @@ import (
 	"predator/internal/instr"
 	"predator/internal/mem"
 	"predator/internal/obs"
+	"predator/internal/obs/spans"
 	"predator/internal/report"
 	"predator/internal/sched"
 )
@@ -67,7 +68,8 @@ type Ctx struct {
 	Seed    int64  // deterministic input seed
 
 	yieldMask uint64
-	detGrain  int // >0: Parallel runs workers under the deterministic scheduler
+	detGrain  int         // >0: Parallel runs workers under the deterministic scheduler
+	span      *spans.Span // workload span Parallel groups nest under (nil: untraced)
 }
 
 // Rand returns a deterministic source for workload input generation.
@@ -102,6 +104,10 @@ func (c *Ctx) Parallel(n int, name string, body func(t *instr.Thread, id int)) {
 	if c.detGrain > 0 {
 		scheduler = sched.New(c.detGrain)
 	}
+	psp := c.span.Child("harness.parallel")
+	psp.SetLabel("group", name)
+	psp.SetAttr("threads", uint64(n))
+	defer psp.End()
 	for i := 0; i < n; i++ {
 		th := c.NewThread(fmt.Sprintf("%s-%d", name, i))
 		var slot *sched.Slot
@@ -133,10 +139,15 @@ func (c *Ctx) Parallel(n int, name string, body func(t *instr.Thread, id int)) {
 		}(th, slot, i)
 	}
 	close(start)
+	var drain *spans.Span
 	if scheduler != nil {
+		// The drain span covers the deterministic scheduler's whole
+		// rotation: from releasing the first turn until every slot retires.
+		drain = psp.Child("sched.drain")
 		scheduler.Start()
 	}
 	wg.Wait()
+	drain.End()
 	select {
 	case p := <-panics:
 		panic(p)
@@ -247,6 +258,11 @@ type Options struct {
 	// prediction factor, so elision never changes finding counts — only
 	// how much instrumentation the safe objects pay.
 	Elide *elide.Manifest
+	// Span, when non-nil, is the parent span this execution's pipeline
+	// spans (harness.setup, elide.bind, harness.workload, report.collect)
+	// nest under. The span tracer itself rides on Observer (obs.SetSpans);
+	// with no tracer attached every span call is an absorbed nil no-op.
+	Span *spans.Span
 }
 
 // normalized fills defaults.
@@ -375,11 +391,18 @@ func execute(w Workload, opts Options, heap *mem.Heap, sinkOverride instr.Sink) 
 		memBefore = goHeapBytes()
 	}
 
+	tracer := opts.Observer.Spans()
+	setup := tracer.Start("harness.setup", opts.Span)
+	setup.SetLabel("workload", w.Name())
+	setup.SetLabel("mode", opts.Mode.String())
+	setup.SetAttr("heap_bytes", opts.HeapSize)
+
 	h := heap
 	if h == nil {
 		var err error
 		h, err = mem.NewHeap(mem.Config{Size: opts.HeapSize})
 		if err != nil {
+			setup.End()
 			return nil, err
 		}
 	}
@@ -400,6 +423,7 @@ func execute(w Workload, opts Options, heap *mem.Heap, sinkOverride instr.Sink) 
 		}
 		rt, err = core.NewRuntime(h, cfg)
 		if err != nil {
+			setup.End()
 			return nil, err
 		}
 		if opts.OnRuntime != nil {
@@ -412,13 +436,19 @@ func execute(w Workload, opts Options, heap *mem.Heap, sinkOverride instr.Sink) 
 	if opts.Strict != nil {
 		in.SetStrict(*opts.Strict)
 	}
+	setup.End()
 	if opts.Elide != nil && sink != nil {
+		esp := tracer.Start("elide.bind", opts.Span)
+		esp.SetAttr("entries", uint64(len(opts.Elide.Entries)))
 		binder, berr := elide.NewBinder(opts.Elide, h.Geometry(), elideMargin(opts))
 		if berr != nil {
+			esp.End()
 			return nil, fmt.Errorf("harness: elision manifest: %w", berr)
 		}
 		binder.Attach(h)
 		in.SetElision(binder)
+		esp.SetAttr("margin_lines", uint64(elideMargin(opts)))
+		esp.End()
 	}
 
 	ctx := &Ctx{
@@ -438,10 +468,21 @@ func execute(w Workload, opts Options, heap *mem.Heap, sinkOverride instr.Sink) 
 		}
 	}
 
+	// The workload span covers execution proper: detector-phase spans minted
+	// during the run (predict.search) nest under it, while the final report
+	// span nests under the run's parent.
+	wsp := tracer.Start("harness.workload", opts.Span)
+	wsp.SetLabel("workload", w.Name())
+	wsp.SetLabel("mode", opts.Mode.String())
+	ctx.span = wsp
+	if rt != nil {
+		rt.SetSpan(wsp)
+	}
 	start := time.Now()
 	checksum, err := w.Run(ctx)
 	elapsed := time.Since(start)
 	if err != nil {
+		wsp.End()
 		return nil, fmt.Errorf("harness: %s: %w", w.Name(), err)
 	}
 
@@ -459,7 +500,22 @@ func execute(w Workload, opts Options, heap *mem.Heap, sinkOverride instr.Sink) 
 	}
 	in.FlushMetrics()
 	res.Elided = in.Elided()
+	// Overhead attribution: the workload span carries the per-component
+	// counters — what the front-end dispatched, suppressed, and elided, and
+	// what the detector tracked and invalidated during execution.
+	wsp.SetAttr("accesses_dispatched", in.Delivered())
+	wsp.SetAttr("suppressed", in.Suppressed())
+	wsp.SetAttr("elided", res.Elided)
 	if rt != nil {
+		st := rt.Stats()
+		wsp.SetAttr("accesses", st.Accesses)
+		wsp.SetAttr("invalidations", st.Invalidations)
+		wsp.SetAttr("tracked_lines", uint64(st.TrackedLines))
+		wsp.SetAttr("virtual_lines", uint64(st.VirtualLines))
+	}
+	wsp.End()
+	if rt != nil {
+		rt.SetSpan(opts.Span)
 		res.Report = rt.Report()
 		res.RuntimeStats = rt.Stats()
 	}

@@ -39,6 +39,7 @@ import (
 
 	"predator/internal/core"
 	"predator/internal/obs"
+	"predator/internal/obs/spans"
 	"predator/internal/obs/traceout"
 	"predator/internal/report"
 	"predator/internal/resilience"
@@ -85,6 +86,7 @@ type Server struct {
 	mux     *http.ServeMux
 	guards  map[string]*resilience.Guard
 	source  atomic.Value // sourceBox
+	tracer  atomic.Pointer[spans.Tracer]
 	started time.Time
 
 	srv  *http.Server
@@ -107,6 +109,7 @@ func New(reg *obs.Registry, tool string, build obs.BuildInfo) *Server {
 	s.mux.HandleFunc("/hotlines", s.guarded("/hotlines", s.handleHotLines))
 	s.mux.HandleFunc("/findings", s.guarded("/findings", s.handleFindings))
 	s.mux.HandleFunc("/timeline", s.guarded("/timeline", s.handleTimeline))
+	s.mux.HandleFunc("/spans", s.guarded("/spans", s.handleSpans))
 	s.mux.HandleFunc("/debug/pprof/", s.guardRaw("/debug/pprof", httppprof.Index))
 	s.mux.HandleFunc("/debug/pprof/cmdline", s.guardRaw("/debug/pprof/cmdline", httppprof.Cmdline))
 	s.mux.HandleFunc("/debug/pprof/profile", s.guardRaw("/debug/pprof/profile", httppprof.Profile))
@@ -130,6 +133,12 @@ func (s *Server) SetRuntime(rt *core.Runtime) {
 		return
 	}
 	s.SetSource(rt)
+}
+
+// SetSpans attaches the pipeline span tracer behind /spans. Safe to call
+// while serving; nil detaches (the endpoint answers 503).
+func (s *Server) SetSpans(t *spans.Tracer) {
+	s.tracer.Store(t)
 }
 
 // Src returns the currently attached source, or nil.
@@ -412,6 +421,20 @@ func (s *Server) handleTimeline(r *http.Request, buf *bytes.Buffer) (string, err
 		return "", &httpError{http.StatusServiceUnavailable, "flight recording disabled"}
 	}
 	if err := traceout.WriteTimeline(buf, d, nil); err != nil {
+		return "", err
+	}
+	return "application/json; charset=utf-8", nil
+}
+
+// handleSpans serves the tracer's finished pipeline spans as OTLP/JSON —
+// the same document -spans-out writes, but live: scrape mid-run to see which
+// phases have completed so far.
+func (s *Server) handleSpans(_ *http.Request, buf *bytes.Buffer) (string, error) {
+	t := s.tracer.Load()
+	if t == nil {
+		return "", &httpError{http.StatusServiceUnavailable, "span tracing not enabled"}
+	}
+	if err := spans.WriteOTLP(buf, s.tool, t.Snapshot()); err != nil {
 		return "", err
 	}
 	return "application/json; charset=utf-8", nil

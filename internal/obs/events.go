@@ -3,6 +3,8 @@ package obs
 import (
 	"sync/atomic"
 	"time"
+
+	"predator/internal/obs/spans"
 )
 
 // Type discriminates lifecycle events. Values are stable strings: they are
@@ -116,6 +118,7 @@ type Observer struct {
 	seq     atomic.Uint64
 	emitted *Counter
 	self    *SelfProfiler // nil unless EnableSelfProfile was called
+	spans   *spans.Tracer // nil unless SetSpans was called
 }
 
 // New builds an Observer over a registry and an event sink (either or both
@@ -153,6 +156,28 @@ func (o *Observer) Self() *SelfProfiler {
 		return nil
 	}
 	return o.self
+}
+
+// SetSpans attaches a span tracer: pipeline phases instrumented for span
+// tracing (harness setup, workload execution, prediction searches, report
+// generation, replay) start spans on it. Call before the observer is handed
+// to a runtime. Nil-safe: a nil observer ignores the call, and a nil tracer
+// detaches.
+func (o *Observer) SetSpans(t *spans.Tracer) {
+	if o == nil {
+		return
+	}
+	o.spans = t
+}
+
+// Spans returns the attached span tracer, or nil when span tracing is off
+// (the default). All spans.Tracer methods absorb a nil receiver, so callers
+// chain o.Spans().Start(...) without guarding.
+func (o *Observer) Spans() *spans.Tracer {
+	if o == nil {
+		return nil
+	}
+	return o.spans
 }
 
 // Metrics returns the observer's registry (nil on a nil observer).

@@ -208,6 +208,29 @@ func (c *Client) SendMetrics(mp *fleet.MetricsPayload) error {
 	return c.enqueue(item{Type: fleet.TypeMetrics, Body: body})
 }
 
+// SendSpans enqueues one run's span snapshot — the trace-context propagation
+// leg: the same trace ID the agent exported locally (-spans-out) becomes
+// addressable fleet-wide via /api/v1/traces and the dashboard waterfall.
+func (c *Client) SendSpans(sp *fleet.SpansPayload) error {
+	if sp.Project == "" {
+		sp.Project = c.cfg.Project
+	}
+	if sp.Agent == "" {
+		sp.Agent = c.cfg.Agent
+	}
+	if sp.Tool == "" {
+		sp.Tool = c.cfg.Tool
+	}
+	if sp.UnixMs == 0 {
+		sp.UnixMs = c.cfg.Now().UnixMilli()
+	}
+	body, err := json.Marshal(sp)
+	if err != nil {
+		return err
+	}
+	return c.enqueue(item{Type: fleet.TypeSpans, Body: body})
+}
+
 // SendTrace enqueues one raw trace segment for the given run.
 func (c *Client) SendTrace(run string, data []byte) error {
 	q := url.Values{}
@@ -494,7 +517,9 @@ func (c *Client) replaySpool() {
 
 // SnapshotRuntime builds a MetricsPayload from a live runtime: the standard
 // stats block plus the top-n hottest lines with pre-rendered ownership
-// heatmaps. The helper the CLIs hand to StartReporter.
+// heatmaps. The helper the CLIs hand to StartReporter. The elided counter
+// lives in the instrumentation front-end, not core.Stats, so it is lifted
+// from the registry snapshot (the same place diag /stats reads it).
 func SnapshotRuntime(rt *core.Runtime, n int, snapshot map[string]float64) *fleet.MetricsPayload {
 	if rt == nil {
 		return nil
@@ -510,6 +535,7 @@ func SnapshotRuntime(rt *core.Runtime, n int, snapshot map[string]float64) *flee
 			Invalidations: st.Invalidations,
 			DegradedLines: st.DegradedLines,
 			Degraded:      st.Degraded,
+			Elided:        uint64(snapshot["predator_events_elided_total"]),
 		},
 	}
 	for _, ln := range rt.HotLines(n) {

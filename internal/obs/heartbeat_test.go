@@ -1,0 +1,89 @@
+package obs
+
+import (
+	"os"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestHeartbeatStopFlushesFinalBeat pins the Stop contract: even when the
+// ticker never fired (interval far longer than the run), Stop emits exactly
+// one final beat and refreshes the snapshot file with the end-state counter
+// values, so short runs still leave valid heartbeat artifacts behind.
+func TestHeartbeatStopFlushesFinalBeat(t *testing.T) {
+	var mu sync.Mutex
+	var beats []Event
+	reg := NewRegistry()
+	c := reg.Counter("predator_accesses_total", "")
+	o := New(reg, FuncSink(func(e Event) {
+		mu.Lock()
+		beats = append(beats, e)
+		mu.Unlock()
+	}))
+	path := t.TempDir() + "/hb.prom"
+	hb := StartHeartbeat(o, time.Hour, path)
+	c.Add(123) // counted after start, flushed by the final beat
+	hb.Stop()
+
+	mu.Lock()
+	defer mu.Unlock()
+	if len(beats) != 1 {
+		t.Fatalf("beats after Stop = %d, want exactly the final flush", len(beats))
+	}
+	if beats[0].Type != EvHeartbeat || beats[0].Metrics["predator_accesses_total"] != 123 {
+		t.Errorf("final beat = %+v", beats[0])
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("snapshot file not written on Stop: %v", err)
+	}
+	if !strings.Contains(string(data), "predator_accesses_total 123") {
+		t.Errorf("snapshot file missing end-state counter:\n%s", data)
+	}
+}
+
+// TestHeartbeatStopLeaksNoGoroutine verifies Stop joins the beat loop: after
+// starting and stopping many heartbeats the goroutine count settles back to
+// its baseline.
+func TestHeartbeatStopLeaksNoGoroutine(t *testing.T) {
+	o := New(NewRegistry(), nil)
+	before := runtime.NumGoroutine()
+	for i := 0; i < 50; i++ {
+		StartHeartbeat(o, time.Hour, "").Stop()
+	}
+	// The scheduler may need a moment to retire exiting goroutines.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if after := runtime.NumGoroutine(); after <= before {
+			return
+		} else if time.Now().After(deadline) {
+			t.Fatalf("goroutines leaked: %d before, %d after 50 start/stop cycles", before, after)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestHeartbeatZeroIntervalIsNoOp: a zero (or negative) interval — the CLIs'
+// default when -heartbeat is unset — starts nothing, writes nothing, and the
+// returned nil handle absorbs Stop.
+func TestHeartbeatZeroIntervalIsNoOp(t *testing.T) {
+	fired := false
+	o := New(NewRegistry(), FuncSink(func(Event) { fired = true }))
+	path := t.TempDir() + "/never.prom"
+	for _, interval := range []time.Duration{0, -time.Second} {
+		hb := StartHeartbeat(o, interval, path)
+		if hb != nil {
+			t.Fatalf("StartHeartbeat(interval=%v) = %v, want nil", interval, hb)
+		}
+		hb.Stop() // nil receiver must be safe
+	}
+	if fired {
+		t.Error("zero-interval heartbeat emitted an event")
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Errorf("zero-interval heartbeat wrote a snapshot file (stat err=%v)", err)
+	}
+}

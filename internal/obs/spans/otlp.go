@@ -1,0 +1,147 @@
+// OTLP-style JSON export. The shape follows the OpenTelemetry OTLP/JSON
+// trace schema (resourceSpans → scopeSpans → spans, with hex IDs and
+// string-encoded nanosecond timestamps) closely enough for standard
+// tooling to ingest, without taking any dependency: the structs below are
+// hand-rolled against the published field names.
+package spans
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+)
+
+// otlpDoc mirrors the OTLP/JSON ExportTraceServiceRequest shape.
+type otlpDoc struct {
+	ResourceSpans []otlpResourceSpans `json:"resourceSpans"`
+}
+
+type otlpResourceSpans struct {
+	Resource   otlpResource     `json:"resource"`
+	ScopeSpans []otlpScopeSpans `json:"scopeSpans"`
+}
+
+type otlpResource struct {
+	Attributes []otlpKV `json:"attributes"`
+}
+
+type otlpScopeSpans struct {
+	Scope otlpScope  `json:"scope"`
+	Spans []otlpSpan `json:"spans"`
+}
+
+type otlpScope struct {
+	Name string `json:"name"`
+}
+
+type otlpSpan struct {
+	TraceID           string   `json:"traceId"`
+	SpanID            string   `json:"spanId"`
+	ParentSpanID      string   `json:"parentSpanId,omitempty"`
+	Name              string   `json:"name"`
+	Kind              int      `json:"kind"`
+	StartTimeUnixNano string   `json:"startTimeUnixNano"`
+	EndTimeUnixNano   string   `json:"endTimeUnixNano"`
+	Attributes        []otlpKV `json:"attributes,omitempty"`
+}
+
+type otlpKV struct {
+	Key   string    `json:"key"`
+	Value otlpValue `json:"value"`
+}
+
+// otlpValue is the OTLP AnyValue one-of; exactly one field is set.
+type otlpValue struct {
+	StringValue *string `json:"stringValue,omitempty"`
+	IntValue    *string `json:"intValue,omitempty"` // OTLP encodes int64 as string
+}
+
+func stringValue(s string) otlpValue { return otlpValue{StringValue: &s} }
+
+func intValue(v uint64) otlpValue {
+	s := fmt.Sprintf("%d", v)
+	return otlpValue{IntValue: &s}
+}
+
+// SpanKindInternal is the only kind this tracer emits: every span is an
+// in-process phase, never an RPC boundary.
+const SpanKindInternal = 1
+
+// WriteOTLP renders a snapshot as one OTLP/JSON trace document. service
+// names the emitting tool (predator, predbench, predreplay) in the
+// resource's service.name attribute.
+func WriteOTLP(w io.Writer, service string, data []Data) error {
+	out := make([]otlpSpan, 0, len(data))
+	for _, d := range data {
+		sp := otlpSpan{
+			TraceID:           d.TraceID,
+			SpanID:            d.SpanID,
+			ParentSpanID:      d.Parent,
+			Name:              d.Name,
+			Kind:              SpanKindInternal,
+			StartTimeUnixNano: fmt.Sprintf("%d", d.StartUnixNano),
+			EndTimeUnixNano:   fmt.Sprintf("%d", d.EndUnixNano),
+		}
+		for _, k := range sortedKeys(d.Labels) {
+			sp.Attributes = append(sp.Attributes, otlpKV{Key: k, Value: stringValue(d.Labels[k])})
+		}
+		for _, k := range sortedUintKeys(d.Attrs) {
+			sp.Attributes = append(sp.Attributes, otlpKV{Key: k, Value: intValue(d.Attrs[k])})
+		}
+		sp.Attributes = append(sp.Attributes,
+			otlpKV{Key: "predator.start_tick", Value: intValue(d.StartTick)},
+			otlpKV{Key: "predator.end_tick", Value: intValue(d.EndTick)})
+		out = append(out, sp)
+	}
+	doc := otlpDoc{ResourceSpans: []otlpResourceSpans{{
+		Resource: otlpResource{Attributes: []otlpKV{
+			{Key: "service.name", Value: stringValue(service)},
+		}},
+		ScopeSpans: []otlpScopeSpans{{
+			Scope: otlpScope{Name: "predator/internal/obs/spans"},
+			Spans: out,
+		}},
+	}}}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(doc)
+}
+
+// WriteOTLPFile writes the OTLP document to path.
+func WriteOTLPFile(path, service string, data []Data) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := WriteOTLP(f, service, data); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func sortedKeys(m map[string]string) []string {
+	if len(m) == 0 {
+		return nil
+	}
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func sortedUintKeys(m map[string]uint64) []string {
+	if len(m) == 0 {
+		return nil
+	}
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -41,6 +41,10 @@ type Line struct {
 	Owners  string `json:"owners,omitempty"`
 	Project string `json:"project,omitempty"`
 	Agent   string `json:"agent,omitempty"`
+	// Trace is the span trace ID of the run this line came from (fleet
+	// responses only, and only when the run shipped spans) — the handle into
+	// /dash/{project}/trace/{id}.
+	Trace string `json:"trace,omitempty"`
 }
 
 // Frame is one polled snapshot, decoded from either server's response.
@@ -145,6 +149,18 @@ func (ln *Line) origin() string {
 	}
 }
 
+// shortTrace abbreviates a 32-hex trace ID to its 12-char prefix for the
+// table ("-" when the line has none); the full ID lives in the JSON frame.
+func shortTrace(id string) string {
+	if id == "" {
+		return "-"
+	}
+	if len(id) > 12 {
+		return id[:12]
+	}
+	return id
+}
+
 // RenderOptions parameterize RenderWith.
 type RenderOptions struct {
 	// ShowOrigin adds the fleet ORIGIN column (project/agent per line).
@@ -236,8 +252,21 @@ func renderFrame(w io.Writer, r *Frame, opts RenderOptions) {
 	if showOrigin {
 		origin = fmt.Sprintf(" %-20s", "ORIGIN")
 	}
-	fmt.Fprintf(w, "%-4s %-12s %10s %10s %9s %8s %-8s %-4s %4s%s  %s\n",
-		"#", "LINE", "INVAL", "ACCESS", "WRITES", "RECORDED", "WINDOW", "FLAG", "VIRT", origin, "WORD OWNERS")
+	// The TRACE column appears only when at least one line carries a span
+	// trace ID, so single-process frames keep their old layout.
+	showTrace := false
+	for i := range r.Lines {
+		if r.Lines[i].Trace != "" {
+			showTrace = true
+			break
+		}
+	}
+	traceHdr := ""
+	if showTrace {
+		traceHdr = fmt.Sprintf(" %-12s", "TRACE")
+	}
+	fmt.Fprintf(w, "%-4s %-12s %10s %10s %9s %8s %-8s %-4s %4s%s%s  %s\n",
+		"#", "LINE", "INVAL", "ACCESS", "WRITES", "RECORDED", "WINDOW", "FLAG", "VIRT", origin, traceHdr, "WORD OWNERS")
 	for i := range r.Lines {
 		ln := &r.Lines[i]
 		window := "-"
@@ -262,9 +291,13 @@ func renderFrame(w io.Writer, r *Frame, opts RenderOptions) {
 		if showOrigin {
 			origin = fmt.Sprintf(" %-20s", ln.origin())
 		}
-		fmt.Fprintf(w, "%-4d %#-12x %10d %10d %9d %8d %-8s %-4s %4d%s  %s\n",
+		traceCol := ""
+		if showTrace {
+			traceCol = fmt.Sprintf(" %-12s", shortTrace(ln.Trace))
+		}
+		fmt.Fprintf(w, "%-4d %#-12x %10d %10d %9d %8d %-8s %-4s %4d%s%s  %s\n",
 			i+1, ln.Addr, ln.Invalidations, ln.Accesses, ln.Writes, ln.Recorded,
-			window, flags, len(ln.Virtual), origin, ln.owners())
+			window, flags, len(ln.Virtual), origin, traceCol, ln.owners())
 	}
 }
 

@@ -49,6 +49,7 @@ type JSONProvenance struct {
 	Switches     int      `json:"switches,omitempty"`
 	Records      int      `json:"records,omitempty"`
 	Salvaged     bool     `json:"salvaged,omitempty"`
+	SpanID       string   `json:"span_id,omitempty"`
 	Chain        []string `json:"chain"`
 }
 
@@ -105,6 +106,7 @@ func (r *Report) ToJSON() JSONReport {
 				Switches:     p.Switches,
 				Records:      p.Records,
 				Salvaged:     p.Salvaged,
+				SpanID:       p.SpanID,
 				Chain:        p.Chain,
 			}
 		}

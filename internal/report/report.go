@@ -161,6 +161,7 @@ type Provenance struct {
 	Switches     int    // adjacent-record thread hand-offs in the tail
 	Records      int    // records in the tail
 	Salvaged     bool   // tail came from a ring frozen at degradation time
+	SpanID       string // span ID of the enclosing report span ("" when span tracing was off): links the finding to its agent-side trace waterfall
 	Chain        []string
 }
 

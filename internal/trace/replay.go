@@ -7,6 +7,7 @@ import (
 	"predator/internal/core"
 	"predator/internal/elide"
 	"predator/internal/mem"
+	"predator/internal/obs/spans"
 	"predator/internal/report"
 )
 
@@ -46,6 +47,10 @@ type ReplayOptions struct {
 	// here, before they reach the runtime — with the same margin rule the
 	// harness applies, so elision never changes the replay's counts.
 	Elide *elide.Manifest
+	// Span, when non-nil, is the parent span the replay's pipeline spans
+	// (replay.decode, report.collect) nest under. The tracer rides on
+	// cfg.Observer (obs.SetSpans); without one every span call no-ops.
+	Span *spans.Span
 }
 
 // Replay streams a trace through a fresh PREDATOR runtime configured with
@@ -92,15 +97,21 @@ func ReplayWithOptions(r io.Reader, cfg core.Config, opts ReplayOptions) (*Repla
 	// Observe the rebuilt heap before streaming events, so a replayed run
 	// produces the same allocation telemetry as the live run it recorded.
 	h.Observe(cfg.Observer)
+	tracer := cfg.Observer.Spans()
 	var binder *elide.Binder
 	if opts.Elide != nil {
+		esp := tracer.Start("elide.bind", opts.Span)
+		esp.SetAttr("entries", uint64(len(opts.Elide.Entries)))
 		binder, err = elide.NewBinder(opts.Elide, h.Geometry(), elideMargin(cfg))
 		if err != nil {
+			esp.End()
 			return nil, fmt.Errorf("trace: elision manifest: %w", err)
 		}
 		// Attach before any OpAlloc/OpGlobal streams in: the heap hooks
 		// bind manifest entries to objects as the replay rebuilds them.
 		binder.Attach(h)
+		esp.SetAttr("margin_lines", uint64(elideMargin(cfg)))
+		esp.End()
 	}
 	rt, err := core.NewRuntime(h, cfg)
 	if err != nil {
@@ -109,6 +120,14 @@ func ReplayWithOptions(r io.Reader, cfg core.Config, opts ReplayOptions) (*Repla
 	if opts.OnRuntime != nil {
 		opts.OnRuntime(rt)
 	}
+	// The decode span covers the event loop (salvage included): detector
+	// spans minted while events stream (predict.search) nest under it.
+	dsp := tracer.Start("replay.decode", opts.Span)
+	if opts.Salvage {
+		dsp.SetLabel("salvage", "on")
+	}
+	rt.SetSpan(dsp)
+	defer dsp.End() // idempotent: the success path ends it before the report
 	res := &ReplayResult{Threads: make(map[int]string)}
 	for {
 		e, err := tr.Next()
@@ -160,6 +179,11 @@ func ReplayWithOptions(r io.Reader, cfg core.Config, opts ReplayOptions) (*Repla
 			res.Threads[int(e.TID)] = e.Name
 		}
 	}
+	dsp.SetAttr("events", res.Events)
+	dsp.SetAttr("elided", res.Elided)
+	dsp.SetAttr("semantic_errors", res.SemanticErrors)
+	dsp.End()
+	rt.SetSpan(opts.Span)
 	res.Report = rt.Report()
 	res.Stats = rt.Stats()
 	if opts.Salvage {
